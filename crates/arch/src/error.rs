@@ -1,0 +1,77 @@
+//! Error types for hardware descriptions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating hardware configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// An array was declared with zero traps.
+    EmptyArray {
+        /// Human-readable array name ("SLM", "AOD0", ...).
+        which: String,
+    },
+    /// A reconfigurable machine needs at least one AOD array.
+    NoAods,
+    /// The trap spacing violates the minimum-separation requirement
+    /// (six Rydberg radii).
+    SpacingTooSmall {
+        /// Requested spacing in µm.
+        spacing_um: f64,
+        /// Minimum legal spacing in µm.
+        min_um: f64,
+    },
+    /// A trap site does not exist on the machine.
+    SiteOutOfRange {
+        /// Rendered site, e.g. `AOD0[3,9]`.
+        site: String,
+    },
+    /// A circuit requires more qubits than the machine (or an array subset)
+    /// can hold.
+    InsufficientCapacity {
+        /// Qubits required.
+        required: usize,
+        /// Traps available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyArray { which } => write!(f, "array {which} has zero traps"),
+            ArchError::NoAods => write!(f, "a reconfigurable machine needs at least one AOD array"),
+            ArchError::SpacingTooSmall { spacing_um, min_um } => write!(
+                f,
+                "trap spacing {spacing_um} um is below the minimum {min_um} um (6 Rydberg radii)"
+            ),
+            ArchError::SiteOutOfRange { site } => write!(f, "trap site {site} does not exist"),
+            ArchError::InsufficientCapacity { required, available } => write!(
+                f,
+                "circuit needs {required} qubits but only {available} traps are available"
+            ),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ArchError::NoAods.to_string().contains("AOD"));
+        assert!(ArchError::EmptyArray { which: "SLM".into() }.to_string().contains("SLM"));
+        assert!(ArchError::InsufficientCapacity { required: 10, available: 4 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,34 @@
+//! Hardware architectures for the Atomique (ISCA 2024) reproduction.
+//!
+//! Two families of hardware are modelled:
+//!
+//! * **Fixed-topology machines** ([`CouplingGraph`]): IBM heavy-hex
+//!   superconducting devices, fixed atom arrays with rectangular,
+//!   triangular, or long-range connectivity, and the complete multipartite
+//!   graph Atomique uses as its coarse coupling model.
+//! * **Reconfigurable atom arrays** ([`RaaConfig`]): one SLM array of fixed
+//!   traps plus movable AOD arrays, with the physical geometry (trap
+//!   spacing, Rydberg radius, home positions) the Atomique router checks
+//!   its movement constraints against.
+//!
+//! # Examples
+//!
+//! ```
+//! use raa_arch::{CouplingGraph, RaaConfig};
+//!
+//! let heavy_hex = CouplingGraph::heavy_hex(7, 15); // IBM-Washington-like
+//! assert!(heavy_hex.max_degree() <= 3);
+//!
+//! let raa = RaaConfig::default(); // 10x10 SLM + two 10x10 AODs
+//! assert_eq!(raa.num_arrays(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coupling;
+mod error;
+mod raa;
+
+pub use coupling::{CouplingGraph, UNREACHABLE};
+pub use error::ArchError;
+pub use raa::{ArrayDims, ArrayIndex, RaaConfig, TrapSite};

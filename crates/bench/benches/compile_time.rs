@@ -1,0 +1,37 @@
+//! Criterion benchmarks of compilation throughput: Atomique end-to-end,
+//! its individual passes, and the SABRE baseline router.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use atomique::{compile, AtomiqueConfig};
+use raa_baselines::{compile_fixed, tan_iterp, FixedArchitecture};
+use raa_benchmarks::{qaoa_regular, qsim_random};
+use raa_physics::HardwareParams;
+
+fn bench_compile(c: &mut Criterion) {
+    let qaoa = qaoa_regular(40, 5, 0);
+    let qsim = qsim_random(20, 0.5, 10, 0);
+    let cfg = AtomiqueConfig::default();
+    let params = HardwareParams::neutral_atom();
+
+    c.bench_function("atomique/qaoa-regu5-40", |b| {
+        b.iter(|| compile(black_box(&qaoa), &cfg).unwrap())
+    });
+    c.bench_function("atomique/qsim-rand-20", |b| {
+        b.iter(|| compile(black_box(&qsim), &cfg).unwrap())
+    });
+    c.bench_function("sabre-faa-rect/qaoa-regu5-40", |b| {
+        b.iter(|| compile_fixed(black_box(&qaoa), FixedArchitecture::FaaRectangular, 0).unwrap())
+    });
+    c.bench_function("tan-iterp/qaoa-regu5-40", |b| {
+        b.iter(|| tan_iterp(black_box(&qaoa), &params))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! `cargo bench -p raa-bench --bench figures`: runs every table/figure
+//! generator in quick mode and prints paper-vs-measured rows.
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("Atomique reproduction: regenerating all tables and figures (quick={quick})");
+    raa_bench::table1();
+    raa_bench::table2();
+    raa_bench::fig12();
+    raa_bench::table3(quick);
+    raa_bench::fig13(quick);
+    raa_bench::fig14(quick);
+    raa_bench::fig15(quick);
+    raa_bench::fig16(quick);
+    raa_bench::fig17(quick);
+    raa_bench::fig18(quick);
+    raa_bench::fig19(quick);
+    raa_bench::fig20a(quick);
+    raa_bench::fig20b(quick);
+    raa_bench::fig20c(quick);
+    raa_bench::fig21(quick);
+    raa_bench::fig22(quick);
+    raa_bench::fig23(quick);
+    raa_bench::fig24(quick);
+    raa_bench::fig25(quick);
+    println!("\nAll figures regenerated.");
+}

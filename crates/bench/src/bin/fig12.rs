@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 output. No flags needed.
+fn main() {
+    raa_bench::fig12();
+}

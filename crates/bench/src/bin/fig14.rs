@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14. Pass `--quick` for a reduced run.
+fn main() {
+    raa_bench::fig14(raa_bench::quick_from_args());
+}

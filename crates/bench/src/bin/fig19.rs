@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig19. Pass `--quick` for a reduced run.
+fn main() {
+    raa_bench::fig19(raa_bench::quick_from_args());
+}

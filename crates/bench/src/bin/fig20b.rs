@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig20b. Pass `--quick` for a reduced run.
+fn main() {
+    raa_bench::fig20b(raa_bench::quick_from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig22. Pass `--quick` for a reduced run.
+fn main() {
+    raa_bench::fig22(raa_bench::quick_from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 output. No flags needed.
+fn main() {
+    raa_bench::table2();
+}

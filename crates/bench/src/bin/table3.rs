@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3. Pass `--quick` for a reduced run.
+fn main() {
+    raa_bench::table3(raa_bench::quick_from_args());
+}

@@ -1,0 +1,111 @@
+//! Shared experiment-harness utilities: compiling one benchmark on every
+//! architecture, geometric means, and aligned table printing.
+
+use atomique::{compile, AtomiqueConfig, CompiledProgram};
+use raa_baselines::{compile_fixed, FixedArchitecture, FixedCompileResult};
+use raa_circuit::Circuit;
+
+/// Geometric mean (values clamped away from zero as the paper's plots do).
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let logs: f64 = xs.iter().map(|&x| x.max(1e-9).ln()).sum();
+    (logs / xs.len() as f64).exp()
+}
+
+/// One benchmark compiled on every architecture of Fig. 13.
+#[derive(Debug)]
+pub struct ArchComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline results, in [`FixedArchitecture::ALL`] order.
+    pub fixed: Vec<FixedCompileResult>,
+    /// Atomique's result.
+    pub atomique: CompiledProgram,
+}
+
+/// Compiles `circuit` on the four fixed baselines and on Atomique.
+///
+/// # Panics
+///
+/// Panics if any compilation fails (the harness benchmarks are all sized
+/// to fit every architecture).
+pub fn compare_architectures(name: &str, circuit: &Circuit, cfg: &AtomiqueConfig) -> ArchComparison {
+    let fixed = FixedArchitecture::ALL
+        .iter()
+        .map(|&arch| {
+            compile_fixed(circuit, arch, 0)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", arch.name()))
+        })
+        .collect();
+    let atomique = compile(circuit, cfg).unwrap_or_else(|e| panic!("{name} on Atomique: {e}"));
+    ArchComparison { name: name.to_string(), fixed, atomique }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one aligned row: a label plus formatted cells.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Formats a float with three significant decimals, or an integer-like
+/// value without decimals.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Prints a paper-vs-measured metric block: one line per series.
+pub fn paper_vs_measured(metric: &str, labels: &[&str], paper: &[f64], measured: &[f64]) {
+    println!("--- {metric} ---");
+    row("", &labels.iter().map(|l| l.to_string()).collect::<Vec<_>>());
+    row("paper", &paper.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
+    row("measured", &measured.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((gmean(&[5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(gmean(&[]), 0.0);
+        // Zero-clamping keeps the result finite.
+        assert!(gmean(&[0.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.0), "1234");
+        assert_eq!(fmt(3.25), "3.2");
+        assert_eq!(fmt(0.123), "0.123");
+    }
+
+    #[test]
+    fn compare_architectures_runs() {
+        let c = raa_benchmarks::ghz(6);
+        let out = compare_architectures("ghz", &c, &AtomiqueConfig::default());
+        assert_eq!(out.fixed.len(), 4);
+        assert!(out.atomique.stats.two_qubit_gates >= 5);
+    }
+}

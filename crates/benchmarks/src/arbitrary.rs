@@ -1,0 +1,130 @@
+//! Arbitrary (random) circuits with controlled structure, used by the
+//! paper's Fig. 15 sweep ("2Q gates per qubit" × "degree per qubit") and
+//! the Fig. 21 ablation (26 gates per qubit).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use raa_circuit::{Circuit, Gate, Qubit};
+
+/// A random circuit over `n` qubits with, in expectation,
+/// `gates_per_qubit` two-qubit gates touching each qubit and
+/// `degree_per_qubit` distinct interaction partners per qubit.
+///
+/// Construction: sample an interaction graph with `n·degree/2` edges
+/// (near-regular), then draw `n·gates_per_qubit/2` gates uniformly from
+/// its edges; a one-qubit rotation precedes every second gate so that the
+/// circuit is not purely two-qubit.
+///
+/// # Panics
+///
+/// Panics if `degree_per_qubit` is not achievable (`degree ≥ n`).
+///
+/// # Examples
+///
+/// ```
+/// use raa_benchmarks::arbitrary_circuit;
+/// use raa_circuit::CircuitStats;
+/// let c = arbitrary_circuit(40, 10.0, 4.0, 7);
+/// let s = CircuitStats::of(&c);
+/// assert!((s.two_qubit_gates_per_qubit - 10.0).abs() < 1.0);
+/// assert!((s.degree_per_qubit - 4.0).abs() < 1.0);
+/// ```
+pub fn arbitrary_circuit(n: usize, gates_per_qubit: f64, degree_per_qubit: f64, seed: u64) -> Circuit {
+    assert!(
+        degree_per_qubit < n as f64,
+        "degree {degree_per_qubit} must be below n {n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_edges = ((n as f64 * degree_per_qubit) / 2.0).round().max(1.0) as usize;
+    let num_gates = ((n as f64 * gates_per_qubit) / 2.0).round().max(1.0) as usize;
+
+    // Near-regular interaction graph: repeatedly pair the least-used
+    // qubits with random partners.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(num_edges);
+    let mut seen = std::collections::HashSet::new();
+    let mut deg = vec![0usize; n];
+    let mut attempts = 0;
+    while edges.len() < num_edges && attempts < num_edges * 50 {
+        attempts += 1;
+        // Pick the lowest-degree qubit (random tie-break) and a partner.
+        let min_deg = *deg.iter().min().expect("nonempty");
+        let candidates: Vec<u32> =
+            (0..n as u32).filter(|&q| deg[q as usize] == min_deg).collect();
+        let a = *candidates.choose(&mut rng).expect("nonempty");
+        let b = rng.random_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            edges.push(key);
+            deg[key.0 as usize] += 1;
+            deg[key.1 as usize] += 1;
+        }
+    }
+
+    let mut c = Circuit::new(n);
+    for i in 0..num_gates {
+        if i % 2 == 0 {
+            let q = rng.random_range(0..n as u32);
+            c.push(Gate::ry(Qubit(q), rng.random::<f64>()));
+        }
+        let &(a, b) = edges.choose(&mut rng).expect("graph nonempty");
+        c.push(Gate::cz(Qubit(a), Qubit(b)));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_circuit::CircuitStats;
+
+    #[test]
+    fn hits_target_gate_density() {
+        for gpq in [2.0, 10.0, 26.0] {
+            let c = arbitrary_circuit(40, gpq, 5.0, 1);
+            let s = CircuitStats::of(&c);
+            assert!(
+                (s.two_qubit_gates_per_qubit - gpq).abs() < 0.5,
+                "target {gpq}, got {}",
+                s.two_qubit_gates_per_qubit
+            );
+        }
+    }
+
+    #[test]
+    fn hits_target_degree() {
+        for d in [2.0, 4.0, 7.0] {
+            // Plenty of gates so every edge is likely sampled.
+            let c = arbitrary_circuit(40, 30.0, d, 2);
+            let s = CircuitStats::of(&c);
+            assert!(
+                (s.degree_per_qubit - d).abs() < 1.0,
+                "target degree {d}, got {}",
+                s.degree_per_qubit
+            );
+        }
+    }
+
+    #[test]
+    fn contains_one_qubit_gates() {
+        let c = arbitrary_circuit(20, 8.0, 4.0, 3);
+        assert!(c.one_qubit_count() > 0);
+        assert!(c.two_qubit_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(arbitrary_circuit(16, 6.0, 3.0, 9), arbitrary_circuit(16, 6.0, 3.0, 9));
+        assert_ne!(arbitrary_circuit(16, 6.0, 3.0, 9), arbitrary_circuit(16, 6.0, 3.0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn impossible_degree_rejected() {
+        arbitrary_circuit(4, 2.0, 5.0, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! QAOA circuit generators (paper Sec. V-A "Benchmarks").
+//!
+//! Two families, as in the paper:
+//!
+//! * `QAOA-rand-n`: ZZ interactions placed between every qubit pair with
+//!   probability 0.5 (one cost layer), followed by the mixer layer;
+//! * `QAOA-regu<d>-n`: ZZ interactions on the edges of a random d-regular
+//!   graph.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use raa_circuit::{Circuit, Gate, Qubit};
+
+/// One QAOA layer over an Erdős–Rényi interaction graph: each of the
+/// `n·(n−1)/2` pairs receives a ZZ(γ) with probability `p`, then every
+/// qubit gets the RX(β) mixer.
+///
+/// # Examples
+///
+/// ```
+/// use raa_benchmarks::qaoa_random;
+/// let c = qaoa_random(10, 0.5, 42);
+/// assert_eq!(c.num_qubits(), 10);
+/// assert_eq!(c.one_qubit_count(), 10); // one mixer rotation per qubit
+/// ```
+pub fn qaoa_random(n: usize, p: f64, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            if rng.random::<f64>() < p {
+                let gamma = rng.random::<f64>() * std::f64::consts::PI;
+                c.push(Gate::zz(Qubit(a), Qubit(b), gamma));
+            }
+        }
+    }
+    mixer(&mut c, &mut rng);
+    c
+}
+
+/// One QAOA layer over a random `degree`-regular graph (paper's
+/// `QAOA-regu<d>-n`), built with the configuration-model pairing and
+/// retries until simple-regular.
+///
+/// # Panics
+///
+/// Panics if `n·degree` is odd or `degree >= n` (no such graph exists).
+pub fn qaoa_regular(n: usize, degree: usize, seed: u64) -> Circuit {
+    let edges = random_regular_graph(n, degree, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut c = Circuit::new(n);
+    for (a, b) in edges {
+        let gamma = rng.random::<f64>() * std::f64::consts::PI;
+        c.push(Gate::zz(Qubit(a), Qubit(b), gamma));
+    }
+    mixer(&mut c, &mut rng);
+    c
+}
+
+fn mixer(c: &mut Circuit, rng: &mut StdRng) {
+    let beta = rng.random::<f64>() * std::f64::consts::PI;
+    for q in 0..c.num_qubits() as u32 {
+        c.push(Gate::rx(Qubit(q), beta));
+    }
+}
+
+/// A random simple `degree`-regular graph on `n` vertices as an edge list
+/// (configuration model with random edge-swap repair — plain rejection
+/// sampling is hopeless for degree ≥ 5).
+///
+/// # Panics
+///
+/// Panics if no `degree`-regular graph on `n` vertices exists
+/// (`degree ≥ n` or odd `n·degree`).
+pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(degree < n, "degree {degree} must be below n {n}");
+    assert!(n * degree % 2 == 0, "n*degree must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'retry: loop {
+        // Stubs: each vertex appears `degree` times.
+        let mut stubs: Vec<u32> =
+            (0..n as u32).flat_map(|v| std::iter::repeat(v).take(degree)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(u32, u32)> = stubs
+            .chunks(2)
+            .map(|p| (p[0].min(p[1]), p[0].max(p[1])))
+            .collect();
+        // Repair self-loops and duplicates by random double-edge swaps.
+        for _ in 0..200_000 {
+            let mut counts = std::collections::HashMap::new();
+            for &e in &edges {
+                *counts.entry(e).or_insert(0usize) += 1;
+            }
+            let bad: Vec<usize> = edges
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(a, b))| a == b || counts[&(a, b)] > 1)
+                .map(|(i, _)| i)
+                .collect();
+            if bad.is_empty() {
+                return edges;
+            }
+            let i = bad[rng.random_range(0..bad.len())];
+            let mut j = rng.random_range(0..edges.len());
+            while j == i {
+                j = rng.random_range(0..edges.len());
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            // Swap endpoints: (a,b),(c,d) → (a,c),(b,d).
+            let e1 = (a.min(c), a.max(c));
+            let e2 = (b.min(d), b.max(d));
+            if a != c && b != d && !counts.contains_key(&e1) && !counts.contains_key(&e2) {
+                edges[i] = e1;
+                edges[j] = e2;
+            }
+        }
+        // Extremely unlikely: start over with a fresh pairing.
+        continue 'retry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_circuit::CircuitStats;
+
+    #[test]
+    fn regular_graph_has_exact_degree() {
+        for (n, d) in [(10, 4), (20, 3), (40, 5), (100, 6)] {
+            let edges = random_regular_graph(n, d, 1);
+            assert_eq!(edges.len(), n * d / 2);
+            let mut deg = vec![0usize; n];
+            for (a, b) in &edges {
+                deg[*a as usize] += 1;
+                deg[*b as usize] += 1;
+                assert_ne!(a, b);
+            }
+            assert!(deg.iter().all(|&x| x == d));
+        }
+    }
+
+    #[test]
+    fn regular_qaoa_matches_table_two() {
+        // QAOA-regu5-40: 100 2Q gates, 40 1Q gates, degree 5.
+        let c = qaoa_regular(40, 5, 0);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.two_qubit_gates, 100);
+        assert_eq!(s.one_qubit_gates, 40);
+        assert!((s.degree_per_qubit - 5.0).abs() < 1e-9);
+        // QAOA-regu6-100: 300 2Q, 100 1Q.
+        let c = qaoa_regular(100, 6, 0);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.two_qubit_gates, 300);
+        assert_eq!(s.one_qubit_gates, 100);
+    }
+
+    #[test]
+    fn random_qaoa_density_tracks_p() {
+        let c = qaoa_random(20, 0.5, 7);
+        let m = c.two_qubit_count() as f64;
+        let expect = 190.0 * 0.5;
+        assert!((m - expect).abs() < 30.0, "got {m} edges, expected ≈{expect}");
+        assert_eq!(c.one_qubit_count(), 20);
+    }
+
+    #[test]
+    fn qaoa_is_seed_deterministic() {
+        assert_eq!(qaoa_random(12, 0.5, 3), qaoa_random(12, 0.5, 3));
+        assert_ne!(qaoa_random(12, 0.5, 3), qaoa_random(12, 0.5, 4));
+        assert_eq!(qaoa_regular(12, 3, 5), qaoa_regular(12, 3, 5));
+    }
+
+    #[test]
+    fn gates_are_zz_only() {
+        let c = qaoa_regular(10, 4, 2);
+        assert!(c
+            .two_qubit_pairs()
+            .all(|(a, b)| a != b && a.index() < 10 && b.index() < 10));
+        assert_eq!(c.swap_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_too_high_panics() {
+        random_regular_graph(4, 4, 0);
+    }
+}

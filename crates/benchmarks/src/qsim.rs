@@ -1,0 +1,217 @@
+//! Trotterized quantum-simulation (QSim) circuit generators.
+//!
+//! The paper's QSim benchmarks exponentiate random Pauli strings: each
+//! circuit has a number of strings (default ten), and every qubit carries a
+//! non-identity Pauli with probability `p` (default 0.5). A string
+//! `P₁⊗…⊗P_k` is compiled the standard way: basis changes into Z, a CX
+//! ladder over the non-identity qubits, `Rz(θ)`, and the mirror image.
+//! Molecular Hamiltonians (H2, LiH) use denser, deterministic string sets
+//! sized to the paper's Table II gate counts.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use raa_circuit::{Circuit, Gate, Qubit};
+
+/// A Pauli operator on one qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity (qubit not involved).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// Appends `exp(-i θ/2 · P)` for Pauli string `paulis` to `c`.
+///
+/// # Panics
+///
+/// Panics if `paulis.len() != c.num_qubits()`.
+pub fn append_pauli_rotation(c: &mut Circuit, paulis: &[Pauli], theta: f64) {
+    assert_eq!(paulis.len(), c.num_qubits(), "string length must match register");
+    let involved: Vec<u32> = paulis
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !matches!(p, Pauli::I))
+        .map(|(q, _)| q as u32)
+        .collect();
+    if involved.is_empty() {
+        return;
+    }
+    // Basis changes into Z.
+    for &q in &involved {
+        match paulis[q as usize] {
+            Pauli::X => c.push(Gate::h(Qubit(q))),
+            Pauli::Y => {
+                c.push(Gate::sdg(Qubit(q)));
+                c.push(Gate::h(Qubit(q)));
+            }
+            _ => {}
+        }
+    }
+    // CX ladder onto the last involved qubit.
+    let last = *involved.last().expect("nonempty");
+    for w in involved.windows(2) {
+        c.push(Gate::cx(Qubit(w[0]), Qubit(w[1])));
+    }
+    c.push(Gate::rz(Qubit(last), theta));
+    for w in involved.windows(2).rev() {
+        c.push(Gate::cx(Qubit(w[0]), Qubit(w[1])));
+    }
+    // Undo basis changes.
+    for &q in &involved {
+        match paulis[q as usize] {
+            Pauli::X => c.push(Gate::h(Qubit(q))),
+            Pauli::Y => {
+                c.push(Gate::h(Qubit(q)));
+                c.push(Gate::s(Qubit(q)));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A random QSim circuit: `strings` random Pauli strings over `n` qubits,
+/// each qubit non-identity with probability `p` (paper default: ten
+/// strings, `p = 0.5`).
+///
+/// # Examples
+///
+/// ```
+/// use raa_benchmarks::qsim_random;
+/// let c = qsim_random(20, 0.5, 10, 42);
+/// assert_eq!(c.num_qubits(), 20);
+/// assert!(c.two_qubit_count() > 100); // ≈ 10 strings × 2(k−1), k ≈ 10
+/// ```
+pub fn qsim_random(n: usize, p: f64, strings: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..strings {
+        let paulis = random_string(n, p, &mut rng);
+        let theta = rng.random::<f64>() * std::f64::consts::PI;
+        append_pauli_rotation(&mut c, &paulis, theta);
+    }
+    c
+}
+
+fn random_string(n: usize, p: f64, rng: &mut StdRng) -> Vec<Pauli> {
+    (0..n)
+        .map(|_| {
+            if rng.random::<f64>() < p {
+                match rng.random_range(0..3) {
+                    0 => Pauli::X,
+                    1 => Pauli::Y,
+                    _ => Pauli::Z,
+                }
+            } else {
+                Pauli::I
+            }
+        })
+        .collect()
+}
+
+/// Trotterized H2 molecular simulation (4 qubits; sized to Table II's
+/// ≈40 two-qubit and ≈54 one-qubit gates).
+pub fn h2() -> Circuit {
+    // Seven dense strings over 4 qubits → 7 × 2·(4−1) = 42 CX.
+    qsim_molecule(4, 7, 0x4832)
+}
+
+/// Trotterized LiH molecular simulation (6 qubits; sized to Table II's
+/// ≈1134 two-qubit gates: 113-ish dense strings).
+pub fn lih() -> Circuit {
+    qsim_molecule(6, 113, 0x11A5)
+}
+
+fn qsim_molecule(n: usize, strings: usize, seed: u64) -> Circuit {
+    // Molecular excitation terms act on every qubit (dense strings).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..strings {
+        let paulis: Vec<Pauli> = (0..n)
+            .map(|_| match rng.random_range(0..4) {
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z, // Z-heavy, as molecular Hamiltonians are
+            })
+            .collect();
+        let theta = rng.random::<f64>() * std::f64::consts::PI;
+        append_pauli_rotation(&mut c, &paulis, theta);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_circuit::CircuitStats;
+
+    #[test]
+    fn single_string_structure() {
+        let mut c = Circuit::new(4);
+        append_pauli_rotation(&mut c, &[Pauli::X, Pauli::I, Pauli::Z, Pauli::Y], 0.5);
+        // 3 involved qubits → 2 CX up + 2 CX down.
+        assert_eq!(c.two_qubit_count(), 4);
+        // X: 2 H; Y: sdg+h+h+s = 4; Z: none; plus 1 Rz.
+        assert_eq!(c.one_qubit_count(), 2 + 4 + 1);
+    }
+
+    #[test]
+    fn identity_string_is_noop() {
+        let mut c = Circuit::new(3);
+        append_pauli_rotation(&mut c, &[Pauli::I, Pauli::I, Pauli::I], 0.5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn qsim_rand_20_matches_table_two_scale() {
+        // Table II: QSim-rand-20 has 180 2Q gates (10 strings, p=0.5).
+        let c = qsim_random(20, 0.5, 10, 1);
+        let s = CircuitStats::of(&c);
+        assert!(
+            (s.two_qubit_gates as f64 - 180.0).abs() < 40.0,
+            "2Q count {} far from 180",
+            s.two_qubit_gates
+        );
+        assert!(s.one_qubit_gates > 100);
+    }
+
+    #[test]
+    fn qsim_rand_40_matches_table_two_scale() {
+        // Table II: QSim-rand-40 has 380 2Q gates.
+        let c = qsim_random(40, 0.5, 10, 2);
+        let got = c.two_qubit_count() as f64;
+        assert!((got - 380.0).abs() < 60.0, "2Q count {got} far from 380");
+    }
+
+    #[test]
+    fn h2_and_lih_match_table_two_scale() {
+        let h = h2();
+        assert_eq!(h.num_qubits(), 4);
+        assert!((h.two_qubit_count() as f64 - 40.0).abs() <= 5.0, "{}", h.two_qubit_count());
+        let l = lih();
+        assert_eq!(l.num_qubits(), 6);
+        assert!(
+            (l.two_qubit_count() as f64 - 1134.0).abs() < 120.0,
+            "{}",
+            l.two_qubit_count()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(qsim_random(10, 0.5, 10, 9), qsim_random(10, 0.5, 10, 9));
+        assert_eq!(h2(), h2());
+    }
+
+    #[test]
+    fn lower_p_means_fewer_gates() {
+        let dense = qsim_random(20, 0.7, 10, 3);
+        let sparse = qsim_random(20, 0.3, 10, 3);
+        assert!(sparse.two_qubit_count() < dense.two_qubit_count());
+    }
+}

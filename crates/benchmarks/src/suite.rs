@@ -1,0 +1,182 @@
+//! The named benchmark suites of Table II.
+//!
+//! [`large_suite`] is the 17-benchmark set of Fig. 13 (architecture
+//! comparison); [`small_suite`] is the 11-benchmark set of Fig. 14
+//! (solver-compiler comparison, circuits small enough for Tan-Solver).
+
+use raa_circuit::{Circuit, CircuitStats};
+
+use crate::arbitrary::arbitrary_circuit;
+use crate::generic::{adder, bv, hhl, mermin_bell, phase_code, qv, vqe};
+use crate::qaoa::{qaoa_random, qaoa_regular};
+use crate::qsim::{h2, lih, qsim_random};
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name, matching the paper's figure labels.
+    pub name: &'static str,
+    /// Workload category (Table II's "Type").
+    pub kind: BenchmarkKind,
+    /// The circuit.
+    pub circuit: Circuit,
+}
+
+/// Table II's workload categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkKind {
+    /// Algorithmic circuits (QASMBench / SupermarQ / arbitrary).
+    Generic,
+    /// Trotterized quantum simulation.
+    QSim,
+    /// Quantum approximate optimization.
+    Qaoa,
+}
+
+impl Benchmark {
+    /// Table II's row for this benchmark.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(&self.circuit)
+    }
+}
+
+/// Deterministic seed shared by the suite generators.
+const SUITE_SEED: u64 = 2024;
+
+/// The 17 benchmarks of the paper's main comparison (Fig. 13).
+pub fn large_suite() -> Vec<Benchmark> {
+    use BenchmarkKind::*;
+    vec![
+        Benchmark { name: "HHL-7", kind: Generic, circuit: hhl(4, 2) },
+        Benchmark { name: "Mermin-Bell-10", kind: Generic, circuit: mermin_bell(10) },
+        Benchmark { name: "QV-32", kind: Generic, circuit: qv(32, 32, SUITE_SEED) },
+        Benchmark { name: "BV-50", kind: Generic, circuit: bv(50, 22, SUITE_SEED) },
+        Benchmark { name: "BV-70", kind: Generic, circuit: bv(70, 36, SUITE_SEED) },
+        Benchmark { name: "QSim-rand-20", kind: QSim, circuit: qsim_random(20, 0.5, 10, SUITE_SEED) },
+        Benchmark { name: "QSim-rand-40", kind: QSim, circuit: qsim_random(40, 0.5, 10, SUITE_SEED) },
+        Benchmark {
+            name: "QSim-rand-20-p0.3",
+            kind: QSim,
+            circuit: qsim_random(20, 0.3, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSim-rand-40-p0.3",
+            kind: QSim,
+            circuit: qsim_random(40, 0.3, 10, SUITE_SEED),
+        },
+        Benchmark { name: "H2-4", kind: QSim, circuit: h2() },
+        Benchmark { name: "LiH-6", kind: QSim, circuit: lih() },
+        Benchmark { name: "QAOA-rand-10", kind: Qaoa, circuit: qaoa_random(10, 0.5, SUITE_SEED) },
+        Benchmark { name: "QAOA-rand-20", kind: Qaoa, circuit: qaoa_random(20, 0.5, SUITE_SEED) },
+        Benchmark { name: "QAOA-rand-30", kind: Qaoa, circuit: qaoa_random(30, 0.5, SUITE_SEED) },
+        Benchmark { name: "QAOA-rand-50", kind: Qaoa, circuit: qaoa_random(50, 0.5, SUITE_SEED) },
+        Benchmark { name: "QAOA-regu5-40", kind: Qaoa, circuit: qaoa_regular(40, 5, SUITE_SEED) },
+        Benchmark { name: "QAOA-regu6-100", kind: Qaoa, circuit: qaoa_regular(100, 6, SUITE_SEED) },
+    ]
+}
+
+/// The 11 small benchmarks used against the solver-based compilers
+/// (Fig. 14; everything here is solvable by Tan-Solver within timeout).
+pub fn small_suite() -> Vec<Benchmark> {
+    use BenchmarkKind::*;
+    vec![
+        Benchmark { name: "Mermin-Bell-5", kind: Generic, circuit: mermin_bell(5) },
+        Benchmark { name: "VQE-10", kind: Generic, circuit: vqe(10, SUITE_SEED) },
+        Benchmark { name: "VQE-20", kind: Generic, circuit: vqe(20, SUITE_SEED) },
+        Benchmark { name: "Adder-10", kind: Generic, circuit: adder(4) },
+        Benchmark { name: "BV-14", kind: Generic, circuit: bv(14, 13 .min(13), SUITE_SEED) },
+        Benchmark { name: "QSim-rand-5", kind: QSim, circuit: qsim_random(5, 0.5, 10, SUITE_SEED) },
+        Benchmark { name: "QSim-rand-10", kind: QSim, circuit: qsim_random(10, 0.5, 10, SUITE_SEED) },
+        Benchmark { name: "H2-4", kind: QSim, circuit: h2() },
+        Benchmark { name: "QAOA-rand-5", kind: Qaoa, circuit: qaoa_random(5, 0.5, SUITE_SEED) },
+        Benchmark { name: "QAOA-regu3-20", kind: Qaoa, circuit: qaoa_regular(20, 3, SUITE_SEED) },
+        Benchmark { name: "QAOA-regu4-10", kind: Qaoa, circuit: qaoa_regular(10, 4, SUITE_SEED) },
+    ]
+}
+
+/// The workloads of the topology sensitivity study (Fig. 20): a 100-qubit
+/// arbitrary circuit with ten gates per qubit, 40-qubit QSim with p = 0.5,
+/// and 40-qubit 5-regular QAOA.
+pub fn topology_suite() -> Vec<Benchmark> {
+    use BenchmarkKind::*;
+    vec![
+        Benchmark {
+            name: "Arb-100Q",
+            kind: Generic,
+            circuit: arbitrary_circuit(100, 10.0, 5.0, SUITE_SEED),
+        },
+        Benchmark { name: "QSim-40Q", kind: QSim, circuit: qsim_random(40, 0.5, 10, SUITE_SEED) },
+        Benchmark { name: "QAOA-40Q", kind: Qaoa, circuit: qaoa_regular(40, 5, SUITE_SEED) },
+    ]
+}
+
+/// The workloads of the constraint-relaxation study (Fig. 22).
+pub fn relaxation_suite() -> Vec<Benchmark> {
+    use BenchmarkKind::*;
+    vec![
+        Benchmark {
+            name: "QAOA-rand-100",
+            kind: Qaoa,
+            circuit: qaoa_random(100, 0.15, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSIM-rand-100",
+            kind: QSim,
+            circuit: qsim_random(100, 0.25, 10, SUITE_SEED),
+        },
+        Benchmark { name: "Phase-Code-200", kind: Generic, circuit: phase_code(100, 2) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_suite_has_seventeen_entries() {
+        let s = large_suite();
+        assert_eq!(s.len(), 17);
+        // Qubit range 4..100, as the paper states (5 to 100 plus H2-4).
+        for b in &s {
+            let st = b.stats();
+            assert!(st.num_qubits >= 4 && st.num_qubits <= 100, "{}", b.name);
+            assert!(st.two_qubit_gates > 0, "{} has no 2Q gates", b.name);
+        }
+    }
+
+    #[test]
+    fn small_suite_fits_solver_limits() {
+        let s = small_suite();
+        assert_eq!(s.len(), 11);
+        for b in &s {
+            assert!(b.stats().num_qubits <= 20, "{} too large for Tan-Solver", b.name);
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = large_suite();
+        let b = large_suite();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.circuit, y.circuit, "{} differs between calls", x.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_per_suite() {
+        for suite in [large_suite(), small_suite(), topology_suite(), relaxation_suite()] {
+            let mut names: Vec<_> = suite.iter().map(|b| b.name).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len());
+        }
+    }
+
+    #[test]
+    fn relaxation_suite_reaches_200_qubits() {
+        let s = relaxation_suite();
+        let pc = s.iter().find(|b| b.name == "Phase-Code-200").unwrap();
+        assert_eq!(pc.stats().num_qubits, 199);
+    }
+}

@@ -1,0 +1,399 @@
+//! The [`Circuit`] container and gate-level transformations.
+
+use crate::error::CircuitError;
+use crate::gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+/// Which two-qubit entangler a target architecture supports natively.
+///
+/// The Atomique paper compiles to CZ on neutral atoms (Rydberg blockade) and
+/// to CX on IBM superconducting hardware; both support arbitrary one-qubit
+/// rotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NativeGateSet {
+    /// `{CZ}` ∪ arbitrary one-qubit gates (reconfigurable/fixed atom arrays).
+    Cz,
+    /// `{CX}` ∪ arbitrary one-qubit gates (superconducting).
+    Cx,
+}
+
+/// An ordered list of gates over a fixed-size qubit register.
+///
+/// `Circuit` is the interchange format between every pass in this workspace:
+/// benchmark generators produce one, mappers/routers rewrite it, and the
+/// fidelity model consumes the compiled result.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::h(Qubit(0)));
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// c.push(Gate::cz(Qubit(1), Qubit(2)));
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.two_qubit_count(), 2);
+/// assert_eq!(c.one_qubit_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, gates: Vec::new() }
+    }
+
+    /// Creates a circuit from parts, validating every gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if any operand index is
+    /// `>= num_qubits`, or [`CircuitError::DuplicateOperands`] if a two-qubit
+    /// gate names the same qubit twice.
+    pub fn with_gates(
+        num_qubits: usize,
+        gates: impl IntoIterator<Item = Gate>,
+    ) -> Result<Self, CircuitError> {
+        let mut c = Circuit::new(num_qubits);
+        for g in gates {
+            c.try_push(g)?;
+        }
+        Ok(c)
+    }
+
+    /// The size of the qubit register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gates in program order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The number of gates (of any arity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate, validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::with_gates`].
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        match gate {
+            Gate::OneQ { qubit, .. } => {
+                if qubit.index() >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: qubit.0,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+            }
+            Gate::TwoQ { a, b, .. } => {
+                if a.index() >= self.num_qubits || b.index() >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: a.0.max(b.0),
+                        num_qubits: self.num_qubits,
+                    });
+                }
+                if a == b {
+                    return Err(CircuitError::DuplicateOperands { qubit: a.0 });
+                }
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the register or a
+    /// two-qubit gate with identical operands. Use [`Circuit::try_push`] for
+    /// a fallible variant.
+    pub fn push(&mut self, gate: Gate) {
+        self.try_push(gate).expect("invalid gate pushed to circuit");
+    }
+
+    /// Appends all gates of `other` (which must use the same register size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.num_qubits() > self.num_qubits()`.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot extend a {}-qubit circuit with a {}-qubit circuit",
+            self.num_qubits,
+            other.num_qubits
+        );
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of one-qubit gates.
+    pub fn one_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_one_qubit()).count()
+    }
+
+    /// Number of SWAP gates (typically inserted by routing).
+    pub fn swap_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_swap()).count()
+    }
+
+    /// Returns a new circuit with every qubit operand rewritten by `f`.
+    ///
+    /// `new_num_qubits` is the register size of the result; callers are
+    /// responsible for `f` staying within it (enforced by re-validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any remapped gate is invalid for the new register.
+    pub fn map_qubits(
+        &self,
+        new_num_qubits: usize,
+        mut f: impl FnMut(Qubit) -> Qubit,
+    ) -> Result<Circuit, CircuitError> {
+        Circuit::with_gates(new_num_qubits, self.gates.iter().map(|g| g.map_qubits(&mut f)))
+    }
+
+    /// Decomposes every non-native gate into the given native set.
+    ///
+    /// * `CX → {H, CZ}` (two Hadamards) when targeting [`NativeGateSet::Cz`];
+    /// * `CZ → {H, CX}` when targeting [`NativeGateSet::Cx`];
+    /// * `ZZ(θ)` is *native* on CZ (Rydberg) hardware — the blockade
+    ///   implements arbitrary controlled phases — and becomes `CX·Rz·CX`
+    ///   on CX hardware;
+    /// * `SWAP → 3` native entanglers plus basis changes.
+    ///
+    /// The output contains only native two-qubit gates; one-qubit gates pass
+    /// through unchanged.
+    pub fn decompose_to(&self, target: NativeGateSet) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for g in &self.gates {
+            decompose_gate(*g, target, &mut out.gates);
+        }
+        out
+    }
+
+    /// Iterates over the two-qubit gates as unordered `(min, max)` pairs.
+    pub fn two_qubit_pairs(&self) -> impl Iterator<Item = (Qubit, Qubit)> + '_ {
+        self.gates.iter().filter_map(|g| {
+            g.pair().map(|(a, b)| if a.0 <= b.0 { (a, b) } else { (b, a) })
+        })
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+/// Appends the decomposition of `g` under `target` to `out`.
+fn decompose_gate(g: Gate, target: NativeGateSet, out: &mut Vec<Gate>) {
+    match g {
+        Gate::OneQ { .. } => out.push(g),
+        Gate::TwoQ { kind, a, b } => match (kind, target) {
+            (TwoQubitKind::Cz, NativeGateSet::Cz) | (TwoQubitKind::Cx, NativeGateSet::Cx) => {
+                out.push(g)
+            }
+            (TwoQubitKind::Cx, NativeGateSet::Cz) => {
+                // CX(c,t) = (I⊗H) CZ (I⊗H)
+                out.push(Gate::h(b));
+                out.push(Gate::cz(a, b));
+                out.push(Gate::h(b));
+            }
+            (TwoQubitKind::Cz, NativeGateSet::Cx) => {
+                out.push(Gate::h(b));
+                out.push(Gate::cx(a, b));
+                out.push(Gate::h(b));
+            }
+            (TwoQubitKind::Zz(theta), NativeGateSet::Cx) => {
+                // ZZ(θ) = CX · (I⊗Rz(θ)) · CX
+                out.push(Gate::cx(a, b));
+                out.push(Gate::rz(b, theta));
+                out.push(Gate::cx(a, b));
+            }
+            // The Rydberg blockade implements the whole controlled-phase
+            // family natively, so ZZ(θ) is a single pulse on atom-array
+            // hardware (this is why the paper's Table II counts each QAOA
+            // ZZ term as one two-qubit gate).
+            (TwoQubitKind::Zz(_), NativeGateSet::Cz) => out.push(g),
+            (TwoQubitKind::Swap, NativeGateSet::Cx) => {
+                out.push(Gate::cx(a, b));
+                out.push(Gate::cx(b, a));
+                out.push(Gate::cx(a, b));
+            }
+            (TwoQubitKind::Swap, NativeGateSet::Cz) => {
+                // SWAP = CX(a,b)·CX(b,a)·CX(a,b), each CX via H-conjugated CZ.
+                for (c, t) in [(a, b), (b, a), (a, b)] {
+                    out.push(Gate::h(t));
+                    out.push(Gate::cz(c, t));
+                    out.push(Gate::h(t));
+                }
+            }
+        },
+    }
+}
+
+/// Count of physical pulses required by a gate on neutral-atom hardware.
+///
+/// The Geyser comparison (Table III) uses the rule that an *n*-qubit gate
+/// needs `2n − 1` pulses: a one-qubit (Raman) gate is 1 pulse and a
+/// two-qubit Rydberg gate is 3 pulses (two global Rydberg pulses plus one
+/// local phase correction).
+pub fn pulse_count(g: &Gate) -> usize {
+    2 * g.arity() - 1
+}
+
+/// Returns a one-qubit kind's rotation parameters (if any), used by tests.
+pub fn one_qubit_angle(kind: OneQubitKind) -> Option<f64> {
+    match kind {
+        OneQubitKind::Rx(t) | OneQubitKind::Ry(t) | OneQubitKind::Rz(t) => Some(t),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = bell();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.one_qubit_count(), 1);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.swap_count(), 0);
+        assert!(!c.is_empty());
+        assert!(Circuit::new(4).is_empty());
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        let err = c.try_push(Gate::h(Qubit(2))).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 }));
+        let err = c.try_push(Gate::cz(Qubit(0), Qubit(5))).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 5, .. }));
+    }
+
+    #[test]
+    fn try_push_rejects_duplicate_operands() {
+        let mut c = Circuit::new(2);
+        let err = c.try_push(Gate::cz(Qubit(1), Qubit(1))).unwrap_err();
+        assert!(matches!(err, CircuitError::DuplicateOperands { qubit: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate")]
+    fn push_panics_on_invalid() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::cz(Qubit(0), Qubit(0)));
+    }
+
+    #[test]
+    fn decompose_cx_to_cz() {
+        let d = bell().decompose_to(NativeGateSet::Cz);
+        assert_eq!(d.two_qubit_count(), 1);
+        assert!(d.gates().iter().all(|g| match g {
+            Gate::TwoQ { kind, .. } => *kind == TwoQubitKind::Cz,
+            _ => true,
+        }));
+        // H, then H CZ H
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn decompose_swap_costs_three_entanglers() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::swap(Qubit(0), Qubit(1)));
+        assert_eq!(c.decompose_to(NativeGateSet::Cx).two_qubit_count(), 3);
+        assert_eq!(c.decompose_to(NativeGateSet::Cz).two_qubit_count(), 3);
+    }
+
+    #[test]
+    fn decompose_zz() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::zz(Qubit(0), Qubit(1), 0.7));
+        // Superconducting: two CX plus an Rz.
+        let cx = c.decompose_to(NativeGateSet::Cx);
+        assert_eq!(cx.two_qubit_count(), 2);
+        assert!(cx.gates().iter().all(|g| !matches!(
+            g,
+            Gate::TwoQ { kind: TwoQubitKind::Cz | TwoQubitKind::Zz(_) | TwoQubitKind::Swap, .. }
+        )));
+        // Rydberg hardware: ZZ is a single native pulse.
+        let cz = c.decompose_to(NativeGateSet::Cz);
+        assert_eq!(cz.two_qubit_count(), 1);
+        assert_eq!(cz.gates(), c.gates());
+    }
+
+    #[test]
+    fn decompose_is_idempotent_on_native() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::rz(Qubit(0), 1.0));
+        let d = c.decompose_to(NativeGateSet::Cz);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let c = bell().map_qubits(4, |q| Qubit(q.0 + 2)).unwrap();
+        assert_eq!(c.gates()[1].pair(), Some((Qubit(2), Qubit(3))));
+        assert!(bell().map_qubits(2, |q| Qubit(q.0 + 2)).is_err());
+    }
+
+    #[test]
+    fn two_qubit_pairs_are_normalized() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(Qubit(2), Qubit(0)));
+        let pairs: Vec<_> = c.two_qubit_pairs().collect();
+        assert_eq!(pairs, vec![(Qubit(0), Qubit(2))]);
+    }
+
+    #[test]
+    fn pulse_counts() {
+        assert_eq!(pulse_count(&Gate::h(Qubit(0))), 1);
+        assert_eq!(pulse_count(&Gate::cz(Qubit(0), Qubit(1))), 3);
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::h(Qubit(0)));
+        let b = bell();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for circuit construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or rewriting circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the register.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: u32,
+        /// The register size.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate named the same qubit twice.
+    DuplicateOperands {
+        /// The repeated index.
+        qubit: u32,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit index {qubit} out of range for a register of {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperands { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} for both operands")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        let e = CircuitError::DuplicateOperands { qubit: 1 };
+        assert!(e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

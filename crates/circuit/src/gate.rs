@@ -1,0 +1,376 @@
+//! Gate definitions for the circuit IR.
+//!
+//! The gate set is the union of what the Atomique paper's architectures
+//! natively support: arbitrary one-qubit rotations (Raman laser on RAA,
+//! microwave pulses on superconducting) and a small family of two-qubit
+//! entangling gates. `CZ` is the RAA native two-qubit gate (Rydberg
+//! blockade); `CX` is the superconducting native; `ZZ(θ)` appears in QAOA
+//! and trotterized quantum-simulation workloads; `SWAP` is the routing
+//! primitive (worth three `CZ`/`CX` plus one-qubit corrections).
+
+use std::fmt;
+
+/// A logical (or, after mapping, physical) qubit index.
+///
+/// Newtype over `u32` so qubit indices cannot be confused with gate indices
+/// or array/row/column indices elsewhere in the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::Qubit;
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(v: u32) -> Self {
+        Qubit(v)
+    }
+}
+
+/// The kind of a one-qubit gate, without its operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OneQubitKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T.
+    Tdg,
+    /// Rotation about X by the attached angle.
+    Rx(f64),
+    /// Rotation about Y by the attached angle.
+    Ry(f64),
+    /// Rotation about Z by the attached angle.
+    Rz(f64),
+    /// General single-qubit unitary U(θ, φ, λ).
+    U(f64, f64, f64),
+}
+
+/// The kind of a two-qubit gate, without its operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TwoQubitKind {
+    /// Controlled-Z. Symmetric; the RAA native entangler.
+    Cz,
+    /// Controlled-X (CNOT). First operand is the control.
+    Cx,
+    /// exp(-i θ/2 Z⊗Z), the QAOA/trotterization workhorse. Symmetric.
+    Zz(f64),
+    /// SWAP; inserted by routing. Symmetric.
+    Swap,
+}
+
+impl TwoQubitKind {
+    /// Whether the gate is invariant under exchanging its operands.
+    pub fn is_symmetric(self) -> bool {
+        !matches!(self, TwoQubitKind::Cx)
+    }
+}
+
+/// A gate applied to concrete qubits.
+///
+/// Two-qubit gates store `(a, b)`; for `Cx`, `a` is the control.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Gate, Qubit};
+/// let g = Gate::cz(Qubit(0), Qubit(1));
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.qubits(), vec![Qubit(0), Qubit(1)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// A one-qubit gate.
+    OneQ {
+        /// The gate kind (and any rotation angle).
+        kind: OneQubitKind,
+        /// The operand qubit.
+        qubit: Qubit,
+    },
+    /// A two-qubit gate.
+    TwoQ {
+        /// The gate kind (and any rotation angle).
+        kind: TwoQubitKind,
+        /// First operand (control for `Cx`).
+        a: Qubit,
+        /// Second operand (target for `Cx`).
+        b: Qubit,
+    },
+}
+
+impl Gate {
+    /// Hadamard on `q`.
+    pub fn h(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::H, qubit: q }
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::X, qubit: q }
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Y, qubit: q }
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Z, qubit: q }
+    }
+
+    /// S gate on `q`.
+    pub fn s(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::S, qubit: q }
+    }
+
+    /// S† gate on `q`.
+    pub fn sdg(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Sdg, qubit: q }
+    }
+
+    /// T gate on `q`.
+    pub fn t(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::T, qubit: q }
+    }
+
+    /// T† gate on `q`.
+    pub fn tdg(q: Qubit) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Tdg, qubit: q }
+    }
+
+    /// X-rotation by `theta` on `q`.
+    pub fn rx(q: Qubit, theta: f64) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Rx(theta), qubit: q }
+    }
+
+    /// Y-rotation by `theta` on `q`.
+    pub fn ry(q: Qubit, theta: f64) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Ry(theta), qubit: q }
+    }
+
+    /// Z-rotation by `theta` on `q`.
+    pub fn rz(q: Qubit, theta: f64) -> Self {
+        Gate::OneQ { kind: OneQubitKind::Rz(theta), qubit: q }
+    }
+
+    /// General one-qubit unitary on `q`.
+    pub fn u(q: Qubit, theta: f64, phi: f64, lambda: f64) -> Self {
+        Gate::OneQ { kind: OneQubitKind::U(theta, phi, lambda), qubit: q }
+    }
+
+    /// Controlled-Z between `a` and `b`.
+    pub fn cz(a: Qubit, b: Qubit) -> Self {
+        Gate::TwoQ { kind: TwoQubitKind::Cz, a, b }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(c: Qubit, t: Qubit) -> Self {
+        Gate::TwoQ { kind: TwoQubitKind::Cx, a: c, b: t }
+    }
+
+    /// ZZ(θ) interaction between `a` and `b`.
+    pub fn zz(a: Qubit, b: Qubit, theta: f64) -> Self {
+        Gate::TwoQ { kind: TwoQubitKind::Zz(theta), a, b }
+    }
+
+    /// SWAP between `a` and `b`.
+    pub fn swap(a: Qubit, b: Qubit) -> Self {
+        Gate::TwoQ { kind: TwoQubitKind::Swap, a, b }
+    }
+
+    /// Whether this gate acts on two qubits.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::TwoQ { .. })
+    }
+
+    /// Whether this gate acts on one qubit.
+    #[inline]
+    pub fn is_one_qubit(&self) -> bool {
+        matches!(self, Gate::OneQ { .. })
+    }
+
+    /// Whether this is a SWAP gate.
+    #[inline]
+    pub fn is_swap(&self) -> bool {
+        matches!(
+            self,
+            Gate::TwoQ { kind: TwoQubitKind::Swap, .. }
+        )
+    }
+
+    /// The number of qubits the gate acts on (1 or 2).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::OneQ { .. } => 1,
+            Gate::TwoQ { .. } => 2,
+        }
+    }
+
+    /// The operand qubits, in declaration order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::OneQ { qubit, .. } => vec![qubit],
+            Gate::TwoQ { a, b, .. } => vec![a, b],
+        }
+    }
+
+    /// The operand qubits without allocating: `(first, second-if-any)`.
+    #[inline]
+    pub fn operands(&self) -> (Qubit, Option<Qubit>) {
+        match *self {
+            Gate::OneQ { qubit, .. } => (qubit, None),
+            Gate::TwoQ { a, b, .. } => (a, Some(b)),
+        }
+    }
+
+    /// For a two-qubit gate, the `(a, b)` pair; `None` for one-qubit gates.
+    #[inline]
+    pub fn pair(&self) -> Option<(Qubit, Qubit)> {
+        match *self {
+            Gate::TwoQ { a, b, .. } => Some((a, b)),
+            Gate::OneQ { .. } => None,
+        }
+    }
+
+    /// Returns a copy of the gate with every operand rewritten by `f`.
+    ///
+    /// Used when applying a qubit layout (logical → physical) or the inverse.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        match *self {
+            Gate::OneQ { kind, qubit } => Gate::OneQ { kind, qubit: f(qubit) },
+            Gate::TwoQ { kind, a, b } => Gate::TwoQ { kind, a: f(a), b: f(b) },
+        }
+    }
+
+    /// Whether `self` and `other` share at least one operand qubit.
+    pub fn overlaps(&self, other: &Gate) -> bool {
+        let (a1, b1) = self.operands();
+        let (a2, b2) = other.operands();
+        a1 == a2 || Some(a1) == b2 || b1 == Some(a2) || (b1.is_some() && b1 == b2)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::OneQ { kind, qubit } => match kind {
+                OneQubitKind::H => write!(f, "h {qubit}"),
+                OneQubitKind::X => write!(f, "x {qubit}"),
+                OneQubitKind::Y => write!(f, "y {qubit}"),
+                OneQubitKind::Z => write!(f, "z {qubit}"),
+                OneQubitKind::S => write!(f, "s {qubit}"),
+                OneQubitKind::Sdg => write!(f, "sdg {qubit}"),
+                OneQubitKind::T => write!(f, "t {qubit}"),
+                OneQubitKind::Tdg => write!(f, "tdg {qubit}"),
+                OneQubitKind::Rx(t) => write!(f, "rx({t:.6}) {qubit}"),
+                OneQubitKind::Ry(t) => write!(f, "ry({t:.6}) {qubit}"),
+                OneQubitKind::Rz(t) => write!(f, "rz({t:.6}) {qubit}"),
+                OneQubitKind::U(t, p, l) => write!(f, "u({t:.6},{p:.6},{l:.6}) {qubit}"),
+            },
+            Gate::TwoQ { kind, a, b } => match kind {
+                TwoQubitKind::Cz => write!(f, "cz {a},{b}"),
+                TwoQubitKind::Cx => write!(f, "cx {a},{b}"),
+                TwoQubitKind::Zz(t) => write!(f, "rzz({t:.6}) {a},{b}"),
+                TwoQubitKind::Swap => write!(f, "swap {a},{b}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_index_roundtrip() {
+        assert_eq!(Qubit(7).index(), 7);
+        assert_eq!(Qubit::from(9u32), Qubit(9));
+        assert_eq!(Qubit(4).to_string(), "q4");
+    }
+
+    #[test]
+    fn arity_and_kind_predicates() {
+        let g1 = Gate::h(Qubit(0));
+        let g2 = Gate::cz(Qubit(0), Qubit(1));
+        assert_eq!(g1.arity(), 1);
+        assert_eq!(g2.arity(), 2);
+        assert!(g1.is_one_qubit() && !g1.is_two_qubit());
+        assert!(g2.is_two_qubit() && !g2.is_one_qubit());
+        assert!(Gate::swap(Qubit(0), Qubit(1)).is_swap());
+        assert!(!g2.is_swap());
+    }
+
+    #[test]
+    fn qubits_and_pair() {
+        let g = Gate::cx(Qubit(2), Qubit(5));
+        assert_eq!(g.qubits(), vec![Qubit(2), Qubit(5)]);
+        assert_eq!(g.pair(), Some((Qubit(2), Qubit(5))));
+        assert_eq!(Gate::x(Qubit(1)).pair(), None);
+        assert_eq!(Gate::x(Qubit(1)).operands(), (Qubit(1), None));
+    }
+
+    #[test]
+    fn map_qubits_rewrites_operands() {
+        let g = Gate::cz(Qubit(0), Qubit(1)).map_qubits(|q| Qubit(q.0 + 10));
+        assert_eq!(g.pair(), Some((Qubit(10), Qubit(11))));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Gate::cz(Qubit(0), Qubit(1));
+        let b = Gate::cz(Qubit(1), Qubit(2));
+        let c = Gate::cz(Qubit(3), Qubit(4));
+        let d = Gate::h(Qubit(0));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&d));
+        assert!(d.overlaps(&a));
+        assert!(!d.overlaps(&c));
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!(TwoQubitKind::Cz.is_symmetric());
+        assert!(TwoQubitKind::Swap.is_symmetric());
+        assert!(TwoQubitKind::Zz(0.3).is_symmetric());
+        assert!(!TwoQubitKind::Cx.is_symmetric());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gate::cz(Qubit(0), Qubit(1)).to_string(), "cz q0,q1");
+        assert_eq!(Gate::h(Qubit(3)).to_string(), "h q3");
+        assert!(Gate::rz(Qubit(0), 0.5).to_string().starts_with("rz(0.5"));
+    }
+}

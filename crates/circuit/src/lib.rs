@@ -1,0 +1,50 @@
+//! Quantum-circuit intermediate representation for the Atomique (ISCA 2024)
+//! reproduction.
+//!
+//! This crate is the substrate every compiler pass in the workspace builds
+//! on. It provides:
+//!
+//! * [`Gate`] / [`Qubit`] — the gate set shared by all evaluated
+//!   architectures (arbitrary one-qubit rotations; CZ, CX, ZZ(θ), SWAP);
+//! * [`Circuit`] — an ordered gate list with validation and decomposition
+//!   into native gate sets ([`NativeGateSet`]);
+//! * [`CircuitDag`] / [`DagSchedule`] — dependency analysis and the
+//!   front-layer iteration the Atomique router is built around;
+//! * [`Layering`] — ASAP leveling, conventional depth and the paper's
+//!   "parallel two-qubit layers" depth metric;
+//! * [`CircuitStats`] / [`InteractionGraph`] — Table II statistics and the
+//!   gate-frequency graph consumed by the qubit-array mapper;
+//! * [`qasm`] — OpenQASM 2.0 emission for cross-checking against the
+//!   paper's Python artifact.
+//!
+//! # Examples
+//!
+//! ```
+//! use raa_circuit::{Circuit, CircuitStats, Gate, Qubit};
+//!
+//! let mut ghz = Circuit::new(3);
+//! ghz.push(Gate::h(Qubit(0)));
+//! ghz.push(Gate::cx(Qubit(0), Qubit(1)));
+//! ghz.push(Gate::cx(Qubit(1), Qubit(2)));
+//!
+//! let stats = CircuitStats::of(&ghz);
+//! assert_eq!(stats.two_qubit_gates, 2);
+//! assert_eq!(stats.two_qubit_depth, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod error;
+mod gate;
+mod opt;
+pub mod qasm;
+mod stats;
+
+pub use circuit::{one_qubit_angle, pulse_count, Circuit, NativeGateSet};
+pub use dag::{depth, layers, two_qubit_depth, CircuitDag, DagSchedule, GateIdx, Layering};
+pub use error::CircuitError;
+pub use opt::optimize;
+pub use gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+pub use stats::{CircuitStats, InteractionGraph};

@@ -1,0 +1,298 @@
+//! Peephole circuit optimization, in the spirit of the Qiskit
+//! "Optimization Level 3" preprocessing the paper applies to every
+//! baseline before routing.
+//!
+//! Passes (iterated to a fixpoint):
+//!
+//! * cancellation of adjacent self-inverse pairs (`H·H`, `X·X`, `Z·Z`,
+//!   `CZ·CZ`, `CX·CX`, `SWAP·SWAP`, `S·S†`, `T·T†`);
+//! * fusion of adjacent rotations about the same axis
+//!   (`Rz(a)·Rz(b) → Rz(a+b)`, same for Rx/Ry and ZZ);
+//! * removal of (near-)zero rotations.
+//!
+//! "Adjacent" means adjacent in the circuit DAG: no intervening gate
+//! touches any shared qubit.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+/// Angle below which a rotation is considered the identity.
+const EPS: f64 = 1e-12;
+
+/// Optimizes `circuit` to a fixpoint of the peephole passes.
+///
+/// The result is logically equivalent (up to global phase) with at most
+/// as many gates.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{optimize, Circuit, Gate, Qubit};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(Qubit(0)));
+/// c.push(Gate::h(Qubit(0)));       // cancels
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// c.push(Gate::rz(Qubit(1), 0.2));
+/// c.push(Gate::rz(Qubit(1), -0.2)); // fuses to zero and vanishes
+/// let o = optimize(&c);
+/// assert_eq!(o.len(), 1);
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().copied().map(Some).collect();
+    loop {
+        let changed = pass(&mut gates, circuit.num_qubits());
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.extend(gates.into_iter().flatten());
+    out
+}
+
+/// One sweep; returns whether anything changed.
+fn pass(gates: &mut [Option<Gate>], num_qubits: usize) -> bool {
+    let mut changed = false;
+    // last_on_qubit[q] = index of the most recent surviving gate on q.
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; num_qubits];
+    for i in 0..gates.len() {
+        let Some(g) = gates[i] else { continue };
+        // Drop identity rotations outright.
+        if is_identity(&g) {
+            gates[i] = None;
+            changed = true;
+            continue;
+        }
+        let qs = g.qubits();
+        // The candidate predecessor must be the last gate on *every*
+        // operand (DAG adjacency).
+        let pred = qs
+            .iter()
+            .map(|q| last_on_qubit[q.index()])
+            .reduce(|a, b| if a == b { a } else { None })
+            .flatten();
+        if let Some(p) = pred {
+            if let Some(h) = gates[p] {
+                if let Some(merged) = combine(&h, &g) {
+                    gates[p] = None;
+                    match merged {
+                        Some(m) if !is_identity(&m) => {
+                            gates[i] = Some(m);
+                            for q in &qs {
+                                last_on_qubit[q.index()] = Some(i);
+                            }
+                        }
+                        _ => {
+                            gates[i] = None;
+                            // Re-derive last_on_qubit for the operands by
+                            // rescanning backwards (rare path, cheap).
+                            for q in &qs {
+                                last_on_qubit[q.index()] = rescan(gates, i, *q);
+                            }
+                        }
+                    }
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        for q in &qs {
+            last_on_qubit[q.index()] = Some(i);
+        }
+    }
+    changed
+}
+
+fn rescan(gates: &[Option<Gate>], before: usize, q: Qubit) -> Option<usize> {
+    (0..before).rev().find(|&j| {
+        gates[j]
+            .map(|g| g.qubits().contains(&q))
+            .unwrap_or(false)
+    })
+}
+
+fn is_identity(g: &Gate) -> bool {
+    match g {
+        Gate::OneQ { kind, .. } => match kind {
+            OneQubitKind::Rx(t) | OneQubitKind::Ry(t) | OneQubitKind::Rz(t) => t.abs() < EPS,
+            OneQubitKind::U(t, p, l) => t.abs() < EPS && p.abs() < EPS && l.abs() < EPS,
+            _ => false,
+        },
+        Gate::TwoQ { kind: TwoQubitKind::Zz(t), .. } => t.abs() < EPS,
+        _ => false,
+    }
+}
+
+/// If `a` followed by `b` simplifies, returns `Some(replacement)` where
+/// `None` inside means the pair cancels entirely.
+#[allow(clippy::option_option)]
+fn combine(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
+    use OneQubitKind::*;
+    match (a, b) {
+        (Gate::OneQ { kind: ka, qubit: qa }, Gate::OneQ { kind: kb, qubit: qb })
+            if qa == qb =>
+        {
+            match (ka, kb) {
+                (H, H) | (X, X) | (Y, Y) | (Z, Z) => Some(None),
+                (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) => Some(None),
+                (Rx(x), Rx(y)) => Some(Some(Gate::rx(*qa, x + y))),
+                (Ry(x), Ry(y)) => Some(Some(Gate::ry(*qa, x + y))),
+                (Rz(x), Rz(y)) => Some(Some(Gate::rz(*qa, x + y))),
+                // Z-family phases merge into Rz up to global phase.
+                (Z, Rz(y)) | (Rz(y), Z) => {
+                    Some(Some(Gate::rz(*qa, y + std::f64::consts::PI)))
+                }
+                (S, Rz(y)) | (Rz(y), S) => {
+                    Some(Some(Gate::rz(*qa, y + std::f64::consts::FRAC_PI_2)))
+                }
+                (Sdg, Rz(y)) | (Rz(y), Sdg) => {
+                    Some(Some(Gate::rz(*qa, y - std::f64::consts::FRAC_PI_2)))
+                }
+                (T, Rz(y)) | (Rz(y), T) => {
+                    Some(Some(Gate::rz(*qa, y + std::f64::consts::FRAC_PI_4)))
+                }
+                (Tdg, Rz(y)) | (Rz(y), Tdg) => {
+                    Some(Some(Gate::rz(*qa, y - std::f64::consts::FRAC_PI_4)))
+                }
+                _ => None,
+            }
+        }
+        (Gate::TwoQ { kind: ka, a: a1, b: b1 }, Gate::TwoQ { kind: kb, a: a2, b: b2 }) => {
+            let same_ordered = a1 == a2 && b1 == b2;
+            let same_sym = same_ordered || (a1 == b2 && b1 == a2);
+            match (ka, kb) {
+                (TwoQubitKind::Cz, TwoQubitKind::Cz) if same_sym => Some(None),
+                (TwoQubitKind::Cx, TwoQubitKind::Cx) if same_ordered => Some(None),
+                (TwoQubitKind::Swap, TwoQubitKind::Swap) if same_sym => Some(None),
+                (TwoQubitKind::Zz(x), TwoQubitKind::Zz(y)) if same_sym => {
+                    Some(Some(Gate::zz(*a2, *b2, x + y)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::h(Qubit(0)));
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn double_cz_cancels_either_orientation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(1), Qubit(0)));
+        assert!(optimize(&c).is_empty());
+        // CX is directional: reversed control does NOT cancel.
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        c.push(Gate::cx(Qubit(1), Qubit(0)));
+        assert_eq!(optimize(&c).len(), 2);
+    }
+
+    #[test]
+    fn rotations_fuse() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::rz(Qubit(0), 0.25));
+        c.push(Gate::rz(Qubit(0), 0.50));
+        let o = optimize(&c);
+        assert_eq!(o.len(), 1);
+        match o.gates()[0] {
+            Gate::OneQ { kind: OneQubitKind::Rz(t), .. } => assert!((t - 0.75).abs() < 1e-12),
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::ry(Qubit(0), 1.3));
+        c.push(Gate::ry(Qubit(0), -1.3));
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::h(Qubit(0)));
+        assert_eq!(optimize(&c).len(), 3);
+    }
+
+    #[test]
+    fn spectator_qubit_does_not_block() {
+        // A gate on another qubit between the pair is irrelevant.
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::x(Qubit(1)));
+        c.push(Gate::h(Qubit(0)));
+        let o = optimize(&c);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.gates()[0], Gate::x(Qubit(1)));
+    }
+
+    #[test]
+    fn zz_fusion_and_zero_drop() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::zz(Qubit(0), Qubit(1), 0.4));
+        c.push(Gate::zz(Qubit(1), Qubit(0), -0.4));
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixpoint() {
+        // X · (H·H) · X: inner pair cancels, outer pair becomes adjacent
+        // and must cancel in a later sweep.
+        let mut c = Circuit::new(1);
+        c.push(Gate::x(Qubit(0)));
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::x(Qubit(0)));
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn phase_family_merges_into_rz() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::s(Qubit(0)));
+        c.push(Gate::rz(Qubit(0), -std::f64::consts::FRAC_PI_2));
+        assert!(optimize(&c).is_empty());
+        let mut c = Circuit::new(1);
+        c.push(Gate::t(Qubit(0)));
+        c.push(Gate::rz(Qubit(0), 0.1));
+        assert_eq!(optimize(&c).len(), 1);
+    }
+
+    #[test]
+    fn optimization_never_grows_the_circuit() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Circuit::new(5);
+        for _ in 0..200 {
+            let q = Qubit(rng.random_range(0..5));
+            let p = Qubit((q.0 + 1 + rng.random_range(0..4)) % 5);
+            match rng.random_range(0..6) {
+                0 => c.push(Gate::h(q)),
+                1 => c.push(Gate::rz(q, rng.random::<f64>() - 0.5)),
+                2 => c.push(Gate::x(q)),
+                3 => c.push(Gate::cz(q, p)),
+                4 => c.push(Gate::zz(q, p, rng.random::<f64>() - 0.5)),
+                _ => c.push(Gate::s(q)),
+            }
+        }
+        let o = optimize(&c);
+        assert!(o.len() <= c.len());
+        // Idempotent: optimizing again changes nothing.
+        assert_eq!(optimize(&o), o);
+    }
+}

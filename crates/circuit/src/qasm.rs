@@ -1,0 +1,353 @@
+//! Minimal OpenQASM 2.0 emission and parsing, for interoperability and
+//! debugging.
+//!
+//! The emitter covers exactly the gate set of [`Gate`]; the output is
+//! accepted by Qiskit's OpenQASM 2 importer, which makes cross-checking the
+//! Rust compiler's outputs against the paper's Python artifact possible.
+//! The parser accepts the same subset (one quantum register, the qelib1
+//! gates this workspace emits), enough to import QASMBench-style files.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+/// Errors produced by [`from_qasm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// The program is missing the `qreg` declaration.
+    MissingRegister,
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was found.
+        text: String,
+    },
+    /// An unsupported gate name was used.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name.
+        name: String,
+    },
+    /// A gate referenced an invalid qubit.
+    Circuit(CircuitError),
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::MissingRegister => write!(f, "no qreg declaration found"),
+            QasmError::Syntax { line, text } => write!(f, "syntax error at line {line}: {text}"),
+            QasmError::UnsupportedGate { line, name } => {
+                write!(f, "unsupported gate {name} at line {line}")
+            }
+            QasmError::Circuit(e) => write!(f, "invalid gate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+impl From<CircuitError> for QasmError {
+    fn from(e: CircuitError) -> Self {
+        QasmError::Circuit(e)
+    }
+}
+
+/// Serializes `circuit` as an OpenQASM 2.0 program.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit, qasm};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(Qubit(0)));
+/// c.push(Gate::cx(Qubit(0), Qubit(1)));
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for g in circuit.gates() {
+        emit_gate(g, &mut out);
+    }
+    out
+}
+
+fn emit_gate(g: &Gate, out: &mut String) {
+    match g {
+        Gate::OneQ { kind, qubit } => {
+            let q = qubit.0;
+            let _ = match kind {
+                OneQubitKind::H => writeln!(out, "h q[{q}];"),
+                OneQubitKind::X => writeln!(out, "x q[{q}];"),
+                OneQubitKind::Y => writeln!(out, "y q[{q}];"),
+                OneQubitKind::Z => writeln!(out, "z q[{q}];"),
+                OneQubitKind::S => writeln!(out, "s q[{q}];"),
+                OneQubitKind::Sdg => writeln!(out, "sdg q[{q}];"),
+                OneQubitKind::T => writeln!(out, "t q[{q}];"),
+                OneQubitKind::Tdg => writeln!(out, "tdg q[{q}];"),
+                OneQubitKind::Rx(t) => writeln!(out, "rx({t}) q[{q}];"),
+                OneQubitKind::Ry(t) => writeln!(out, "ry({t}) q[{q}];"),
+                OneQubitKind::Rz(t) => writeln!(out, "rz({t}) q[{q}];"),
+                OneQubitKind::U(t, p, l) => writeln!(out, "u3({t},{p},{l}) q[{q}];"),
+            };
+        }
+        Gate::TwoQ { kind, a, b } => {
+            let (a, b) = (a.0, b.0);
+            let _ = match kind {
+                TwoQubitKind::Cz => writeln!(out, "cz q[{a}],q[{b}];"),
+                TwoQubitKind::Cx => writeln!(out, "cx q[{a}],q[{b}];"),
+                TwoQubitKind::Zz(t) => writeln!(out, "rzz({t}) q[{a}],q[{b}];"),
+                TwoQubitKind::Swap => writeln!(out, "swap q[{a}],q[{b}];"),
+            };
+        }
+    }
+}
+
+/// Parses an OpenQASM 2.0 program covering this workspace's gate set.
+///
+/// Supported statements: `OPENQASM`, `include`, `qreg`, `creg` (ignored),
+/// `barrier`/`measure` (ignored), the one-qubit gates
+/// `h x y z s sdg t tdg rx ry rz u3 u`, and the two-qubit gates
+/// `cz cx rzz swap`.
+///
+/// # Errors
+///
+/// See [`QasmError`].
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::qasm;
+/// let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+/// let c = qasm::from_qasm(text)?;
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// # Ok::<(), qasm::QasmError>(())
+/// ```
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let stmt = stmt.strip_suffix(';').unwrap_or(stmt).trim();
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg")
+            || stmt.starts_with("barrier") || stmt.starts_with("measure")
+        {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = rest
+                .trim()
+                .split('[')
+                .nth(1)
+                .and_then(|s| s.split(']').next())
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let Some(c) = circuit.as_mut() else {
+            return Err(QasmError::MissingRegister);
+        };
+        let (head, operands) = stmt
+            .split_once(' ')
+            .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })?;
+        let (name, params) = match head.split_once('(') {
+            Some((n, p)) => {
+                let p = p.strip_suffix(')').ok_or_else(|| QasmError::Syntax {
+                    line,
+                    text: stmt.into(),
+                })?;
+                (n, parse_params(p, line, stmt)?)
+            }
+            None => (head, Vec::new()),
+        };
+        let qubits = parse_operands(operands, line, stmt)?;
+        let gate = build_gate(name, &params, &qubits, line)?;
+        c.try_push(gate)?;
+    }
+    circuit.ok_or(QasmError::MissingRegister)
+}
+
+fn parse_params(text: &str, line: usize, stmt: &str) -> Result<Vec<f64>, QasmError> {
+    text.split(',')
+        .map(|p| {
+            let p = p.trim();
+            // Accept simple `pi`-expressions emitted by common tools.
+            match p {
+                "pi" => Ok(std::f64::consts::PI),
+                "-pi" => Ok(-std::f64::consts::PI),
+                "pi/2" => Ok(std::f64::consts::FRAC_PI_2),
+                "-pi/2" => Ok(-std::f64::consts::FRAC_PI_2),
+                "pi/4" => Ok(std::f64::consts::FRAC_PI_4),
+                "-pi/4" => Ok(-std::f64::consts::FRAC_PI_4),
+                _ => p.parse::<f64>().map_err(|_| QasmError::Syntax { line, text: stmt.into() }),
+            }
+        })
+        .collect()
+}
+
+fn parse_operands(text: &str, line: usize, stmt: &str) -> Result<Vec<Qubit>, QasmError> {
+    text.split(',')
+        .map(|o| {
+            o.trim()
+                .split('[')
+                .nth(1)
+                .and_then(|s| s.split(']').next())
+                .and_then(|s| s.parse::<u32>().ok())
+                .map(Qubit)
+                .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })
+        })
+        .collect()
+}
+
+fn build_gate(name: &str, params: &[f64], qs: &[Qubit], line: usize) -> Result<Gate, QasmError> {
+    let one = |f: fn(Qubit) -> Gate| -> Result<Gate, QasmError> {
+        qs.first().copied().map(f).ok_or(QasmError::Syntax { line, text: name.into() })
+    };
+    let bad = || QasmError::Syntax { line, text: name.into() };
+    match (name, params.len(), qs.len()) {
+        ("h", 0, 1) => one(Gate::h),
+        ("x", 0, 1) => one(Gate::x),
+        ("y", 0, 1) => one(Gate::y),
+        ("z", 0, 1) => one(Gate::z),
+        ("s", 0, 1) => one(Gate::s),
+        ("sdg", 0, 1) => one(Gate::sdg),
+        ("t", 0, 1) => one(Gate::t),
+        ("tdg", 0, 1) => one(Gate::tdg),
+        ("rx", 1, 1) => Ok(Gate::rx(qs[0], params[0])),
+        ("ry", 1, 1) => Ok(Gate::ry(qs[0], params[0])),
+        ("rz", 1, 1) => Ok(Gate::rz(qs[0], params[0])),
+        ("u" | "u3", 3, 1) => Ok(Gate::u(qs[0], params[0], params[1], params[2])),
+        ("cz", 0, 2) => Ok(Gate::cz(qs[0], qs[1])),
+        ("cx" | "CX", 0, 2) => Ok(Gate::cx(qs[0], qs[1])),
+        ("rzz", 1, 2) => Ok(Gate::zz(qs[0], qs[1], params[0])),
+        ("swap", 0, 2) => Ok(Gate::swap(qs[0], qs[1])),
+        ("h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "rx" | "ry" | "rz" | "u" | "u3"
+        | "cz" | "cx" | "rzz" | "swap", _, _) => Err(bad()),
+        _ => Err(QasmError::UnsupportedGate { line, name: name.into() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Qubit;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(5);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[5];"));
+    }
+
+    #[test]
+    fn all_gate_kinds_emit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::x(Qubit(0)));
+        c.push(Gate::y(Qubit(0)));
+        c.push(Gate::z(Qubit(0)));
+        c.push(Gate::s(Qubit(0)));
+        c.push(Gate::sdg(Qubit(0)));
+        c.push(Gate::t(Qubit(0)));
+        c.push(Gate::tdg(Qubit(0)));
+        c.push(Gate::rx(Qubit(1), 0.25));
+        c.push(Gate::ry(Qubit(1), 0.5));
+        c.push(Gate::rz(Qubit(1), 0.75));
+        c.push(Gate::u(Qubit(1), 0.1, 0.2, 0.3));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cx(Qubit(1), Qubit(2)));
+        c.push(Gate::zz(Qubit(0), Qubit(2), 1.5));
+        c.push(Gate::swap(Qubit(0), Qubit(1)));
+        let q = to_qasm(&c);
+        for needle in [
+            "h q[0];", "x q[0];", "y q[0];", "z q[0];", "s q[0];", "sdg q[0];",
+            "t q[0];", "tdg q[0];", "rx(0.25) q[1];", "ry(0.5) q[1];",
+            "rz(0.75) q[1];", "u3(0.1,0.2,0.3) q[1];", "cz q[0],q[1];",
+            "cx q[1],q[2];", "rzz(1.5) q[0],q[2];", "swap q[0],q[1];",
+        ] {
+            assert!(q.contains(needle), "missing {needle} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn line_count_matches_gate_count() {
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.push(Gate::cz(Qubit(0), Qubit(1)));
+        }
+        let q = to_qasm(&c);
+        assert_eq!(q.lines().count(), 3 + 10);
+    }
+
+    #[test]
+    fn roundtrip_all_gate_kinds() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::sdg(Qubit(1)));
+        c.push(Gate::rx(Qubit(2), 0.25));
+        c.push(Gate::u(Qubit(0), 0.1, 0.2, 0.3));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cx(Qubit(1), Qubit(2)));
+        c.push(Gate::zz(Qubit(0), Qubit(2), 1.5));
+        c.push(Gate::swap(Qubit(0), Qubit(1)));
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_measures() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n// comment\nh q[0]; // trailing\nbarrier q;\nmeasure q[0] -> c[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn parser_accepts_pi_literals() {
+        let text = "qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(matches!(from_qasm("h q[0];"), Err(QasmError::MissingRegister)));
+        assert!(matches!(
+            from_qasm("qreg q[2];\nccx q[0],q[1],q[0];"),
+            Err(QasmError::UnsupportedGate { .. })
+        ));
+        assert!(matches!(
+            from_qasm("qreg q[2];\nrz() q[0];"),
+            Err(QasmError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_qasm("qreg q[1];\ncz q[0],q[0];"),
+            Err(QasmError::Circuit(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "qreg q[2];\nh q[0];\nfrobnicate q[1];\n";
+        match from_qasm(text) {
+            Err(QasmError::UnsupportedGate { line, name }) => {
+                assert_eq!(line, 3);
+                assert_eq!(name, "frobnicate");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Circuit statistics: the quantities reported in Table II of the paper
+//! (qubit count, gate counts, two-qubit gates per qubit, degree per qubit)
+//! plus the weighted interaction graph consumed by the qubit-array mapper.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::dag::Layering;
+use crate::gate::Qubit;
+
+/// Summary statistics of a circuit (Table II columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Register size.
+    pub num_qubits: usize,
+    /// Total one-qubit gates.
+    pub one_qubit_gates: usize,
+    /// Total two-qubit gates.
+    pub two_qubit_gates: usize,
+    /// Average number of two-qubit gates touching a qubit
+    /// (`2·#2Q / #qubits`).
+    pub two_qubit_gates_per_qubit: f64,
+    /// Average number of *distinct* partners a qubit interacts with.
+    pub degree_per_qubit: f64,
+    /// Conventional depth.
+    pub depth: u32,
+    /// Number of parallel two-qubit layers (the paper's depth metric).
+    pub two_qubit_depth: u32,
+}
+
+impl CircuitStats {
+    /// Computes all statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits();
+        let mut twoq_per_qubit = vec![0usize; n];
+        let mut partners: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); n];
+        let mut one_q = 0usize;
+        let mut two_q = 0usize;
+        for g in circuit.gates() {
+            match g.pair() {
+                Some((a, b)) => {
+                    two_q += 1;
+                    twoq_per_qubit[a.index()] += 1;
+                    twoq_per_qubit[b.index()] += 1;
+                    partners[a.index()].insert(b.0);
+                    partners[b.index()].insert(a.0);
+                }
+                None => one_q += 1,
+            }
+        }
+        let layering = Layering::new(circuit);
+        let nf = n.max(1) as f64;
+        CircuitStats {
+            num_qubits: n,
+            one_qubit_gates: one_q,
+            two_qubit_gates: two_q,
+            two_qubit_gates_per_qubit: twoq_per_qubit.iter().sum::<usize>() as f64 / nf,
+            degree_per_qubit: partners.iter().map(|p| p.len()).sum::<usize>() as f64 / nf,
+            depth: layering.depth(),
+            two_qubit_depth: layering.two_qubit_depth(),
+        }
+    }
+}
+
+/// A weighted, undirected multigraph of two-qubit interactions.
+///
+/// Vertices are qubits; the weight of edge `(u, v)` is the (optionally
+/// layer-decayed) number of two-qubit gates between `u` and `v`. This is the
+/// "gate frequency graph" of paper Fig. 4 on which MAX k-Cut runs.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    num_qubits: usize,
+    weights: HashMap<(u32, u32), f64>,
+}
+
+impl InteractionGraph {
+    /// Builds the plain (unweighted-decay) interaction graph: each gate
+    /// contributes weight 1.
+    pub fn of(circuit: &Circuit) -> Self {
+        Self::with_layer_decay(circuit, 1.0)
+    }
+
+    /// Builds the γ-decayed interaction graph of Alg. 1: a gate in two-qubit
+    /// layer *l* (0-based) contributes `γ^l`.
+    ///
+    /// The paper decays weights because gates deep in the circuit benefit
+    /// less from the initial mapping. `gamma = 1.0` disables the decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `(0, 1]`.
+    pub fn with_layer_decay(circuit: &Circuit, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1], got {gamma}");
+        let layering = Layering::new(circuit);
+        let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+        for (idx, g) in circuit.gates().iter().enumerate() {
+            if let Some((a, b)) = g.pair() {
+                let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+                // Two-qubit layer is 1-based for 2Q gates; layer 1 → decay^0.
+                let l = layering.two_qubit_layer(idx).saturating_sub(1);
+                *weights.entry(key).or_insert(0.0) += gamma.powi(l as i32);
+            }
+        }
+        InteractionGraph { num_qubits: circuit.num_qubits(), weights }
+    }
+
+    /// Number of vertices (qubits).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The weight between `u` and `v` (0 if they never interact).
+    pub fn weight(&self, u: Qubit, v: Qubit) -> f64 {
+        let key = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.weights.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `((u, v), weight)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = ((Qubit, Qubit), f64)> + '_ {
+        self.weights.iter().map(|(&(u, v), &w)| ((Qubit(u), Qubit(v)), w))
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total weighted interaction of qubit `q` with every qubit in `set`.
+    ///
+    /// This is the inner sum of Alg. 1's greedy MAX k-Cut step.
+    pub fn weight_to_set(&self, q: Qubit, set: &[Qubit]) -> f64 {
+        set.iter().map(|&v| self.weight(q, v)).sum()
+    }
+
+    /// Total weighted degree of qubit `q`.
+    pub fn weighted_degree(&self, q: Qubit) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(&(u, v), _)| u == q.0 || v == q.0)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Per-qubit raw two-qubit gate involvement counts (unweighted),
+    /// computed from the circuit: used by the load-balance SLM mapper.
+    pub fn involvement_counts(circuit: &Circuit) -> Vec<usize> {
+        let mut counts = vec![0usize; circuit.num_qubits()];
+        for g in circuit.gates() {
+            if let Some((a, b)) = g.pair() {
+                counts[a.index()] += 1;
+                counts[b.index()] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(2), Qubit(3)));
+        c
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = CircuitStats::of(&sample());
+        assert_eq!(s.num_qubits, 4);
+        assert_eq!(s.one_qubit_gates, 1);
+        assert_eq!(s.two_qubit_gates, 3);
+        // 2*3 gate-endpoints over 4 qubits
+        assert!((s.two_qubit_gates_per_qubit - 1.5).abs() < 1e-12);
+        // each qubit has exactly 1 distinct partner
+        assert!((s.degree_per_qubit - 1.0).abs() < 1e-12);
+        assert_eq!(s.two_qubit_depth, 2);
+    }
+
+    #[test]
+    fn interaction_graph_weights() {
+        let g = InteractionGraph::of(&sample());
+        assert_eq!(g.edge_count(), 2);
+        assert!((g.weight(Qubit(0), Qubit(1)) - 2.0).abs() < 1e-12);
+        assert!((g.weight(Qubit(1), Qubit(0)) - 2.0).abs() < 1e-12);
+        assert!((g.weight(Qubit(0), Qubit(2)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_decay_reduces_later_layers() {
+        let c = sample();
+        let g = InteractionGraph::with_layer_decay(&c, 0.5);
+        // (0,1) has gates in 2Q-layers 1 and 2 → 1 + 0.5
+        assert!((g.weight(Qubit(0), Qubit(1)) - 1.5).abs() < 1e-12);
+        // (2,3) is in layer 1 → weight 1
+        assert!((g.weight(Qubit(2), Qubit(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn gamma_zero_rejected() {
+        InteractionGraph::with_layer_decay(&sample(), 0.0);
+    }
+
+    #[test]
+    fn weight_to_set_sums() {
+        let g = InteractionGraph::of(&sample());
+        let w = g.weight_to_set(Qubit(0), &[Qubit(1), Qubit(2), Qubit(3)]);
+        assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_degree() {
+        let g = InteractionGraph::of(&sample());
+        assert!((g.weighted_degree(Qubit(0)) - 2.0).abs() < 1e-12);
+        assert!((g.weighted_degree(Qubit(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn involvement_counts() {
+        let counts = InteractionGraph::involvement_counts(&sample());
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = CircuitStats::of(&Circuit::new(0));
+        assert_eq!(s.num_qubits, 0);
+        assert_eq!(s.two_qubit_gates, 0);
+    }
+}

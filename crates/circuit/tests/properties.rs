@@ -1,0 +1,120 @@
+//! Property-based tests for the circuit IR: DAG/layering invariants,
+//! optimizer soundness, and QASM round-tripping.
+
+use proptest::prelude::*;
+use raa_circuit::{
+    layers, optimize, qasm, Circuit, CircuitDag, DagSchedule, Gate, Layering, Qubit,
+};
+
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    (0u8..8, 0..n as u32, 1..n.max(2) as u32, -3.0f64..3.0).prop_map(move |(k, a, off, t)| {
+        let b = (a + off) % n as u32;
+        let (a, b) = (Qubit(a), Qubit(b));
+        match k {
+            0 => Gate::h(a),
+            1 => Gate::x(a),
+            2 => Gate::rz(a, t),
+            3 => Gate::s(a),
+            4 if a != b => Gate::cz(a, b),
+            5 if a != b => Gate::cx(a, b),
+            6 if a != b => Gate::zz(a, b, t),
+            _ => Gate::ry(a, t),
+        }
+    })
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec(arb_gate(n), 0..80)
+            .prop_map(move |gs| Circuit::with_gates(n, gs).expect("valid gates"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executing the front layer repeatedly consumes the whole circuit,
+    /// and the front is never empty while gates remain.
+    #[test]
+    fn front_layer_progresses(c in arb_circuit()) {
+        let mut s = DagSchedule::new(&c);
+        let mut executed = 0usize;
+        while !s.is_done() {
+            prop_assert!(!s.front().is_empty());
+            let g = s.front()[0];
+            s.execute(g);
+            executed += 1;
+        }
+        prop_assert_eq!(executed, c.len());
+    }
+
+    /// ASAP layers respect dependencies: every predecessor sits in a
+    /// strictly earlier layer.
+    #[test]
+    fn layers_respect_dependencies(c in arb_circuit()) {
+        let dag = CircuitDag::new(&c);
+        let l = Layering::new(&c);
+        for g in 0..c.len() {
+            for &p in dag.preds(g) {
+                prop_assert!(l.layer(p) < l.layer(g));
+            }
+        }
+        // layers() partitions the gates.
+        let total: usize = layers(&c).iter().map(|x| x.len()).sum();
+        prop_assert_eq!(total, c.len());
+    }
+
+    /// Two-qubit depth is monotone under appending gates.
+    #[test]
+    fn depth_monotone_under_extension(c in arb_circuit()) {
+        let d1 = raa_circuit::two_qubit_depth(&c);
+        let mut bigger = c.clone();
+        if c.num_qubits() >= 2 {
+            bigger.push(Gate::cz(Qubit(0), Qubit(1)));
+            let d2 = raa_circuit::two_qubit_depth(&bigger);
+            prop_assert!(d2 >= d1);
+            prop_assert!(d2 <= d1 + 1);
+        }
+    }
+
+    /// The optimizer never grows the circuit, never changes the register,
+    /// and is idempotent.
+    #[test]
+    fn optimizer_sound(c in arb_circuit()) {
+        let o = optimize(&c);
+        prop_assert!(o.len() <= c.len());
+        prop_assert_eq!(o.num_qubits(), c.num_qubits());
+        prop_assert_eq!(optimize(&o), o.clone());
+        // Two-qubit interaction support never grows.
+        prop_assert!(o.two_qubit_count() <= c.two_qubit_count());
+    }
+
+    /// QASM emission then parsing reproduces the circuit exactly
+    /// (the gate set round-trips losslessly).
+    #[test]
+    fn qasm_roundtrip(c in arb_circuit()) {
+        let text = qasm::to_qasm(&c);
+        let parsed = qasm::from_qasm(&text).expect("own output parses");
+        prop_assert_eq!(parsed, c);
+    }
+
+    /// Decomposing to the CZ-native set leaves no CX/SWAP and preserves
+    /// the one-qubit/two-qubit split counts consistently.
+    #[test]
+    fn cz_decomposition_is_native(c in arb_circuit()) {
+        let d = c.decompose_to(raa_circuit::NativeGateSet::Cz);
+        prop_assert_eq!(d.swap_count(), 0);
+        for g in d.gates() {
+            if g.pair().is_some() {
+                let native = matches!(
+                    g,
+                    Gate::TwoQ {
+                        kind: raa_circuit::TwoQubitKind::Cz | raa_circuit::TwoQubitKind::Zz(_),
+                        ..
+                    }
+                );
+                prop_assert!(native, "non-native 2Q gate survived decomposition");
+            }
+        }
+    }
+}

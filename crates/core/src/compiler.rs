@@ -1,0 +1,260 @@
+//! The full Atomique pipeline (paper Fig. 3): qubit-array mapper →
+//! multipartite SWAP insertion → qubit-atom mapper → high-parallelism
+//! router → fidelity estimation.
+
+use std::time::Instant;
+
+use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
+use raa_circuit::Circuit;
+
+use crate::array_mapper::map_to_arrays;
+use crate::atom_mapper::map_to_atoms;
+use crate::config::AtomiqueConfig;
+use crate::error::CompileError;
+use crate::program::{CompileStats, CompiledProgram};
+use crate::router::route_movements;
+use crate::transpile::transpile;
+
+/// Compiles `circuit` for the configured reconfigurable atom array.
+///
+/// # Errors
+///
+/// * [`CompileError::Capacity`] if the circuit exceeds the machine;
+/// * [`CompileError::Routing`] if intra-array SWAP insertion fails.
+///
+/// # Examples
+///
+/// ```
+/// use atomique::{compile, AtomiqueConfig};
+/// use raa_circuit::{Circuit, Gate, Qubit};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::h(Qubit(0)));
+/// bell.push(Gate::cx(Qubit(0), Qubit(1)));
+/// let out = compile(&bell, &AtomiqueConfig::default())?;
+/// assert_eq!(out.stats.two_qubit_gates, 1);
+/// assert!(out.total_fidelity() > 0.99);
+/// # Ok::<(), atomique::CompileError>(())
+/// ```
+pub fn compile(circuit: &Circuit, config: &AtomiqueConfig) -> Result<CompiledProgram, CompileError> {
+    let start = Instant::now();
+
+    // 0. Peephole optimization (the paper preprocesses with Qiskit
+    // Optimization Level 3; see raa_circuit::optimize).
+    let circuit = &raa_circuit::optimize(circuit);
+
+    // 1. Qubit-array mapper (Alg. 1).
+    let array_mapping =
+        map_to_arrays(circuit, &config.hardware, config.array_mapper, config.gamma)?;
+
+    // 2. SWAP insertion on the complete multipartite graph (Fig. 5).
+    let transpiled = transpile(circuit, &array_mapping, &config.sabre)?;
+
+    // 3. Qubit-atom mapper (Figs. 6–7).
+    let atom_mapping =
+        map_to_atoms(&transpiled, &config.hardware, config.atom_mapper, config.seed)?;
+
+    // 4. High-parallelism router (Figs. 8–11).
+    let routed = route_movements(
+        &transpiled,
+        &atom_mapping,
+        &config.hardware,
+        &config.params,
+        config.relaxation,
+        config.router_mode,
+    )?;
+
+    // 5. Fidelity estimation (Sec. V-A).
+    let r = &routed.stats;
+    let phase = GatePhaseStats {
+        num_qubits: circuit.num_qubits(),
+        one_qubit_gates: r.one_qubit_gates,
+        two_qubit_gates: r.two_qubit_gates,
+        one_qubit_time_s: r.one_qubit_layers as f64 * config.params.one_qubit_time_s,
+        two_qubit_time_s: r.two_qubit_stages as f64 * config.params.two_qubit_time_s,
+    };
+    let (one_qubit, two_qubit) = gate_phase_fidelity(&config.params, &phase);
+    let transfer = transfer_fidelity(
+        &config.params,
+        r.transfers,
+        r.transfers as f64 * config.params.t_transfer_s,
+        circuit.num_qubits(),
+    );
+    let fidelity = FidelityBreakdown {
+        one_qubit,
+        two_qubit,
+        transfer,
+        move_heating: r.f_heating,
+        move_cooling: r.f_cooling,
+        move_loss: r.f_loss,
+        move_decoherence: r.f_decoherence,
+    };
+
+    let stats = CompileStats {
+        num_qubits: circuit.num_qubits(),
+        two_qubit_gates: r.two_qubit_gates,
+        one_qubit_gates: r.one_qubit_gates,
+        depth: r.two_qubit_stages,
+        swaps_inserted: transpiled.swaps_inserted,
+        additional_cnots: transpiled.additional_cnots(),
+        execution_time_s: r.execution_time_s,
+        total_move_distance_mm: r.total_move_distance_um / 1000.0,
+        avg_move_distance_mm: if r.num_move_stages > 0 {
+            r.total_move_distance_um / 1000.0 / r.num_move_stages as f64
+        } else {
+            0.0
+        },
+        num_move_stages: r.num_move_stages,
+        cooling_events: r.cooling_events,
+        overlap_rejections: r.overlap_rejections,
+        transfers: r.transfers,
+        compile_time_s: start.elapsed().as_secs_f64(),
+    };
+    Ok(CompiledProgram {
+        stages: routed.stages,
+        mapping: atom_mapping,
+        slot_of_qubit: transpiled.slot_of_qubit.clone(),
+        stats,
+        fidelity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArrayMapperKind, AtomMapperKind, RouterMode};
+    use raa_arch::{ArrayDims, RaaConfig};
+    use raa_circuit::{Gate, Qubit};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(n);
+        for _ in 0..gates {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            if rng.random::<f64>() < 0.3 {
+                c.push(Gate::rz(Qubit(a), 0.3));
+            } else {
+                c.push(Gate::cz(Qubit(a), Qubit(b)));
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn compiles_bell_pair() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        let out = compile(&c, &AtomiqueConfig::default()).unwrap();
+        assert_eq!(out.stats.two_qubit_gates, 1);
+        assert_eq!(out.stats.depth, 1);
+        assert!(out.total_fidelity() > 0.99);
+        assert!(out.stats.compile_time_s >= 0.0);
+    }
+
+    #[test]
+    fn compiles_random_20q() {
+        let c = random_circuit(20, 100, 1);
+        let out = compile(&c, &AtomiqueConfig::default()).unwrap();
+        // Every optimized logical CZ plus 3 per swap.
+        let logical_2q = raa_circuit::optimize(&c)
+            .decompose_to(raa_circuit::NativeGateSet::Cz)
+            .two_qubit_count();
+        assert_eq!(out.stats.two_qubit_gates, logical_2q + 3 * out.stats.swaps_inserted);
+        assert_eq!(out.stats.additional_cnots, 3 * out.stats.swaps_inserted);
+        assert!(out.stats.depth >= 1);
+        assert!(out.total_fidelity() > 0.0 && out.total_fidelity() <= 1.0);
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let c = Circuit::new(400);
+        assert!(matches!(
+            compile(&c, &AtomiqueConfig::default()),
+            Err(CompileError::Capacity { .. })
+        ));
+    }
+
+    #[test]
+    fn small_hardware_works() {
+        let hw = RaaConfig::new(
+            ArrayDims::new(3, 3),
+            vec![ArrayDims::new(3, 3), ArrayDims::new(3, 3)],
+        )
+        .unwrap();
+        let c = random_circuit(12, 40, 2);
+        let out = compile(&c, &AtomiqueConfig::for_hardware(hw)).unwrap();
+        assert!(out.stats.two_qubit_gates >= c.two_qubit_count());
+    }
+
+    #[test]
+    fn parallel_router_no_deeper_than_serial() {
+        let c = random_circuit(16, 60, 3);
+        let cfg = AtomiqueConfig::default();
+        let par = compile(&c, &cfg).unwrap();
+        let ser = compile(
+            &c,
+            &AtomiqueConfig { router_mode: RouterMode::Serial, ..AtomiqueConfig::default() },
+        )
+        .unwrap();
+        assert!(par.stats.depth <= ser.stats.depth);
+        assert_eq!(par.stats.two_qubit_gates, ser.stats.two_qubit_gates);
+    }
+
+    #[test]
+    fn max_k_cut_no_more_swaps_than_dense() {
+        let c = random_circuit(24, 120, 4);
+        let smart = compile(&c, &AtomiqueConfig::default()).unwrap();
+        let dense = compile(
+            &c,
+            &AtomiqueConfig { array_mapper: ArrayMapperKind::Dense, ..AtomiqueConfig::default() },
+        )
+        .unwrap();
+        assert!(
+            smart.stats.swaps_inserted <= dense.stats.swaps_inserted,
+            "max-k-cut {} swaps vs dense {}",
+            smart.stats.swaps_inserted,
+            dense.stats.swaps_inserted
+        );
+    }
+
+    #[test]
+    fn load_balance_fidelity_at_least_random() {
+        let c = random_circuit(20, 80, 5);
+        let lb = compile(&c, &AtomiqueConfig::default()).unwrap();
+        let rnd = compile(
+            &c,
+            &AtomiqueConfig { atom_mapper: AtomMapperKind::Random, ..AtomiqueConfig::default() },
+        )
+        .unwrap();
+        // Same gate counts; load balance should not be worse on depth by
+        // more than a small factor (it is a heuristic, so allow slack).
+        assert_eq!(lb.stats.two_qubit_gates, rnd.stats.two_qubit_gates);
+        assert!(lb.stats.depth as f64 <= rnd.stats.depth as f64 * 1.5 + 5.0);
+    }
+
+    #[test]
+    fn deterministic_compilation() {
+        let c = random_circuit(15, 50, 6);
+        let cfg = AtomiqueConfig::default();
+        let a = compile(&c, &cfg).unwrap();
+        let b = compile(&c, &cfg).unwrap();
+        assert_eq!(a.stats.two_qubit_gates, b.stats.two_qubit_gates);
+        assert_eq!(a.stats.depth, b.stats.depth);
+        assert!((a.total_fidelity() - b.total_fidelity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_compiles() {
+        let c = Circuit::new(5);
+        let out = compile(&c, &AtomiqueConfig::default()).unwrap();
+        assert_eq!(out.stats.two_qubit_gates, 0);
+        assert_eq!(out.stats.depth, 0);
+        assert!((out.total_fidelity() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Compiler configuration: hardware, physics, pass selection and the
+//! constraint-relaxation toggles of paper Fig. 22.
+
+use raa_arch::RaaConfig;
+use raa_physics::HardwareParams;
+use raa_sabre::SabreConfig;
+
+/// Which qubit-array mapper to use (paper Fig. 21's first ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrayMapperKind {
+    /// The paper's greedy MAX k-Cut on the γ-decayed gate-frequency graph
+    /// (Alg. 1).
+    #[default]
+    MaxKCut,
+    /// Qiskit-style dense mapping: fill arrays in index order, ignoring the
+    /// interaction structure (the Fig. 21 baseline).
+    Dense,
+}
+
+/// Which qubit-atom mapper to use (Fig. 21's second ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomMapperKind {
+    /// Load-balance diagonal-spiral SLM mapping plus frequency-aligned AOD
+    /// mapping (paper Sec. III-B).
+    #[default]
+    LoadBalance,
+    /// Uniformly random placement (the Fig. 21 baseline).
+    Random,
+}
+
+/// Router scheduling mode (Fig. 21's third ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterMode {
+    /// Greedy maximal legal parallel gate set per stage (paper Sec. III-C).
+    #[default]
+    Parallel,
+    /// One two-qubit gate per movement stage (the Fig. 21 baseline).
+    Serial,
+}
+
+/// Constraint-relaxation toggles (paper Fig. 22). All `false` = the real
+/// hardware; each flag disables one router check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relaxation {
+    /// Relax constraint 1: pretend two-qubit gates are individually
+    /// addressable, so unwanted Rydberg-range pairs are ignored.
+    pub individual_addressing: bool,
+    /// Relax constraint 2: allow AOD row/column order violations.
+    pub allow_order_violation: bool,
+    /// Relax constraint 3: allow rows/columns of one AOD to overlap.
+    pub allow_overlap: bool,
+}
+
+impl Relaxation {
+    /// No relaxation: all three hardware constraints enforced.
+    pub const NONE: Relaxation = Relaxation {
+        individual_addressing: false,
+        allow_order_violation: false,
+        allow_overlap: false,
+    };
+}
+
+/// Full configuration of one [`compile`](crate::compile) run.
+///
+/// # Examples
+///
+/// ```
+/// use atomique::AtomiqueConfig;
+/// let cfg = AtomiqueConfig::default(); // paper defaults: 10×10, 2 AODs
+/// assert_eq!(cfg.hardware.num_aods(), 2);
+/// assert!((cfg.gamma - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomiqueConfig {
+    /// The machine to compile for.
+    pub hardware: RaaConfig,
+    /// Physical constants for the fidelity model.
+    pub params: HardwareParams,
+    /// Layer-decay factor γ of the gate-frequency graph (Alg. 1).
+    pub gamma: f64,
+    /// Constraint relaxations (Fig. 22); default none.
+    pub relaxation: Relaxation,
+    /// Qubit-array mapper selection.
+    pub array_mapper: ArrayMapperKind,
+    /// Qubit-atom mapper selection.
+    pub atom_mapper: AtomMapperKind,
+    /// Router scheduling mode.
+    pub router_mode: RouterMode,
+    /// SABRE tunables for intra-array SWAP insertion.
+    pub sabre: SabreConfig,
+    /// Seed for the random atom mapper (ablation only).
+    pub seed: u64,
+}
+
+impl Default for AtomiqueConfig {
+    fn default() -> Self {
+        AtomiqueConfig {
+            hardware: RaaConfig::default(),
+            params: HardwareParams::neutral_atom(),
+            gamma: 0.9,
+            relaxation: Relaxation::NONE,
+            array_mapper: ArrayMapperKind::default(),
+            atom_mapper: AtomMapperKind::default(),
+            router_mode: RouterMode::default(),
+            sabre: SabreConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl AtomiqueConfig {
+    /// Configuration with a specific machine, paper defaults elsewhere.
+    pub fn for_hardware(hardware: RaaConfig) -> Self {
+        AtomiqueConfig { hardware, ..AtomiqueConfig::default() }
+    }
+
+    /// The Fig. 21 "all baselines" configuration: dense array mapper,
+    /// random atom mapper, serial router.
+    pub fn ablation_baseline(mut self) -> Self {
+        self.array_mapper = ArrayMapperKind::Dense;
+        self.atom_mapper = AtomMapperKind::Random;
+        self.router_mode = RouterMode::Serial;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let c = AtomiqueConfig::default();
+        assert_eq!(c.array_mapper, ArrayMapperKind::MaxKCut);
+        assert_eq!(c.atom_mapper, AtomMapperKind::LoadBalance);
+        assert_eq!(c.router_mode, RouterMode::Parallel);
+        assert_eq!(c.relaxation, Relaxation::NONE);
+        assert_eq!(c.hardware.total_capacity(), 300);
+    }
+
+    #[test]
+    fn ablation_baseline_flips_all_axes() {
+        let c = AtomiqueConfig::default().ablation_baseline();
+        assert_eq!(c.array_mapper, ArrayMapperKind::Dense);
+        assert_eq!(c.atom_mapper, AtomMapperKind::Random);
+        assert_eq!(c.router_mode, RouterMode::Serial);
+    }
+
+    #[test]
+    fn relaxation_default_enforces_all() {
+        let r = Relaxation::default();
+        assert!(!r.individual_addressing && !r.allow_order_violation && !r.allow_overlap);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the Atomique compiler pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use raa_arch::ArchError;
+use raa_circuit::CircuitError;
+use raa_sabre::SabreError;
+
+/// Errors produced by [`compile`](crate::compile).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The circuit does not fit on the configured hardware.
+    Capacity {
+        /// Qubits in the circuit.
+        required: usize,
+        /// Total traps available.
+        available: usize,
+    },
+    /// Hardware description problem.
+    Arch(ArchError),
+    /// Circuit validation problem.
+    Circuit(CircuitError),
+    /// Intra-array SWAP insertion failed.
+    Routing(SabreError),
+    /// The movement router could not make progress: some front-layer gate
+    /// is unschedulable even from a fully reset configuration.
+    RouterStuck {
+        /// Gates that remained unscheduled.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Capacity { required, available } => write!(
+                f,
+                "circuit needs {required} qubits but the machine holds {available} atoms"
+            ),
+            CompileError::Arch(e) => write!(f, "hardware error: {e}"),
+            CompileError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CompileError::Routing(e) => write!(f, "swap insertion failed: {e}"),
+            CompileError::RouterStuck { remaining } => write!(
+                f,
+                "movement router stalled with {remaining} gates left (hardware constraints unsatisfiable)"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Arch(e) => Some(e),
+            CompileError::Circuit(e) => Some(e),
+            CompileError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for CompileError {
+    fn from(e: ArchError) -> Self {
+        CompileError::Arch(e)
+    }
+}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+impl From<SabreError> for CompileError {
+    fn from(e: SabreError) -> Self {
+        CompileError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CompileError::Capacity { required: 400, available: 300 };
+        assert!(e.to_string().contains("400"));
+        assert!(e.source().is_none());
+        let e: CompileError = SabreError::Disconnected.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Human-readable rendering of compiled programs: a textual instruction
+//! listing in the spirit of the DPQA/OLSQ artifact output, useful for
+//! debugging schedules and for driving external visualizers.
+
+use std::fmt::Write as _;
+
+use crate::program::{CompiledProgram, StageKind};
+
+/// Renders the full movement/pulse schedule as text.
+///
+/// One line per instruction:
+///
+/// ```text
+/// stage 0003 MOVE   aod0 row 2: 2.604 -> 5.050
+/// stage 0003 PULSE  gates: (4,17) (6,19)
+/// stage 0003 RETRACT aod0 row 2: 5.050 -> 5.350
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use atomique::{compile, render_schedule, AtomiqueConfig};
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// let out = compile(&c, &AtomiqueConfig::default())?;
+/// let text = render_schedule(&out);
+/// assert!(text.contains("PULSE"));
+/// # Ok::<(), atomique::CompileError>(())
+/// ```
+pub fn render_schedule(program: &CompiledProgram) -> String {
+    let mut out = String::new();
+    for (i, stage) in program.stages.iter().enumerate() {
+        match stage.kind {
+            StageKind::OneQubit => {
+                let _ = writeln!(
+                    out,
+                    "stage {i:04} RAMAN  {} one-qubit gates",
+                    stage.one_qubit_gates.len()
+                );
+            }
+            StageKind::Movement => {
+                for mv in &stage.moves {
+                    if mv.line == u16::MAX {
+                        let _ = writeln!(out, "stage {i:04} UNPARK aod{}", mv.aod);
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "stage {i:04} MOVE   aod{} {} {}: {:.3} -> {:.3}",
+                            mv.aod,
+                            if mv.axis_row { "row" } else { "col" },
+                            mv.line,
+                            mv.from_track,
+                            mv.to_track
+                        );
+                    }
+                }
+                let gates: Vec<String> =
+                    stage.gate_pairs.iter().map(|(a, b)| format!("({a},{b})")).collect();
+                let _ = writeln!(out, "stage {i:04} PULSE  gates: {}", gates.join(" "));
+                for mv in &stage.retract_moves {
+                    let _ = writeln!(
+                        out,
+                        "stage {i:04} RETRACT aod{} {} {}: {:.3} -> {:.3}",
+                        mv.aod,
+                        if mv.axis_row { "row" } else { "col" },
+                        mv.line,
+                        mv.from_track,
+                        mv.to_track
+                    );
+                }
+            }
+            StageKind::Reset => {
+                let _ = writeln!(out, "stage {i:04} RESET  keep {:?}", stage.kept_aods);
+            }
+            StageKind::TransferAssisted => {
+                let (a, b) = stage.gate_pairs[0];
+                let _ = writeln!(out, "stage {i:04} XFER   gate ({a},{b}) via re-grab");
+            }
+            StageKind::Cooling => {
+                let _ = writeln!(
+                    out,
+                    "stage {i:04} COOL   aod{} swapped with cold spare",
+                    stage.cooled_aod.unwrap_or(0)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One-line summary of a compiled program, for logs.
+pub fn summarize(program: &CompiledProgram) -> String {
+    let s = &program.stats;
+    format!(
+        "{}q: 2Q {} (swaps {}), depth {}, moves {} ({:.2} mm), cooling {}, F {:.4}",
+        s.num_qubits,
+        s.two_qubit_gates,
+        s.swaps_inserted,
+        s.depth,
+        s.num_move_stages,
+        s.total_move_distance_mm,
+        s.cooling_events,
+        program.total_fidelity()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::config::AtomiqueConfig;
+    use raa_circuit::{Circuit, Gate, Qubit};
+
+    fn program() -> CompiledProgram {
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cz(Qubit(0), Qubit(2)));
+        c.push(Gate::cz(Qubit(1), Qubit(3)));
+        compile(&c, &AtomiqueConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn renders_all_instruction_kinds() {
+        let text = render_schedule(&program());
+        assert!(text.contains("RAMAN"));
+        assert!(text.contains("MOVE"));
+        assert!(text.contains("PULSE"));
+        assert!(text.contains("RETRACT"));
+        // Stage numbering is zero-padded and ascending.
+        assert!(text.starts_with("stage 0000"));
+    }
+
+    #[test]
+    fn every_gate_pair_appears() {
+        let p = program();
+        let text = render_schedule(&p);
+        let rendered_pulses = text.matches("PULSE").count();
+        let stages_with_gates =
+            p.stages.iter().filter(|s| s.kind == StageKind::Movement).count();
+        assert_eq!(rendered_pulses, stages_with_gates);
+    }
+
+    #[test]
+    fn summary_mentions_key_stats() {
+        let p = program();
+        let s = summarize(&p);
+        assert!(s.contains("4q"));
+        assert!(s.contains("depth"));
+        assert!(s.contains("F 0."));
+    }
+}

@@ -1,0 +1,153 @@
+//! Stress and configuration-matrix tests for the Atomique compiler:
+//! multi-AOD machines, varied array sizes, relaxation combinations, and
+//! algorithmic workloads, each cross-checked by the independent stage
+//! validator.
+
+use atomique::{compile, validate_program, AtomiqueConfig, Relaxation};
+use raa_arch::{ArrayDims, RaaConfig};
+use raa_circuit::{Circuit, Gate, Qubit};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let a = rng.random_range(0..n as u32);
+        let mut b = rng.random_range(0..n as u32);
+        while b == a {
+            b = rng.random_range(0..n as u32);
+        }
+        if rng.random::<f64>() < 0.25 {
+            c.push(Gate::ry(Qubit(a), 0.7));
+        } else {
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+    }
+    c
+}
+
+/// Every AOD count the paper sweeps (Fig. 20c) compiles and validates.
+#[test]
+fn one_through_seven_aods() {
+    let c = random_circuit(24, 80, 1);
+    let mut prev_swaps = usize::MAX;
+    for aods in 1..=7 {
+        let hw = RaaConfig::square(8, aods).expect("valid machine");
+        let cfg = AtomiqueConfig::for_hardware(hw);
+        let out = compile(&c, &cfg).unwrap_or_else(|e| panic!("{aods} AODs: {e}"));
+        validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
+            .unwrap_or_else(|e| panic!("{aods} AODs: {e}"));
+        // More partitions can only help the cut (weak monotonicity check
+        // against the 1-AOD case).
+        if aods >= 2 {
+            assert!(
+                out.stats.swaps_inserted <= prev_swaps.max(1) * 2,
+                "{aods} AODs regressed badly on swaps"
+            );
+        }
+        prev_swaps = prev_swaps.min(out.stats.swaps_inserted);
+    }
+}
+
+/// Varied AOD dimensions (Fig. 23's configuration) compile and validate.
+#[test]
+fn varied_aod_dimensions() {
+    let hw = RaaConfig::new(
+        ArrayDims::new(10, 10),
+        vec![ArrayDims::new(8, 8), ArrayDims::new(6, 6)],
+    )
+    .unwrap();
+    let cfg = AtomiqueConfig::for_hardware(hw);
+    let c = random_circuit(40, 150, 2);
+    let out = compile(&c, &cfg).unwrap();
+    validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot).unwrap();
+    assert!(out.total_fidelity() > 0.0);
+}
+
+/// Rectangular (non-square) arrays work (Fig. 20a's shapes).
+#[test]
+fn extreme_aspect_ratios() {
+    for (r, cdim) in [(16, 3), (3, 16), (24, 2)] {
+        let hw = RaaConfig::new(ArrayDims::new(r, cdim), vec![ArrayDims::new(r, cdim); 2])
+            .unwrap();
+        let cfg = AtomiqueConfig::for_hardware(hw);
+        let c = random_circuit(30, 60, 3);
+        let out = compile(&c, &cfg).unwrap_or_else(|e| panic!("{r}x{cdim}: {e}"));
+        validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
+            .unwrap_or_else(|e| panic!("{r}x{cdim}: {e}"));
+    }
+}
+
+/// Every single-constraint relaxation compiles; gate counts never change.
+#[test]
+fn relaxation_matrix() {
+    let c = random_circuit(20, 70, 4);
+    let base = compile(&c, &AtomiqueConfig::default()).unwrap();
+    let settings = [
+        Relaxation { individual_addressing: true, ..Relaxation::NONE },
+        Relaxation { allow_order_violation: true, ..Relaxation::NONE },
+        Relaxation { allow_overlap: true, ..Relaxation::NONE },
+        Relaxation {
+            individual_addressing: true,
+            allow_order_violation: true,
+            allow_overlap: false,
+        },
+    ];
+    for relax in settings {
+        let out = compile(
+            &c,
+            &AtomiqueConfig { relaxation: relax, ..AtomiqueConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(out.stats.two_qubit_gates, base.stats.two_qubit_gates, "{relax:?}");
+        assert!(out.stats.depth <= base.stats.depth + 5, "{relax:?}");
+    }
+}
+
+/// Algorithmic workloads (QFT, Grover, W-state) compile and validate —
+/// these exercise all-to-all, ladder, and chain interaction patterns.
+#[test]
+fn algorithmic_workloads_validate() {
+    let cfg = AtomiqueConfig::default();
+    for (name, c) in [
+        ("qft-12", raa_benchmarks::qft(12)),
+        ("grover-8", raa_benchmarks::grover(8, 2)),
+        ("wstate-16", raa_benchmarks::w_state(16)),
+    ] {
+        let out = compile(&c, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.total_fidelity() > 0.0, "{name}");
+    }
+}
+
+/// Near-capacity occupancy (Fig. 24's regime): 100 qubits on 172 traps.
+#[test]
+fn near_capacity_compiles() {
+    let hw = RaaConfig::new(
+        ArrayDims::new(10, 10),
+        vec![ArrayDims::new(6, 6), ArrayDims::new(6, 6)],
+    )
+    .unwrap();
+    let cfg = AtomiqueConfig::for_hardware(hw);
+    let c = random_circuit(100, 200, 5);
+    let out = compile(&c, &cfg).unwrap();
+    validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot).unwrap();
+    assert_eq!(
+        out.stats.two_qubit_gates,
+        raa_circuit::optimize(&c).two_qubit_count() + 3 * out.stats.swaps_inserted
+    );
+}
+
+/// The schedule renderer covers every stage of a large program.
+#[test]
+fn schedule_renders_completely() {
+    let c = random_circuit(30, 120, 6);
+    let out = compile(&c, &AtomiqueConfig::default()).unwrap();
+    let text = atomique::render_schedule(&out);
+    assert_eq!(text.matches("PULSE").count() + text.matches("XFER").count(),
+        out.stats.depth);
+    assert!(text.lines().count() >= out.stages.len());
+    let summary = atomique::summarize(&out);
+    assert!(summary.contains("30q"));
+}

@@ -1,0 +1,239 @@
+//! End-to-end circuit fidelity estimation (paper Sec. V-A).
+//!
+//! `F = F_1Q · F_2Q · F_transfer · F_mov` with
+//!
+//! * `F_1Q = f_1Q^{N_1Q} · exp(−T_1Q·N/T1)` — gate error plus decoherence
+//!   of all `N` qubits during the cumulative one-qubit gate time,
+//! * `F_2Q` analogous,
+//! * `F_transfer = (1−P_loss)^{N_transfer} · exp(−T_transfer·N/T1)`,
+//! * `F_mov` from the [`MovementLedger`](crate::MovementLedger).
+
+use crate::params::HardwareParams;
+
+/// Per-source fidelity factors of one compiled circuit, multiplied together
+/// by [`FidelityBreakdown::total`]. The −log components regenerate the
+/// error-breakdown bars of Fig. 18.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityBreakdown {
+    /// One-qubit gate factor `F_1Q`.
+    pub one_qubit: f64,
+    /// Two-qubit gate factor `F_2Q`.
+    pub two_qubit: f64,
+    /// SLM↔AOD transfer factor `F_transfer`.
+    pub transfer: f64,
+    /// Movement heating factor.
+    pub move_heating: f64,
+    /// Cooling-overhead factor.
+    pub move_cooling: f64,
+    /// Movement atom-loss factor.
+    pub move_loss: f64,
+    /// Movement decoherence factor.
+    pub move_decoherence: f64,
+}
+
+impl Default for FidelityBreakdown {
+    /// A unit breakdown (perfect fidelity).
+    fn default() -> Self {
+        FidelityBreakdown {
+            one_qubit: 1.0,
+            two_qubit: 1.0,
+            transfer: 1.0,
+            move_heating: 1.0,
+            move_cooling: 1.0,
+            move_loss: 1.0,
+            move_decoherence: 1.0,
+        }
+    }
+}
+
+impl FidelityBreakdown {
+    /// The total estimated fidelity: product of every factor.
+    pub fn total(&self) -> f64 {
+        self.one_qubit
+            * self.two_qubit
+            * self.transfer
+            * self.move_heating
+            * self.move_cooling
+            * self.move_loss
+            * self.move_decoherence
+    }
+
+    /// `F_mov` alone (paper Eq. 1).
+    pub fn f_mov(&self) -> f64 {
+        self.move_heating * self.move_cooling * self.move_loss * self.move_decoherence
+    }
+
+    /// Named −log(F) contributions, the Fig. 18 error-breakdown series.
+    /// Ordering matches the paper's legend.
+    pub fn neg_log_components(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("1Q Gate", neg_log(self.one_qubit)),
+            ("2Q Gate", neg_log(self.two_qubit)),
+            ("Move Heating", neg_log(self.move_heating)),
+            ("Move Cooling", neg_log(self.move_cooling)),
+            ("Move Atom Loss", neg_log(self.move_loss)),
+            ("Move Decoherence", neg_log(self.move_decoherence)),
+        ]
+    }
+}
+
+fn neg_log(f: f64) -> f64 {
+    -f.max(1e-300).ln()
+}
+
+/// Inputs for the gate-phase factors shared by every architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePhaseStats {
+    /// Total circuit qubits `N`.
+    pub num_qubits: usize,
+    /// One-qubit gate count after compilation.
+    pub one_qubit_gates: usize,
+    /// Two-qubit gate count after compilation.
+    pub two_qubit_gates: usize,
+    /// Cumulative wall-clock time spent in one-qubit layers, seconds.
+    pub one_qubit_time_s: f64,
+    /// Cumulative wall-clock time spent in two-qubit layers, seconds.
+    pub two_qubit_time_s: f64,
+}
+
+/// Computes `(F_1Q, F_2Q)` for a compiled circuit.
+pub fn gate_phase_fidelity(params: &HardwareParams, stats: &GatePhaseStats) -> (f64, f64) {
+    let n = stats.num_qubits as f64;
+    let f1 = powi_clamped(params.one_qubit_fidelity, stats.one_qubit_gates)
+        * (-stats.one_qubit_time_s * n / params.coherence_time_s).exp();
+    let f2 = powi_clamped(params.two_qubit_fidelity, stats.two_qubit_gates)
+        * (-stats.two_qubit_time_s * n / params.coherence_time_s).exp();
+    (f1, f2)
+}
+
+/// Computes `F_transfer` for `num_transfers` SLM↔AOD transfers taking
+/// `transfer_time_s` cumulative seconds on an `n`-qubit circuit.
+pub fn transfer_fidelity(
+    params: &HardwareParams,
+    num_transfers: usize,
+    transfer_time_s: f64,
+    num_qubits: usize,
+) -> f64 {
+    powi_clamped(1.0 - params.transfer_loss_prob, num_transfers)
+        * (-transfer_time_s * num_qubits as f64 / params.coherence_time_s).exp()
+}
+
+/// Fidelity of a circuit on a *fixed* architecture (superconducting or
+/// fixed atom array): no movement, no transfers.
+///
+/// `one_qubit_layers` / `two_qubit_layers` are depth measured in parallel
+/// layers of the respective gate kind; the cumulative phase times are
+/// `layers × gate time`.
+pub fn fixed_architecture_fidelity(
+    params: &HardwareParams,
+    num_qubits: usize,
+    one_qubit_gates: usize,
+    two_qubit_gates: usize,
+    one_qubit_layers: usize,
+    two_qubit_layers: usize,
+) -> FidelityBreakdown {
+    let stats = GatePhaseStats {
+        num_qubits,
+        one_qubit_gates,
+        two_qubit_gates,
+        one_qubit_time_s: one_qubit_layers as f64 * params.one_qubit_time_s,
+        two_qubit_time_s: two_qubit_layers as f64 * params.two_qubit_time_s,
+    };
+    let (one_qubit, two_qubit) = gate_phase_fidelity(params, &stats);
+    FidelityBreakdown { one_qubit, two_qubit, ..FidelityBreakdown::default() }
+}
+
+fn powi_clamped(base: f64, exp: usize) -> f64 {
+    if exp == 0 {
+        return 1.0;
+    }
+    (exp as f64 * base.max(1e-300).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_breakdown_is_perfect() {
+        let b = FidelityBreakdown::default();
+        assert!((b.total() - 1.0).abs() < 1e-12);
+        assert!((b.f_mov() - 1.0).abs() < 1e-12);
+        assert!(b.neg_log_components().iter().all(|(_, v)| *v < 1e-12));
+    }
+
+    #[test]
+    fn total_is_product() {
+        let b = FidelityBreakdown {
+            one_qubit: 0.9,
+            two_qubit: 0.8,
+            transfer: 0.99,
+            move_heating: 0.95,
+            move_cooling: 0.97,
+            move_loss: 0.96,
+            move_decoherence: 0.94,
+        };
+        let expect = 0.9 * 0.8 * 0.99 * 0.95 * 0.97 * 0.96 * 0.94;
+        assert!((b.total() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superconducting_hhl_sanity() {
+        // Cross-check against paper Fig. 13: HHL-7 on superconducting has
+        // fidelity ≈ 0.33 with ≈174 2Q gates, ≈800 1Q gates, depth ≈150.
+        let p = HardwareParams::superconducting();
+        let b = fixed_architecture_fidelity(&p, 7, 800, 174, 300, 150);
+        let f = b.total();
+        assert!(f > 0.2 && f < 0.5, "HHL-7 fidelity {f}");
+    }
+
+    #[test]
+    fn faa_fidelity_dominated_by_two_qubit_gates() {
+        // With T1 = 15 s, decoherence is negligible: F ≈ f_2Q^N2Q.
+        let p = HardwareParams::neutral_atom();
+        let b = fixed_architecture_fidelity(&p, 10, 0, 170, 0, 120);
+        assert!((b.total() - 0.9975_f64.powi(170)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transfer_fidelity_decreases_with_transfers() {
+        let p = HardwareParams::neutral_atom();
+        let f1 = transfer_fidelity(&p, 10, 150e-6, 10);
+        let f2 = transfer_fidelity(&p, 100, 1.5e-3, 10);
+        assert!(f2 < f1);
+        assert!(f1 < 1.0);
+        assert!((transfer_fidelity(&p, 0, 0.0, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_phase_decoheres_with_time() {
+        let p = HardwareParams::superconducting();
+        let fast = GatePhaseStats {
+            num_qubits: 50,
+            one_qubit_gates: 0,
+            two_qubit_gates: 100,
+            one_qubit_time_s: 0.0,
+            two_qubit_time_s: 10e-6,
+        };
+        let slow = GatePhaseStats { two_qubit_time_s: 100e-6, ..fast };
+        let (_, f_fast) = gate_phase_fidelity(&p, &fast);
+        let (_, f_slow) = gate_phase_fidelity(&p, &slow);
+        assert!(f_slow < f_fast);
+    }
+
+    #[test]
+    fn deep_circuit_does_not_underflow_to_nan() {
+        let p = HardwareParams::neutral_atom();
+        let b = fixed_architecture_fidelity(&p, 100, 1_000_000, 1_000_000, 500_000, 500_000);
+        assert!(b.total() >= 0.0);
+        assert!(b.total().is_finite());
+    }
+
+    #[test]
+    fn neg_log_orders_match_magnitudes() {
+        let b = FidelityBreakdown { two_qubit: 0.5, ..FidelityBreakdown::default() };
+        let comps = b.neg_log_components();
+        let two_q = comps.iter().find(|(n, _)| *n == "2Q Gate").unwrap().1;
+        assert!((two_q - 0.5_f64.ln().abs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Atom-movement physics and fidelity estimation for the Atomique
+//! (ISCA 2024) reproduction.
+//!
+//! The paper could not use any existing simulator (none supported movable
+//! atoms, gates, and noise simultaneously) and built an analytical fidelity
+//! model instead — Sec. IV and V-A. This crate is that model:
+//!
+//! * [`HardwareParams`] — Table I constants, with sweep builders for the
+//!   Fig. 18 sensitivity analysis;
+//! * [`MovementProfile`] — the constant-negative-jerk kinematics of Fig. 12;
+//! * [`delta_n_vib`] / [`loss_probability`] / [`MovementLedger`] — heating,
+//!   atom loss, cooling and movement decoherence (Eq. 1–2);
+//! * [`FidelityBreakdown`] and helpers — the end-to-end
+//!   `F = F_1Q·F_2Q·F_transfer·F_mov` estimate and its −log error
+//!   breakdown.
+//!
+//! # Examples
+//!
+//! ```
+//! use raa_physics::{delta_n_vib, HardwareParams};
+//! let p = HardwareParams::neutral_atom();
+//! // One 15 µm hop in 300 µs heats the atom by ~0.0054 vibrational quanta
+//! // (paper Sec. IV).
+//! let dn = delta_n_vib(&p, 15e-6, 300e-6);
+//! assert!((dn - 0.0054).abs() < 2e-4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fidelity;
+mod kinematics;
+mod math;
+mod params;
+mod vibration;
+
+pub use fidelity::{
+    fixed_architecture_fidelity, gate_phase_fidelity, transfer_fidelity, FidelityBreakdown,
+    GatePhaseStats,
+};
+pub use kinematics::{KinematicSample, MovementProfile};
+pub use math::erf;
+pub use params::HardwareParams;
+pub use vibration::{delta_n_vib, loss_probability, MovementLedger};

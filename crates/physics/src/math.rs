@@ -1,0 +1,72 @@
+//! Small math helpers: the error function, which `std` does not provide.
+
+/// The error function, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (absolute error < 1.5·10⁻⁷ — far below the fidelity
+/// model's needs).
+///
+/// # Examples
+///
+/// ```
+/// use raa_physics::erf;
+/// assert!((erf(0.0)).abs() < 1e-6);
+/// assert!((erf(10.0) - 1.0).abs() < 1e-7);
+/// assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12); // odd by construction
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    1.0 - poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::erf;
+
+    #[test]
+    fn known_values() {
+        // Reference values from tables.
+        for (x, want) in [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+        ] {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = -1.0;
+        let mut x = -4.0;
+        while x <= 4.0 {
+            let y = erf(x);
+            assert!(y >= prev - 1e-12);
+            prev = y;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn saturates_to_one() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-12);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Hardware parameters (paper Table I).
+//!
+//! Two presets are provided: the neutral-atom machine of Bluvstein et al.
+//! (used for every atom-array architecture) and the IBM superconducting
+//! machine. The paper equalizes gate fidelities across platforms "for
+//! unbiased comparisons"; the presets reflect the literal Table I values.
+
+/// Physical constants of one machine, in SI units unless noted.
+///
+/// Construct via [`HardwareParams::neutral_atom`] or
+/// [`HardwareParams::superconducting`], then adjust fields for sensitivity
+/// sweeps (Fig. 18).
+///
+/// # Examples
+///
+/// ```
+/// use raa_physics::HardwareParams;
+/// let mut p = HardwareParams::neutral_atom();
+/// p.t_move_s = 500e-6; // Fig. 18(a) sweep point
+/// assert!(p.two_qubit_fidelity > 0.99);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareParams {
+    /// Two-qubit gate fidelity `f_2Q` (Table I: 0.9975).
+    pub two_qubit_fidelity: f64,
+    /// One-qubit gate fidelity `f_1Q` (Table I: 0.99992).
+    pub one_qubit_fidelity: f64,
+    /// Two-qubit gate duration in seconds (neutral atom: 380 ns).
+    pub two_qubit_time_s: f64,
+    /// One-qubit gate duration in seconds (neutral atom: 625 ns).
+    pub one_qubit_time_s: f64,
+    /// Coherence time T1 in seconds (neutral atom: 15 s; superconducting:
+    /// 801.2 µs).
+    pub coherence_time_s: f64,
+    /// Trap spacing in µm (15 µm); only meaningful for atom arrays.
+    pub atom_distance_um: f64,
+    /// Duration of one movement stage in seconds (300 µs).
+    pub t_move_s: f64,
+    /// Duration of one SLM↔AOD atom transfer in seconds (15 µs).
+    pub t_transfer_s: f64,
+    /// Atom-loss probability per transfer (0.0068).
+    pub transfer_loss_prob: f64,
+    /// Zero-point size x_zpf in metres (38 nm).
+    pub x_zpf_m: f64,
+    /// Trap angular frequency ω₀ in rad/s (2π·80 kHz). With these values
+    /// one 15 µm hop at 300 µs costs Δn_vib = 0.0054, matching the paper.
+    pub omega0_rad_s: f64,
+    /// Heating-to-error proportionality λ (0.109).
+    pub lambda: f64,
+    /// Vibrational quantum number at which an atom is lost (33).
+    pub n_vib_max: f64,
+    /// Cooling threshold: cool the AOD array when any atom exceeds this
+    /// n_vib (paper default 15).
+    pub n_vib_cool_threshold: f64,
+}
+
+impl HardwareParams {
+    /// The neutral-atom preset (Table I, Bluvstein et al. values).
+    pub fn neutral_atom() -> Self {
+        HardwareParams {
+            two_qubit_fidelity: 0.9975,
+            one_qubit_fidelity: 0.99992,
+            two_qubit_time_s: 380e-9,
+            one_qubit_time_s: 625e-9,
+            coherence_time_s: 15.0,
+            atom_distance_um: 15.0,
+            t_move_s: 300e-6,
+            t_transfer_s: 15e-6,
+            transfer_loss_prob: 0.0068,
+            x_zpf_m: 38e-9,
+            omega0_rad_s: 2.0 * std::f64::consts::PI * 80e3,
+            lambda: 0.109,
+            n_vib_max: 33.0,
+            n_vib_cool_threshold: 15.0,
+        }
+    }
+
+    /// The IBM superconducting preset (Table I). Gate fidelities are
+    /// equalized with the neutral-atom machine, as in the paper; movement
+    /// fields are not meaningful and retain neutral-atom placeholders.
+    pub fn superconducting() -> Self {
+        HardwareParams {
+            two_qubit_fidelity: 0.9975,
+            one_qubit_fidelity: 0.99992,
+            two_qubit_time_s: 480e-9,
+            one_qubit_time_s: 35.2e-9,
+            coherence_time_s: 801.2e-6,
+            ..Self::neutral_atom()
+        }
+    }
+
+    /// Average movement speed for the configured stage time, assuming a
+    /// one-spacing hop (Fig. 18(b)'s x-axis): `d / t_move` in m/s.
+    pub fn avg_move_speed_m_s(&self) -> f64 {
+        self.atom_distance_um * 1e-6 / self.t_move_s
+    }
+
+    /// Returns a copy with a different per-stage movement time (Fig. 18a).
+    pub fn with_t_move(mut self, t_move_s: f64) -> Self {
+        self.t_move_s = t_move_s;
+        self
+    }
+
+    /// Returns a copy with a different trap spacing (Fig. 18c).
+    pub fn with_atom_distance(mut self, um: f64) -> Self {
+        self.atom_distance_um = um;
+        self
+    }
+
+    /// Returns a copy with a different cooling threshold (Fig. 18d).
+    pub fn with_cool_threshold(mut self, n: f64) -> Self {
+        self.n_vib_cool_threshold = n;
+        self
+    }
+
+    /// Returns a copy with a different coherence time (Fig. 18e).
+    pub fn with_coherence_time(mut self, t1_s: f64) -> Self {
+        self.coherence_time_s = t1_s;
+        self
+    }
+
+    /// Returns a copy with a different two-qubit gate fidelity (Fig. 18f).
+    pub fn with_two_qubit_fidelity(mut self, f: f64) -> Self {
+        self.two_qubit_fidelity = f;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_atom_matches_table_one() {
+        let p = HardwareParams::neutral_atom();
+        assert!((p.two_qubit_fidelity - 0.9975).abs() < 1e-12);
+        assert!((p.one_qubit_fidelity - 0.99992).abs() < 1e-12);
+        assert!((p.two_qubit_time_s - 380e-9).abs() < 1e-15);
+        assert!((p.coherence_time_s - 15.0).abs() < 1e-12);
+        assert!((p.t_move_s - 300e-6).abs() < 1e-12);
+        assert!((p.transfer_loss_prob - 0.0068).abs() < 1e-12);
+        assert!((p.lambda - 0.109).abs() < 1e-12);
+        assert!((p.n_vib_max - 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superconducting_differs_in_times_only() {
+        let s = HardwareParams::superconducting();
+        let n = HardwareParams::neutral_atom();
+        assert_eq!(s.two_qubit_fidelity, n.two_qubit_fidelity);
+        assert!((s.two_qubit_time_s - 480e-9).abs() < 1e-15);
+        assert!((s.one_qubit_time_s - 35.2e-9).abs() < 1e-15);
+        assert!(s.coherence_time_s < 1e-3);
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let p = HardwareParams::neutral_atom()
+            .with_t_move(100e-6)
+            .with_atom_distance(30.0)
+            .with_cool_threshold(25.0)
+            .with_coherence_time(1.0)
+            .with_two_qubit_fidelity(0.99);
+        assert!((p.t_move_s - 100e-6).abs() < 1e-12);
+        assert!((p.atom_distance_um - 30.0).abs() < 1e-12);
+        assert!((p.n_vib_cool_threshold - 25.0).abs() < 1e-12);
+        assert!((p.coherence_time_s - 1.0).abs() < 1e-12);
+        assert!((p.two_qubit_fidelity - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_speed() {
+        let p = HardwareParams::neutral_atom();
+        // 15 µm in 300 µs = 0.05 m/s
+        assert!((p.avg_move_speed_m_s() - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests of the physics model's scaling laws (paper Sec. IV):
+//! heating scales with D² and T⁻⁴, loss is monotone in n_vib, kinematics
+//! integrate consistently.
+
+use proptest::prelude::*;
+use raa_physics::{
+    delta_n_vib, loss_probability, HardwareParams, MovementLedger, MovementProfile,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Δn_vib ∝ D²: doubling the distance quadruples the heating.
+    #[test]
+    fn heating_quadratic_in_distance(d_um in 1.0f64..100.0, t_us in 100.0f64..1000.0) {
+        let p = HardwareParams::neutral_atom();
+        let one = delta_n_vib(&p, d_um * 1e-6, t_us * 1e-6);
+        let two = delta_n_vib(&p, 2.0 * d_um * 1e-6, t_us * 1e-6);
+        prop_assert!((two / one - 4.0).abs() < 1e-6);
+    }
+
+    /// Δn_vib ∝ T⁻⁴: doubling the move time cuts heating 16-fold
+    /// (the paper's "minor increase in T_mov allows a substantially
+    /// greater N_move" insight).
+    #[test]
+    fn heating_quartic_in_time(d_um in 1.0f64..100.0, t_us in 100.0f64..1000.0) {
+        let p = HardwareParams::neutral_atom();
+        let fast = delta_n_vib(&p, d_um * 1e-6, t_us * 1e-6);
+        let slow = delta_n_vib(&p, d_um * 1e-6, 2.0 * t_us * 1e-6);
+        prop_assert!((fast / slow - 16.0).abs() < 1e-6);
+    }
+
+    /// Loss probability is monotone non-decreasing in n_vib and bounded
+    /// in [0, 1].
+    #[test]
+    fn loss_monotone(n1 in 0.0f64..40.0, n2 in 0.0f64..40.0) {
+        let p = HardwareParams::neutral_atom();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let pl = loss_probability(&p, lo);
+        let ph = loss_probability(&p, hi);
+        prop_assert!(pl <= ph + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&pl));
+        prop_assert!((0.0..=1.0).contains(&ph));
+    }
+
+    /// The kinematic profile's velocity numerically integrates to its
+    /// distance for arbitrary parameters.
+    #[test]
+    fn velocity_integrates(d_um in 1.0f64..200.0, t_us in 50.0f64..2000.0) {
+        let m = MovementProfile::new(d_um * 1e-6, t_us * 1e-6);
+        let steps = 2000;
+        let dt = m.duration_s() / steps as f64;
+        let integral: f64 = (0..steps).map(|i| m.velocity((i as f64 + 0.5) * dt) * dt).sum();
+        prop_assert!((integral - m.distance_m()).abs() / m.distance_m() < 1e-5);
+    }
+
+    /// Ledger fidelity factors stay in (0, 1] no matter the move history.
+    #[test]
+    fn ledger_factors_bounded(moves in proptest::collection::vec((0u32..20, 1.0f64..100.0), 1..60)) {
+        let p = HardwareParams::neutral_atom();
+        let mut l = MovementLedger::new(&p);
+        for (atom, d_um) in moves {
+            l.record_move(&[(atom, d_um * 1e-6)], p.t_move_s, 20);
+            l.record_two_qubit_gate(&[atom]);
+            if l.needs_cooling([atom]) {
+                l.cool_array(&[atom]);
+            }
+        }
+        for f in [l.f_heating(), l.f_loss(), l.f_cooling(), l.f_decoherence(), l.f_mov()] {
+            prop_assert!(f > 0.0 && f <= 1.0 + 1e-12, "factor {f}");
+        }
+    }
+
+    /// More movement never improves any fidelity factor.
+    #[test]
+    fn movement_monotonically_degrades(d_um in 5.0f64..50.0) {
+        let p = HardwareParams::neutral_atom();
+        let mut l = MovementLedger::new(&p);
+        let mut prev = 1.0f64;
+        for _ in 0..10 {
+            l.record_move(&[(0, d_um * 1e-6)], p.t_move_s, 10);
+            l.record_two_qubit_gate(&[0]);
+            let f = l.f_mov();
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+}
+
+/// The documented trade-off of Fig. 18(a): at short move times heating
+/// dominates, at long times decoherence dominates.
+#[test]
+fn t_move_trade_off_shape() {
+    let p = HardwareParams::neutral_atom();
+    let heat_fast = delta_n_vib(&p, 15e-6, 100e-6);
+    let heat_slow = delta_n_vib(&p, 15e-6, 1000e-6);
+    assert!(heat_fast > 50.0 * heat_slow);
+    // Decoherence per stage grows linearly in T_mov.
+    let deco = |t: f64| (-(10.0 * t) / p.coherence_time_s).exp();
+    assert!(deco(1000e-6) < deco(100e-6));
+}

@@ -1,0 +1,58 @@
+//! Error types for mapping and routing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SABRE mapper/router.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SabreError {
+    /// The circuit needs more qubits than the device provides.
+    TooManyQubits {
+        /// Logical qubits in the circuit.
+        logical: usize,
+        /// Physical qubits on the device.
+        physical: usize,
+    },
+    /// The provided initial layout is malformed.
+    InvalidLayout {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Routing stalled; the coupling graph cannot connect the needed
+    /// qubits.
+    Disconnected,
+}
+
+impl fmt::Display for SabreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SabreError::TooManyQubits { logical, physical } => write!(
+                f,
+                "circuit has {logical} qubits but the device only has {physical}"
+            ),
+            SabreError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
+            SabreError::Disconnected => {
+                write!(f, "coupling graph cannot connect the qubits required by the circuit")
+            }
+        }
+    }
+}
+
+impl Error for SabreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SabreError::TooManyQubits { logical: 5, physical: 3 }.to_string().contains('5'));
+        assert!(SabreError::Disconnected.to_string().contains("coupling"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SabreError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! SABRE initial-layout search (the `SabreLayout` half of the algorithm).
+//!
+//! Runs forward/backward routing passes: routing the reversed circuit from
+//! the final layout of a forward pass yields an initial layout adapted to
+//! the circuit's early gates. Several random restarts are scored by
+//! inserted-SWAP count and the best kept.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use raa_arch::CouplingGraph;
+use raa_circuit::Circuit;
+
+use crate::error::SabreError;
+use crate::route::{route, RoutedCircuit, SabreConfig};
+
+/// Options for the layout search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutConfig {
+    /// Forward/backward refinement iterations per trial.
+    pub passes: usize,
+    /// Independent random restarts.
+    pub trials: usize,
+    /// RNG seed for the restarts.
+    pub seed: u64,
+    /// Routing tunables used inside the search and for the final route.
+    pub routing: SabreConfig,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig { passes: 3, trials: 4, seed: 0, routing: SabreConfig::default() }
+    }
+}
+
+/// Reverses a circuit's gate order (the adjoint structure is irrelevant for
+/// routing purposes — only qubit adjacency matters).
+fn reversed(circuit: &Circuit) -> Circuit {
+    let mut c = Circuit::new(circuit.num_qubits());
+    for g in circuit.gates().iter().rev() {
+        c.push(*g);
+    }
+    c
+}
+
+/// Finds a good initial layout and routes the circuit with it.
+///
+/// This is the full SABRE pipeline ("Qiskit level 3" equivalent): random
+/// initial layouts refined by forward/backward passes, best trial kept.
+///
+/// # Errors
+///
+/// Propagates routing errors; see [`route`].
+pub fn layout_and_route(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    config: &LayoutConfig,
+) -> Result<RoutedCircuit, SabreError> {
+    let n_log = circuit.num_qubits();
+    let n_phys = graph.num_qubits();
+    if n_log > n_phys {
+        return Err(SabreError::TooManyQubits { logical: n_log, physical: n_phys });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rev = reversed(circuit);
+    let mut best: Option<RoutedCircuit> = None;
+
+    for trial in 0..config.trials.max(1) {
+        // Trial 0 uses the trivial layout; the rest are random permutations.
+        let mut layout: Vec<u32> = (0..n_phys as u32).collect();
+        if trial > 0 {
+            layout.shuffle(&mut rng);
+        }
+        let mut layout: Vec<u32> = layout.into_iter().take(n_log).collect();
+
+        for _ in 0..config.passes {
+            let fwd = route(circuit, graph, &layout, &config.routing)?;
+            let back = route(&rev, graph, &fwd.final_layout, &config.routing)?;
+            layout = back.final_layout;
+        }
+        let routed = route(circuit, graph, &layout, &config.routing)?;
+        if best.as_ref().map_or(true, |b| routed.swaps_inserted < b.swaps_inserted) {
+            best = Some(routed);
+        }
+    }
+    Ok(best.expect("at least one trial ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::verify_routing;
+    use raa_circuit::{Gate, Qubit};
+
+    fn ladder(n: usize) -> Circuit {
+        // Gates between far-apart qubits: a poor trivial layout.
+        let mut c = Circuit::new(n);
+        for i in 0..n / 2 {
+            c.push(Gate::cz(Qubit(i as u32), Qubit((n - 1 - i) as u32)));
+        }
+        c
+    }
+
+    #[test]
+    fn layout_search_beats_or_matches_trivial() {
+        let c = ladder(8);
+        let g = CouplingGraph::line(8);
+        let trivial = route(&c, &g, &(0..8).collect::<Vec<_>>(), &SabreConfig::default()).unwrap();
+        let improved = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+        assert!(improved.swaps_inserted <= trivial.swaps_inserted);
+        verify_routing(&c, &improved, &g).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = ladder(6);
+        let g = CouplingGraph::grid(2, 3);
+        let a = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+        let b = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+        assert_eq!(a.swaps_inserted, b.swaps_inserted);
+        assert_eq!(a.initial_layout, b.initial_layout);
+    }
+
+    #[test]
+    fn works_when_logical_less_than_physical() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(Qubit(0), Qubit(2)));
+        let g = CouplingGraph::grid(3, 3);
+        let r = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+        verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn empty_circuit_routes_trivially() {
+        let c = Circuit::new(4);
+        let g = CouplingGraph::grid(2, 2);
+        let r = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+        assert!(r.circuit.is_empty());
+    }
+}

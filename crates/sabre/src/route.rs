@@ -1,0 +1,501 @@
+//! SABRE SWAP routing (Li, Ding, Xie — ASPLOS 2019).
+//!
+//! Given a circuit over logical qubits, a coupling graph over physical
+//! qubits, and an initial layout, inserts SWAPs so every two-qubit gate
+//! executes on coupled physical qubits. The heuristic is the published one:
+//! front-layer distance plus a weighted extended-set (lookahead) term,
+//! multiplied by a decay factor that discourages serializing swaps on the
+//! same qubits.
+//!
+//! The paper uses "Qiskit Optimization Level 3 with SABRE" for every
+//! baseline; this module is the workspace's from-scratch equivalent.
+
+use raa_arch::CouplingGraph;
+use raa_circuit::{Circuit, DagSchedule, Gate, GateIdx, Qubit};
+
+use crate::error::SabreError;
+
+/// Tunables for the SABRE heuristic. Defaults follow the published
+/// implementation (extended-set size 20, weight 0.5, decay 0.001 reset
+/// every 5 swaps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SabreConfig {
+    /// Maximum number of lookahead gates in the extended set.
+    pub extended_set_size: usize,
+    /// Weight of the extended-set term in the heuristic.
+    pub extended_set_weight: f64,
+    /// Additive decay applied to a qubit each time it participates in a
+    /// swap.
+    pub decay_increment: f64,
+    /// Number of swaps after which decay factors reset.
+    pub decay_reset_interval: usize,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        SabreConfig {
+            extended_set_size: 20,
+            extended_set_weight: 0.5,
+            decay_increment: 0.001,
+            decay_reset_interval: 5,
+        }
+    }
+}
+
+/// The output of routing: a physical circuit plus layout bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit over *physical* qubits; contains the original
+    /// gates (relabelled) plus inserted SWAPs.
+    pub circuit: Circuit,
+    /// Logical → physical map used at circuit start.
+    pub initial_layout: Vec<u32>,
+    /// Logical → physical map after the last gate.
+    pub final_layout: Vec<u32>,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Bidirectional mapping between logical and physical qubits.
+///
+/// Physical slots without a program qubit hold "padding" logical ids
+/// `n..N` so that swaps are total permutations.
+#[derive(Debug, Clone)]
+struct Layout {
+    log_to_phys: Vec<u32>,
+    phys_to_log: Vec<u32>,
+}
+
+impl Layout {
+    fn new(initial: &[u32], num_phys: usize) -> Self {
+        let mut log_to_phys = vec![u32::MAX; num_phys];
+        let mut phys_to_log = vec![u32::MAX; num_phys];
+        for (l, &p) in initial.iter().enumerate() {
+            log_to_phys[l] = p;
+            phys_to_log[p as usize] = l as u32;
+        }
+        // Pad unused physical qubits with virtual logical ids.
+        let mut next = initial.len() as u32;
+        for p in 0..num_phys as u32 {
+            if phys_to_log[p as usize] == u32::MAX {
+                log_to_phys[next as usize] = p;
+                phys_to_log[p as usize] = next;
+                next += 1;
+            }
+        }
+        Layout { log_to_phys, phys_to_log }
+    }
+
+    #[inline]
+    fn phys(&self, l: Qubit) -> u32 {
+        self.log_to_phys[l.index()]
+    }
+
+    /// Swaps the logical occupants of physical qubits `a` and `b`.
+    fn apply_swap(&mut self, a: u32, b: u32) {
+        let la = self.phys_to_log[a as usize];
+        let lb = self.phys_to_log[b as usize];
+        self.phys_to_log.swap(a as usize, b as usize);
+        self.log_to_phys[la as usize] = b;
+        self.log_to_phys[lb as usize] = a;
+    }
+}
+
+/// Routes `circuit` on `graph` starting from `initial_layout`
+/// (logical qubit `i` starts on physical qubit `initial_layout[i]`).
+///
+/// # Errors
+///
+/// * [`SabreError::TooManyQubits`] if the circuit has more qubits than the
+///   graph.
+/// * [`SabreError::InvalidLayout`] if the layout is not injective or
+///   references missing physical qubits.
+/// * [`SabreError::Disconnected`] if routing stalls because needed qubits
+///   are in different connected components.
+pub fn route(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+) -> Result<RoutedCircuit, SabreError> {
+    let n_log = circuit.num_qubits();
+    let n_phys = graph.num_qubits();
+    if n_log > n_phys {
+        return Err(SabreError::TooManyQubits { logical: n_log, physical: n_phys });
+    }
+    validate_layout(initial_layout, n_log, n_phys)?;
+
+    let mut layout = Layout::new(initial_layout, n_phys);
+    let mut sched = DagSchedule::new(circuit);
+    let mut out = Circuit::new(n_phys);
+    let mut swaps = 0usize;
+    let mut decay = vec![1.0f64; n_phys];
+    let mut swaps_since_reset = 0usize;
+    // If no progress happens for this many consecutive swap rounds, the
+    // needed qubits cannot be brought together (disconnected graph).
+    let stall_limit = 4 * n_phys + 64;
+    let mut stall = 0usize;
+
+    while !sched.is_done() {
+        // 1. Execute everything currently executable.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let front: Vec<GateIdx> = sched.front().to_vec();
+            for g in front {
+                let gate = circuit.gates()[g];
+                match gate.pair() {
+                    None => {
+                        out.push(gate.map_qubits(|q| Qubit(layout.phys(q))));
+                        sched.execute(g);
+                        progressed = true;
+                    }
+                    Some((a, b)) => {
+                        let (pa, pb) = (layout.phys(a), layout.phys(b));
+                        if graph.are_coupled(pa, pb) {
+                            out.push(gate.map_qubits(|q| Qubit(layout.phys(q))));
+                            sched.execute(g);
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            if progressed {
+                stall = 0;
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+            }
+        }
+        if sched.is_done() {
+            break;
+        }
+
+        // 2. Pick the best swap among edges touching front-layer qubits.
+        let front_pairs: Vec<(u32, u32)> = sched
+            .front()
+            .iter()
+            .filter_map(|&g| circuit.gates()[g].pair())
+            .map(|(a, b)| (layout.phys(a), layout.phys(b)))
+            .collect();
+        let extended = extended_set(circuit, &sched, config.extended_set_size);
+        let ext_pairs: Vec<(Qubit, Qubit)> = extended
+            .iter()
+            .filter_map(|&g| circuit.gates()[g].pair())
+            .collect();
+
+        let mut best: Option<(f64, (u32, u32))> = None;
+        for &(fa, fb) in &front_pairs {
+            for &p in [fa, fb].iter() {
+                for &q in graph.neighbors(p) {
+                    let cand = if p < q { (p, q) } else { (q, p) };
+                    let score = swap_score(
+                        cand,
+                        &mut layout,
+                        graph,
+                        &front_pairs,
+                        &ext_pairs,
+                        &decay,
+                        config,
+                    );
+                    if best.map_or(true, |(s, c)| score < s || (score == s && cand < c)) {
+                        best = Some((score, cand));
+                    }
+                }
+            }
+        }
+        let Some((_, (a, b))) = best else {
+            return Err(SabreError::Disconnected);
+        };
+
+        layout.apply_swap(a, b);
+        out.push(Gate::swap(Qubit(a), Qubit(b)));
+        swaps += 1;
+        stall += 1;
+        if stall > stall_limit {
+            return Err(SabreError::Disconnected);
+        }
+        decay[a as usize] += config.decay_increment;
+        decay[b as usize] += config.decay_increment;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset_interval {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+
+    let final_layout = (0..n_log).map(|l| layout.phys(Qubit(l as u32))).collect();
+    Ok(RoutedCircuit {
+        circuit: out,
+        initial_layout: initial_layout.to_vec(),
+        final_layout,
+        swaps_inserted: swaps,
+    })
+}
+
+/// Scores a candidate swap: lower is better.
+fn swap_score(
+    (a, b): (u32, u32),
+    layout: &mut Layout,
+    graph: &CouplingGraph,
+    front_pairs: &[(u32, u32)],
+    ext_pairs: &[(Qubit, Qubit)],
+    decay: &[f64],
+    config: &SabreConfig,
+) -> f64 {
+    // Tentatively apply, score, revert.
+    layout.apply_swap(a, b);
+    let remap = |p: u32| -> u32 {
+        // front_pairs hold pre-swap physical ids; translate through the swap
+        if p == a {
+            b
+        } else if p == b {
+            a
+        } else {
+            p
+        }
+    };
+    let mut front_cost = 0.0;
+    for &(pa, pb) in front_pairs {
+        front_cost += graph.distance(remap(pa), remap(pb)) as f64;
+    }
+    front_cost /= front_pairs.len().max(1) as f64;
+
+    let mut ext_cost = 0.0;
+    if !ext_pairs.is_empty() {
+        for &(la, lb) in ext_pairs {
+            ext_cost += graph.distance(layout.phys(la), layout.phys(lb)) as f64;
+        }
+        ext_cost = config.extended_set_weight * ext_cost / ext_pairs.len() as f64;
+    }
+    layout.apply_swap(a, b); // revert
+
+    decay[a as usize].max(decay[b as usize]) * (front_cost + ext_cost)
+}
+
+/// Collects up to `cap` two-qubit gates reachable from the front layer
+/// (successor closure in BFS order): SABRE's extended set.
+fn extended_set(circuit: &Circuit, sched: &DagSchedule, cap: usize) -> Vec<GateIdx> {
+    let mut out = Vec::new();
+    let mut queue: std::collections::VecDeque<GateIdx> = sched.front().iter().copied().collect();
+    let mut seen: std::collections::HashSet<GateIdx> = queue.iter().copied().collect();
+    while let Some(g) = queue.pop_front() {
+        for &s in sched.dag().succs(g) {
+            if seen.insert(s) {
+                if circuit.gates()[s].is_two_qubit() {
+                    out.push(s);
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+                queue.push_back(s);
+            }
+        }
+    }
+    out
+}
+
+fn validate_layout(layout: &[u32], n_log: usize, n_phys: usize) -> Result<(), SabreError> {
+    if layout.len() != n_log {
+        return Err(SabreError::InvalidLayout {
+            reason: format!("layout has {} entries for {} logical qubits", layout.len(), n_log),
+        });
+    }
+    let mut used = vec![false; n_phys];
+    for &p in layout {
+        if p as usize >= n_phys {
+            return Err(SabreError::InvalidLayout {
+                reason: format!("physical qubit {p} out of range ({n_phys})"),
+            });
+        }
+        if used[p as usize] {
+            return Err(SabreError::InvalidLayout {
+                reason: format!("physical qubit {p} assigned twice"),
+            });
+        }
+        used[p as usize] = true;
+    }
+    Ok(())
+}
+
+/// Verifies that `routed` is a faithful routing of `original`: every
+/// non-SWAP gate appears once, in a dependency-respecting order, on coupled
+/// physical qubits, and operand tracking through SWAPs matches the original
+/// logical operands. Returns the number of verified gates.
+///
+/// Used by tests and by the property-based suite.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn verify_routing(
+    original: &Circuit,
+    routed: &RoutedCircuit,
+    graph: &CouplingGraph,
+) -> Result<usize, String> {
+    let mut layout = Layout::new(&routed.initial_layout, graph.num_qubits());
+    let mut sched = DagSchedule::new(original);
+    let mut count = 0usize;
+    for g in routed.circuit.gates() {
+        if g.is_swap() {
+            let (a, b) = g.pair().expect("swap is a 2Q gate");
+            if !graph.are_coupled(a.0, b.0) {
+                return Err(format!("swap on uncoupled pair ({}, {})", a.0, b.0));
+            }
+            layout.apply_swap(a.0, b.0);
+            continue;
+        }
+        // Find the matching original gate in the front layer.
+        let logical = g.map_qubits(|p| Qubit(layout.phys_to_log[p.index()]));
+        let front = sched.front().to_vec();
+        let matched = front.iter().copied().find(|&idx| original.gates()[idx] == logical);
+        let Some(idx) = matched else {
+            return Err(format!("gate {g} (logical {logical}) is not executable"));
+        };
+        if let Some((a, b)) = g.pair() {
+            if !graph.are_coupled(a.0, b.0) {
+                return Err(format!("2Q gate on uncoupled pair ({}, {})", a.0, b.0));
+            }
+        }
+        sched.execute(idx);
+        count += 1;
+    }
+    if !sched.is_done() {
+        return Err(format!(
+            "routed circuit only covers {} of {} gates",
+            sched.num_done(),
+            original.len()
+        ));
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_layout(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn already_routable_circuit_gets_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(1), Qubit(2)));
+        let g = CouplingGraph::line(3);
+        let r = route(&c, &g, &trivial_layout(3), &SabreConfig::default()).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+        assert_eq!(r.circuit.two_qubit_count(), 2);
+        verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn distant_gate_needs_swaps() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cz(Qubit(0), Qubit(3)));
+        let g = CouplingGraph::line(4);
+        let r = route(&c, &g, &trivial_layout(4), &SabreConfig::default()).unwrap();
+        assert!(r.swaps_inserted >= 2);
+        verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn one_qubit_gates_pass_through() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::rz(Qubit(1), 0.3));
+        let g = CouplingGraph::line(2);
+        let r = route(&c, &g, &trivial_layout(2), &SabreConfig::default()).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+        assert_eq!(r.circuit.one_qubit_count(), 2);
+        verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn routes_random_circuit_on_grid() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 9;
+        let mut c = Circuit::new(n);
+        for _ in 0..40 {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+        let g = CouplingGraph::grid(3, 3);
+        let r = route(&c, &g, &trivial_layout(n), &SabreConfig::default()).unwrap();
+        assert_eq!(verify_routing(&c, &r, &g).unwrap(), 40);
+        assert_eq!(r.circuit.two_qubit_count(), 40 + r.swaps_inserted);
+    }
+
+    #[test]
+    fn fewer_physical_than_logical_fails() {
+        let c = Circuit::new(5);
+        let g = CouplingGraph::line(3);
+        assert!(matches!(
+            route(&c, &g, &trivial_layout(5), &SabreConfig::default()),
+            Err(SabreError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_layouts_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        let g = CouplingGraph::line(3);
+        assert!(matches!(
+            route(&c, &g, &[0, 0], &SabreConfig::default()),
+            Err(SabreError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            route(&c, &g, &[0, 9], &SabreConfig::default()),
+            Err(SabreError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            route(&c, &g, &[0], &SabreConfig::default()),
+            Err(SabreError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cz(Qubit(0), Qubit(3)));
+        let g = CouplingGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(
+            route(&c, &g, &trivial_layout(4), &SabreConfig::default()),
+            Err(SabreError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn routing_on_multipartite_graph() {
+        // Atomique's coarse model: 2 parts of 2; a same-part gate needs one
+        // swap through the other part.
+        let mut c = Circuit::new(4);
+        c.push(Gate::cz(Qubit(0), Qubit(1))); // both in part 0
+        let g = CouplingGraph::complete_multipartite(&[2, 2]);
+        let r = route(&c, &g, &trivial_layout(4), &SabreConfig::default()).unwrap();
+        assert_eq!(r.swaps_inserted, 1);
+        verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn final_layout_tracks_swaps() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(Qubit(0), Qubit(2)));
+        let g = CouplingGraph::line(3);
+        let r = route(&c, &g, &trivial_layout(3), &SabreConfig::default()).unwrap();
+        // After routing, logical 0 and 2 must be adjacent; the layout must
+        // be a permutation.
+        let mut seen = vec![false; 3];
+        for &p in &r.final_layout {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        verify_routing(&c, &r, &g).unwrap();
+    }
+}

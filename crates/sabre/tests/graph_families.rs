@@ -1,0 +1,84 @@
+//! SABRE correctness across every coupling-graph family the workspace
+//! uses, checked by the independent routing verifier.
+
+use proptest::prelude::*;
+use raa_arch::CouplingGraph;
+use raa_circuit::{Circuit, Gate, Qubit};
+use raa_sabre::{layout_and_route, verify_routing, LayoutConfig};
+
+fn arb_two_qubit_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0..n as u32, 1..n as u32), 1..50).prop_map(move |pairs| {
+        let mut c = Circuit::new(n);
+        for (a, off) in pairs {
+            let b = (a + off) % n as u32;
+            if a != b {
+                c.push(Gate::cz(Qubit(a), Qubit(b)));
+            }
+        }
+        c
+    })
+}
+
+fn check_on(graph: CouplingGraph, c: &Circuit) {
+    let routed = layout_and_route(c, &graph, &LayoutConfig::default()).expect("routes");
+    let verified = verify_routing(c, &routed, &graph).expect("faithful routing");
+    assert_eq!(verified, c.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn routes_on_grid(c in arb_two_qubit_circuit(12)) {
+        check_on(CouplingGraph::grid(4, 3), &c);
+    }
+
+    #[test]
+    fn routes_on_triangular(c in arb_two_qubit_circuit(12)) {
+        check_on(CouplingGraph::triangular(4, 3), &c);
+    }
+
+    #[test]
+    fn routes_on_line(c in arb_two_qubit_circuit(8)) {
+        check_on(CouplingGraph::line(8), &c);
+    }
+
+    #[test]
+    fn routes_on_heavy_hex(c in arb_two_qubit_circuit(16)) {
+        check_on(CouplingGraph::heavy_hex(3, 7), &c);
+    }
+
+    #[test]
+    fn routes_on_long_range(c in arb_two_qubit_circuit(12)) {
+        check_on(CouplingGraph::long_range_grid(4, 3, 1.6), &c);
+    }
+
+    #[test]
+    fn routes_on_multipartite(c in arb_two_qubit_circuit(12)) {
+        check_on(CouplingGraph::complete_multipartite(&[4, 4, 4]), &c);
+    }
+}
+
+/// Layout quality sanity: the searched layout never needs more swaps than
+/// ten trivial-layout routings of the same circuit would suggest.
+#[test]
+fn layout_search_is_reasonable() {
+    let mut c = Circuit::new(9);
+    for i in 0..8u32 {
+        let far = 8 - i;
+        if far != i {
+            c.push(Gate::cz(Qubit(i), Qubit(far)));
+        }
+        c.push(Gate::cz(Qubit(i), Qubit((i + 3) % 9)));
+    }
+    let g = CouplingGraph::grid(3, 3);
+    let searched = layout_and_route(&c, &g, &LayoutConfig::default()).unwrap();
+    let trivial = raa_sabre::route(
+        &c,
+        &g,
+        &(0..9).collect::<Vec<_>>(),
+        &raa_sabre::SabreConfig::default(),
+    )
+    .unwrap();
+    assert!(searched.swaps_inserted <= trivial.swaps_inserted + 2);
+}

@@ -1,0 +1,55 @@
+//! Explore how the machine shape affects a workload: array size and AOD
+//! count sweeps, as a user would run before committing to a hardware
+//! configuration (the paper's Fig. 20 methodology).
+//!
+//! Run with `cargo run --release --example architecture_explorer`.
+
+use atomique::{compile, AtomiqueConfig};
+use raa_arch::{ArrayDims, RaaConfig};
+use raa_benchmarks::arbitrary_circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 48-qubit workload with ten two-qubit gates per qubit.
+    let circuit = arbitrary_circuit(48, 10.0, 5.0, 1);
+    println!(
+        "workload: {} qubits, {} two-qubit gates\n",
+        circuit.num_qubits(),
+        circuit.two_qubit_count()
+    );
+
+    println!("-- square array size (two AODs) --");
+    println!("{:>8} {:>8} {:>10} {:>12} {:>10}", "arrays", "2Q", "depth", "move (mm)", "fidelity");
+    for side in [5, 6, 8, 10, 12] {
+        let hw = RaaConfig::square(side, 2)?;
+        if hw.total_capacity() < circuit.num_qubits() {
+            println!("{:>8} (too small)", format!("{side}x{side}"));
+            continue;
+        }
+        let out = compile(&circuit, &AtomiqueConfig::for_hardware(hw))?;
+        println!(
+            "{:>8} {:>8} {:>10} {:>12.2} {:>10.4}",
+            format!("{side}x{side}"),
+            out.stats.two_qubit_gates,
+            out.stats.depth,
+            out.stats.total_move_distance_mm,
+            out.total_fidelity()
+        );
+    }
+
+    println!("\n-- number of AOD arrays (8x8 each) --");
+    println!("{:>8} {:>8} {:>10} {:>12} {:>10}", "AODs", "2Q", "depth", "swaps", "fidelity");
+    for aods in 1..=4 {
+        let hw = RaaConfig::new(ArrayDims::new(8, 8), vec![ArrayDims::new(8, 8); aods])?;
+        let out = compile(&circuit, &AtomiqueConfig::for_hardware(hw))?;
+        println!(
+            "{:>8} {:>8} {:>10} {:>12} {:>10.4}",
+            aods,
+            out.stats.two_qubit_gates,
+            out.stats.depth,
+            out.stats.swaps_inserted,
+            out.total_fidelity()
+        );
+    }
+    println!("\nMore partitions cut more interaction edges: fewer SWAPs, fewer gates.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compile a GHZ-state circuit for a reconfigurable atom
+//! array and inspect the movement schedule.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use atomique::{compile, AtomiqueConfig, StageKind};
+use raa_benchmarks::ghz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12-qubit GHZ state: H + a CX chain.
+    let circuit = ghz(12);
+    println!("input: {} qubits, {} two-qubit gates", circuit.num_qubits(), circuit.two_qubit_count());
+
+    // The paper's default machine: 10×10 SLM plus two 10×10 AODs.
+    let config = AtomiqueConfig::default();
+    let program = compile(&circuit, &config)?;
+
+    println!("\ncompiled program:");
+    println!("  two-qubit gates : {}", program.stats.two_qubit_gates);
+    println!("  depth (2Q stages): {}", program.stats.depth);
+    println!("  SWAPs inserted  : {}", program.stats.swaps_inserted);
+    println!("  movement stages : {}", program.stats.num_move_stages);
+    println!("  total move dist : {:.3} mm", program.stats.total_move_distance_mm);
+    println!("  execution time  : {:.2} ms", program.stats.execution_time_s * 1e3);
+    println!("  est. fidelity   : {:.4}", program.total_fidelity());
+
+    println!("\nfidelity breakdown (-log F):");
+    for (source, v) in program.fidelity.neg_log_components() {
+        println!("  {source:<18} {v:.5}");
+    }
+
+    println!("\nfirst stages of the schedule:");
+    for (i, stage) in program.stages.iter().take(8).enumerate() {
+        match stage.kind {
+            StageKind::OneQubit => {
+                println!("  {i}: Raman layer, {} one-qubit gates", stage.one_qubit_gates.len())
+            }
+            StageKind::Movement => println!(
+                "  {i}: move {} rows/cols, Rydberg pulse fires {} gates",
+                stage.moves.len(),
+                stage.gate_pairs.len()
+            ),
+            StageKind::Reset => println!("  {i}: reset (AODs re-home)"),
+            StageKind::TransferAssisted => println!("  {i}: transfer-assisted gate"),
+            StageKind::Cooling => println!("  {i}: cooling swap for AOD{:?}", stage.cooled_aod),
+        }
+    }
+    Ok(())
+}

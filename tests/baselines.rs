@@ -1,0 +1,96 @@
+//! Cross-crate integration tests of the baseline compilers against
+//! Atomique: the qualitative claims of the paper's evaluation must hold.
+
+use std::time::Duration;
+
+use atomique::{compile, AtomiqueConfig};
+use raa_baselines::{
+    compile_fixed, geyser_pulses_routed, qpilot, tan_iterp, tan_solver, FixedArchitecture,
+};
+use raa_benchmarks::{arbitrary_circuit, qaoa_regular, qsim_random};
+use raa_physics::HardwareParams;
+
+/// On a high-degree non-local workload, Atomique needs fewer two-qubit
+/// gates than every fixed atom array (the paper's core claim).
+#[test]
+fn atomique_beats_fixed_arrays_on_nonlocal_circuits() {
+    let c = qsim_random(20, 0.5, 10, 3);
+    let ours = compile(&c, &AtomiqueConfig::default()).unwrap();
+    for arch in [FixedArchitecture::FaaRectangular, FixedArchitecture::FaaTriangular] {
+        let base = compile_fixed(&c, arch, 0).unwrap();
+        assert!(
+            ours.stats.two_qubit_gates <= base.two_qubit_gates,
+            "{}: {} < {}",
+            arch.name(),
+            base.two_qubit_gates,
+            ours.stats.two_qubit_gates
+        );
+    }
+}
+
+/// Atomique inserts fewer additional CNOTs than the fixed baselines
+/// (Fig. 25's claim).
+#[test]
+fn atomique_adds_fewest_cnots() {
+    let c = qaoa_regular(20, 5, 1);
+    let ours = compile(&c, &AtomiqueConfig::default()).unwrap();
+    for arch in FixedArchitecture::ALL {
+        let base = compile_fixed(&c, arch, 0).unwrap();
+        assert!(
+            ours.stats.additional_cnots <= base.additional_cnots,
+            "{}: {} additional vs ours {}",
+            arch.name(),
+            base.additional_cnots,
+            ours.stats.additional_cnots
+        );
+    }
+}
+
+/// Q-Pilot trades gates for depth (Fig. 19's shape).
+#[test]
+fn qpilot_shallower_but_more_gates() {
+    let c = qaoa_regular(20, 5, 2);
+    let ours = compile(&c, &AtomiqueConfig::default()).unwrap();
+    let qp = qpilot(&c, &HardwareParams::neutral_atom());
+    assert!(qp.two_qubit_gates > ours.stats.two_qubit_gates);
+    assert!(qp.depth <= ours.stats.depth);
+}
+
+/// Tan-Solver produces at-least-greedy-quality schedules and costs far
+/// more compile time (Fig. 14's shape).
+#[test]
+fn solver_quality_and_cost() {
+    let c = qsim_random(8, 0.5, 6, 4);
+    let params = HardwareParams::neutral_atom();
+    let greedy = tan_iterp(&c, &params);
+    let solver = tan_solver(&c, &params, Duration::from_secs(3));
+    assert!(solver.stages <= greedy.stages);
+    assert!(solver.compile_time_s >= greedy.compile_time_s);
+}
+
+/// Atomique's pulse count beats Geyser's blocked resynthesis
+/// (Table III's claim).
+#[test]
+fn fewer_pulses_than_geyser() {
+    let c = raa_benchmarks::bv(50, 22, 0);
+    let g = geyser_pulses_routed(&c).unwrap();
+    let ours = compile(&c, &AtomiqueConfig::default()).unwrap();
+    let pulses = raa_baselines::atomique_pulses(ours.stats.two_qubit_gates);
+    assert!(
+        pulses < g.pulses,
+        "Atomique {pulses} pulses vs Geyser {}",
+        g.pulses
+    );
+}
+
+/// The MAX k-Cut mapper pays off against the dense mapper on structured
+/// interaction graphs (Fig. 21's first ablation step).
+#[test]
+fn mapper_ablation_direction() {
+    let c = arbitrary_circuit(24, 16.0, 5.0, 5);
+    let smart = compile(&c, &AtomiqueConfig::default()).unwrap();
+    let baseline = compile(&c, &AtomiqueConfig::default().ablation_baseline()).unwrap();
+    assert!(smart.stats.swaps_inserted <= baseline.stats.swaps_inserted);
+    assert!(smart.stats.depth <= baseline.stats.depth);
+    assert!(smart.total_fidelity() >= baseline.total_fidelity());
+}

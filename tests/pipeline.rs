@@ -1,0 +1,116 @@
+//! End-to-end integration tests: benchmark generators → Atomique
+//! compiler → fidelity model, across the whole workspace.
+
+use atomique::{compile, AtomiqueConfig, Relaxation, StageKind};
+use raa_arch::{ArrayDims, RaaConfig};
+use raa_benchmarks::{large_suite, small_suite};
+
+/// Every suite benchmark compiles; gate accounting is conserved and the
+/// fidelity estimate is a probability.
+#[test]
+fn every_benchmark_compiles_on_atomique() {
+    let cfg = AtomiqueConfig::default();
+    for b in small_suite() {
+        let out = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let logical = raa_circuit::optimize(&b.circuit)
+            .decompose_to(raa_circuit::NativeGateSet::Cz);
+        assert_eq!(
+            out.stats.two_qubit_gates,
+            logical.two_qubit_count() + 3 * out.stats.swaps_inserted,
+            "{}: two-qubit accounting broken",
+            b.name
+        );
+        let f = out.total_fidelity();
+        assert!(f > 0.0 && f <= 1.0, "{}: fidelity {f}", b.name);
+        assert!(out.stats.depth >= 1, "{}", b.name);
+    }
+}
+
+/// The larger Fig. 13 workloads compile too (a slower test, kept to the
+/// light half of the suite).
+#[test]
+fn large_suite_subset_compiles() {
+    let cfg = AtomiqueConfig::default();
+    for b in large_suite() {
+        if b.stats().two_qubit_gates > 400 {
+            continue; // QV-32 / LiH take their time in debug builds
+        }
+        let out = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(out.total_fidelity() > 0.0, "{}", b.name);
+    }
+}
+
+/// Stage gate lists cover every two-qubit gate exactly once.
+#[test]
+fn stages_cover_all_gates() {
+    let b = &small_suite()[3]; // Adder-10
+    let out = compile(&b.circuit, &AtomiqueConfig::default()).unwrap();
+    let staged: usize = out.stages.iter().map(|s| s.gate_pairs.len()).sum();
+    assert_eq!(staged, out.stats.two_qubit_gates);
+    let one_q: usize = out
+        .stages
+        .iter()
+        .filter(|s| s.kind == StageKind::OneQubit)
+        .map(|s| s.one_qubit_gates.len())
+        .sum();
+    assert_eq!(one_q, out.stats.one_qubit_gates);
+}
+
+/// Compilation is a pure function of (circuit, config).
+#[test]
+fn compilation_is_deterministic() {
+    let b = &small_suite()[6]; // QSim-rand-10
+    let cfg = AtomiqueConfig::default();
+    let x = compile(&b.circuit, &cfg).unwrap();
+    let y = compile(&b.circuit, &cfg).unwrap();
+    assert_eq!(x.stats.two_qubit_gates, y.stats.two_qubit_gates);
+    assert_eq!(x.stats.depth, y.stats.depth);
+    assert_eq!(x.stats.num_move_stages, y.stats.num_move_stages);
+    assert!((x.total_fidelity() - y.total_fidelity()).abs() < 1e-12);
+}
+
+/// Relaxing all constraints can only help depth, never gate counts.
+#[test]
+fn relaxation_reduces_depth_only() {
+    let b = &small_suite()[6];
+    let strict = compile(&b.circuit, &AtomiqueConfig::default()).unwrap();
+    let relaxed = compile(
+        &b.circuit,
+        &AtomiqueConfig {
+            relaxation: Relaxation {
+                individual_addressing: true,
+                allow_order_violation: true,
+                allow_overlap: true,
+            },
+            ..AtomiqueConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(relaxed.stats.depth <= strict.stats.depth);
+    assert_eq!(relaxed.stats.two_qubit_gates, strict.stats.two_qubit_gates);
+}
+
+/// Hardware too small for the circuit produces a typed error, not a panic.
+#[test]
+fn capacity_errors_are_typed() {
+    let hw = RaaConfig::new(ArrayDims::new(2, 2), vec![ArrayDims::new(2, 2)]).unwrap();
+    let b = &small_suite()[2]; // VQE-20: 20 qubits > 8 traps
+    let err = compile(&b.circuit, &AtomiqueConfig::for_hardware(hw)).unwrap_err();
+    assert!(matches!(err, atomique::CompileError::Capacity { .. }));
+}
+
+/// The movement physics responds to hardware parameters end to end.
+#[test]
+fn slower_moves_decohere_more() {
+    let b = &small_suite()[6];
+    let mut fast_cfg = AtomiqueConfig::default();
+    fast_cfg.params = fast_cfg.params.with_t_move(200e-6);
+    let mut slow_cfg = AtomiqueConfig::default();
+    slow_cfg.params = slow_cfg.params.with_t_move(2000e-6);
+    let fast = compile(&b.circuit, &fast_cfg).unwrap();
+    let slow = compile(&b.circuit, &slow_cfg).unwrap();
+    assert!(
+        slow.fidelity.move_decoherence < fast.fidelity.move_decoherence,
+        "decoherence must grow with movement time"
+    );
+}
