@@ -44,7 +44,10 @@ impl CouplingGraph {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut edges = Vec::new();
         for &(a, b) in raw_edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             if a == b {
                 continue;
             }
@@ -60,7 +63,12 @@ impl CouplingGraph {
             a.sort_unstable();
         }
         let dist = all_pairs_bfs(n, &adj);
-        CouplingGraph { n, adj, edges, dist }
+        CouplingGraph {
+            n,
+            adj,
+            edges,
+            dist,
+        }
     }
 
     /// A 1-D chain of `n` qubits.
@@ -139,7 +147,8 @@ impl CouplingGraph {
                         }
                         let d2 = (dr * dr + dc * dc) as f64;
                         if d2 <= r2 {
-                            edges.push((idx(r as usize, c as usize), idx(nr as usize, nc as usize)));
+                            edges
+                                .push((idx(r as usize, c as usize), idx(nr as usize, nc as usize)));
                         }
                     }
                 }
@@ -165,7 +174,7 @@ impl CouplingGraph {
                 if r + 1 < chain_rows {
                     // bridges between row r and r+1
                     let offset = if r % 2 == 0 { 0 } else { 2 };
-                    let nbridges = (chain_len.saturating_sub(offset) + 3) / 4;
+                    let nbridges = chain_len.saturating_sub(offset).div_ceil(4);
                     next += nbridges as u32;
                 }
             }
@@ -208,7 +217,7 @@ impl CouplingGraph {
         let n: usize = part_sizes.iter().sum();
         let mut part_of = Vec::with_capacity(n);
         for (p, &s) in part_sizes.iter().enumerate() {
-            part_of.extend(std::iter::repeat(p).take(s));
+            part_of.extend(std::iter::repeat_n(p, s));
         }
         let mut edges = Vec::new();
         for a in 0..n {
@@ -350,7 +359,11 @@ mod tests {
     #[test]
     fn heavy_hex_is_connected_and_sparse() {
         let g = CouplingGraph::heavy_hex(7, 15);
-        assert!(g.num_qubits() >= 120 && g.num_qubits() <= 135, "n={}", g.num_qubits());
+        assert!(
+            g.num_qubits() >= 120 && g.num_qubits() <= 135,
+            "n={}",
+            g.num_qubits()
+        );
         assert!(g.is_connected());
         assert!(g.max_degree() <= 3);
     }

@@ -46,7 +46,10 @@ impl fmt::Display for ArchError {
                 "trap spacing {spacing_um} um is below the minimum {min_um} um (6 Rydberg radii)"
             ),
             ArchError::SiteOutOfRange { site } => write!(f, "trap site {site} does not exist"),
-            ArchError::InsufficientCapacity { required, available } => write!(
+            ArchError::InsufficientCapacity {
+                required,
+                available,
+            } => write!(
                 f,
                 "circuit needs {required} qubits but only {available} traps are available"
             ),
@@ -63,10 +66,17 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(ArchError::NoAods.to_string().contains("AOD"));
-        assert!(ArchError::EmptyArray { which: "SLM".into() }.to_string().contains("SLM"));
-        assert!(ArchError::InsufficientCapacity { required: 10, available: 4 }
-            .to_string()
-            .contains("10"));
+        assert!(ArchError::EmptyArray {
+            which: "SLM".into()
+        }
+        .to_string()
+        .contains("SLM"));
+        assert!(ArchError::InsufficientCapacity {
+            required: 10,
+            available: 4
+        }
+        .to_string()
+        .contains("10"));
     }
 
     #[test]

@@ -171,14 +171,18 @@ impl RaaConfig {
         rydberg_radius_um: f64,
     ) -> Result<Self, ArchError> {
         if slm.capacity() == 0 {
-            return Err(ArchError::EmptyArray { which: "SLM".into() });
+            return Err(ArchError::EmptyArray {
+                which: "SLM".into(),
+            });
         }
         if aods.is_empty() {
             return Err(ArchError::NoAods);
         }
         for (k, a) in aods.iter().enumerate() {
             if a.capacity() == 0 {
-                return Err(ArchError::EmptyArray { which: format!("AOD{k}") });
+                return Err(ArchError::EmptyArray {
+                    which: format!("AOD{k}"),
+                });
             }
         }
         if spacing_um < 6.0 * rydberg_radius_um {
@@ -188,7 +192,13 @@ impl RaaConfig {
             });
         }
         let home_offsets = fractional_offsets(aods.len());
-        Ok(RaaConfig { slm, aods, spacing_um, rydberg_radius_um, home_offsets })
+        Ok(RaaConfig {
+            slm,
+            aods,
+            spacing_um,
+            rydberg_radius_um,
+            home_offsets,
+        })
     }
 
     /// Builds the paper's default machine scaled to `side`×`side` arrays
@@ -259,7 +269,10 @@ impl RaaConfig {
 
     /// The home position `(x, y)` in µm of a trap site.
     pub fn home_position(&self, site: TrapSite) -> (f64, f64) {
-        (self.home_x(site.array, site.col), self.home_y(site.array, site.row))
+        (
+            self.home_x(site.array, site.col),
+            self.home_y(site.array, site.row),
+        )
     }
 
     /// Distance below which two atoms interact (perform a CZ).
@@ -287,13 +300,17 @@ impl RaaConfig {
     /// Returns [`ArchError::SiteOutOfRange`] if the site does not exist.
     pub fn check_site(&self, site: TrapSite) -> Result<(), ArchError> {
         if site.array.0 as usize >= self.num_arrays() {
-            return Err(ArchError::SiteOutOfRange { site: site.to_string() });
+            return Err(ArchError::SiteOutOfRange {
+                site: site.to_string(),
+            });
         }
         let dims = self.dims(site.array);
         if (site.row as usize) < dims.rows && (site.col as usize) < dims.cols {
             Ok(())
         } else {
-            Err(ArchError::SiteOutOfRange { site: site.to_string() })
+            Err(ArchError::SiteOutOfRange {
+                site: site.to_string(),
+            })
         }
     }
 }
@@ -331,7 +348,10 @@ const AOD_HOME_OFFSETS: [(f64, f64); 7] = [
 /// Panics if `k` exceeds the supported seven arrays — the paper's Fig. 20c
 /// sensitivity sweep tops out at seven.
 fn fractional_offsets(k: usize) -> Vec<(f64, f64)> {
-    assert!(k <= AOD_HOME_OFFSETS.len(), "at most 7 AOD arrays are supported, got {k}");
+    assert!(
+        k <= AOD_HOME_OFFSETS.len(),
+        "at most 7 AOD arrays are supported, got {k}"
+    );
     AOD_HOME_OFFSETS[..k].to_vec()
 }
 
@@ -368,12 +388,7 @@ mod tests {
             Err(ArchError::NoAods)
         ));
         assert!(matches!(
-            RaaConfig::with_physics(
-                ArrayDims::new(2, 2),
-                vec![ArrayDims::new(2, 2)],
-                10.0,
-                2.5
-            ),
+            RaaConfig::with_physics(ArrayDims::new(2, 2), vec![ArrayDims::new(2, 2)], 10.0, 2.5),
             Err(ArchError::SpacingTooSmall { .. })
         ));
     }
@@ -438,7 +453,10 @@ mod tests {
         for k in 0..7 {
             let (fx, fy) = super::AOD_HOME_OFFSETS[k];
             for f in [fx, fy] {
-                assert!(f >= 0.16 && f <= 0.84, "offset {f} too close to lattice");
+                assert!(
+                    (0.16..=0.84).contains(&f),
+                    "offset {f} too close to lattice"
+                );
             }
         }
     }
@@ -465,8 +483,12 @@ mod tests {
     fn site_validation() {
         let hw = RaaConfig::default();
         assert!(hw.check_site(TrapSite::new(ArrayIndex::SLM, 9, 9)).is_ok());
-        assert!(hw.check_site(TrapSite::new(ArrayIndex::SLM, 10, 0)).is_err());
-        assert!(hw.check_site(TrapSite::new(ArrayIndex::aod(1), 0, 0)).is_ok());
+        assert!(hw
+            .check_site(TrapSite::new(ArrayIndex::SLM, 10, 0))
+            .is_err());
+        assert!(hw
+            .check_site(TrapSite::new(ArrayIndex::aod(1), 0, 0))
+            .is_ok());
         assert!(hw.check_site(TrapSite::new(ArrayIndex(5), 0, 0)).is_err());
     }
 
@@ -477,7 +499,10 @@ mod tests {
         assert_eq!(ArrayIndex::aod(1).aod_number(), 1);
         assert_eq!(ArrayIndex::SLM.to_string(), "SLM");
         assert_eq!(ArrayIndex::aod(0).to_string(), "AOD0");
-        assert_eq!(TrapSite::new(ArrayIndex::aod(0), 1, 2).to_string(), "AOD0[1,2]");
+        assert_eq!(
+            TrapSite::new(ArrayIndex::aod(0), 1, 2).to_string(),
+            "AOD0[1,2]"
+        );
     }
 
     #[test]

@@ -91,6 +91,9 @@ pub struct FixedCompileResult {
     pub fidelity: FidelityBreakdown,
     /// Wall-clock compile time, seconds.
     pub compile_time_s: f64,
+    /// The routed physical circuit (native gate set, SWAPs decomposed).
+    /// Consumed by the ISA lowering ([`crate::lower_fixed`]).
+    pub circuit: Circuit,
 }
 
 impl FixedCompileResult {
@@ -113,7 +116,9 @@ pub fn coupling_for(arch: FixedArchitecture, n: usize) -> CouplingGraph {
         FixedArchitecture::Superconducting => CouplingGraph::heavy_hex(7, 15),
         FixedArchitecture::FaaRectangular => CouplingGraph::grid(side, side),
         FixedArchitecture::FaaTriangular => CouplingGraph::triangular(side, side),
-        FixedArchitecture::BakerLongRange => CouplingGraph::long_range_grid(side, side, BAKER_RANGE),
+        FixedArchitecture::BakerLongRange => {
+            CouplingGraph::long_range_grid(side, side, BAKER_RANGE)
+        }
     }
 }
 
@@ -128,7 +133,14 @@ pub fn compile_fixed(
     arch: FixedArchitecture,
     seed: u64,
 ) -> Result<FixedCompileResult, SabreError> {
-    compile_fixed_with(circuit, arch, &LayoutConfig { seed, ..LayoutConfig::default() })
+    compile_fixed_with(
+        circuit,
+        arch,
+        &LayoutConfig {
+            seed,
+            ..LayoutConfig::default()
+        },
+    )
 }
 
 /// [`compile_fixed`] with explicit SABRE layout-search settings (the
@@ -195,6 +207,7 @@ pub fn compile_fixed_with(
         execution_time_s,
         fidelity,
         compile_time_s: start.elapsed().as_secs_f64(),
+        circuit: physical,
     })
 }
 
@@ -220,7 +233,9 @@ fn baker_depth_and_error(physical: &Circuit, side: usize) -> (usize, f64) {
             continue;
         };
         let (pa, pb) = (pos(a.0), pos(b.0));
-        let r = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(1.0);
+        let r = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2))
+            .sqrt()
+            .max(1.0);
         effective += r;
         let dep = layering.two_qubit_layer(idx).saturating_sub(1) as usize;
         let mut l = dep;

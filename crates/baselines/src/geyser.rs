@@ -22,6 +22,9 @@ pub struct GeyserResult {
     /// Total pulses: `5` per three-qubit block (2·3 − 1), fewer for
     /// blocks that touch fewer qubits.
     pub pulses: usize,
+    /// Per block, the two-qubit gate indices absorbed, in execution
+    /// order. Consumed by the ISA lowering ([`crate::lower_geyser`]).
+    pub schedule: Vec<Vec<GateIdx>>,
 }
 
 /// Two-qubit gates one block may absorb. Geyser's dual-annealing blocks
@@ -40,6 +43,7 @@ pub fn geyser_pulses(circuit: &Circuit) -> GeyserResult {
     let mut sched = DagSchedule::new(circuit);
     let mut blocks = 0usize;
     let mut pulses = 0usize;
+    let mut schedule: Vec<Vec<GateIdx>> = Vec::new();
 
     while !sched.is_done() {
         // Seed a new block with the first frontier gate.
@@ -48,6 +52,10 @@ pub fn geyser_pulses(circuit: &Circuit) -> GeyserResult {
         let mut support: HashSet<u32> =
             circuit.gates()[seed].qubits().iter().map(|q| q.0).collect();
         let mut two_q = usize::from(circuit.gates()[seed].is_two_qubit());
+        let mut block_two_q: Vec<GateIdx> = Vec::new();
+        if circuit.gates()[seed].is_two_qubit() {
+            block_two_q.push(seed);
+        }
         sched.execute(seed);
         // Absorb overlapping frontier gates while support ≤ 3 qubits and
         // the entangling budget lasts.
@@ -63,11 +71,16 @@ pub fn geyser_pulses(circuit: &Circuit) -> GeyserResult {
                 if gate.is_two_qubit() && two_q >= BLOCK_2Q_CAP {
                     continue;
                 }
-                let new: HashSet<u32> =
-                    support.union(&qs.iter().copied().collect()).copied().collect();
+                let new: HashSet<u32> = support
+                    .union(&qs.iter().copied().collect())
+                    .copied()
+                    .collect();
                 if new.len() <= 3 {
                     support = new;
                     two_q += usize::from(gate.is_two_qubit());
+                    if gate.is_two_qubit() {
+                        block_two_q.push(g);
+                    }
                     sched.execute(g);
                     absorbed = true;
                 }
@@ -78,8 +91,13 @@ pub fn geyser_pulses(circuit: &Circuit) -> GeyserResult {
         }
         blocks += 1;
         pulses += 2 * support.len() - 1;
+        schedule.push(block_two_q);
     }
-    GeyserResult { blocks, pulses }
+    GeyserResult {
+        blocks,
+        pulses,
+        schedule,
+    }
 }
 
 /// Atomique-side pulse count for Table III: three pulses per two-qubit
@@ -101,11 +119,7 @@ pub fn geyser_pulses_routed(circuit: &Circuit) -> Result<GeyserResult, raa_sabre
     let side = ((circuit.num_qubits() as f64).sqrt().ceil() as usize).max(10);
     let graph = raa_arch::CouplingGraph::triangular(side, side);
     let native = circuit.decompose_to(raa_circuit::NativeGateSet::Cz);
-    let routed = raa_sabre::layout_and_route(
-        &native,
-        &graph,
-        &raa_sabre::LayoutConfig::default(),
-    )?;
+    let routed = raa_sabre::layout_and_route(&native, &graph, &raa_sabre::LayoutConfig::default())?;
     let physical = routed.circuit.decompose_to(raa_circuit::NativeGateSet::Cz);
     Ok(geyser_pulses(&physical))
 }

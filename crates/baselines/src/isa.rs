@@ -1,0 +1,159 @@
+//! ISA lowerings of the baseline compilers.
+//!
+//! Every baseline produces an *abstract* schedule — there is no
+//! atom-movement geometry to serialize — so all three lowerings go
+//! through [`raa_isa::lower_gate_schedule`], which realizes each
+//! scheduled two-qubit gate as a transfer-assisted gate (the re-grab
+//! mechanism the DPQA compiler family actually uses) and each ready
+//! one-qubit gate as a Raman layer. The resulting streams are verified
+//! by the *same* oracle as Atomique's movement streams
+//! (`raa_isa::check_legality` + `raa_isa::replay_verify`), so all
+//! backends share one notion of correctness.
+
+use raa_circuit::{Circuit, GateIdx, Layering};
+use raa_isa::{lower_gate_schedule, IsaProgram, LowerError, ProgramHeader};
+
+use crate::fixed::FixedCompileResult;
+use crate::geyser::GeyserResult;
+use crate::tan::TanResult;
+
+/// Lowers a Tan-IterP / Tan-Solver result to an instruction stream.
+///
+/// `circuit` must be the circuit the Tan compiler ran on.
+///
+/// # Errors
+///
+/// [`LowerError`] if the recorded schedule is not a valid execution
+/// order of `circuit` (which would indicate a Tan scheduling bug — the
+/// point of the shared oracle).
+pub fn lower_tan(
+    circuit: &Circuit,
+    result: &TanResult,
+    backend: &str,
+    name: &str,
+) -> Result<IsaProgram, LowerError> {
+    lower_gate_schedule(circuit, &result.schedule, ProgramHeader::new(backend, name))
+}
+
+/// Lowers a fixed-topology (SABRE-routed) result to an instruction
+/// stream.
+///
+/// The stages are the routed physical circuit's ASAP two-qubit layers.
+///
+/// # Errors
+///
+/// [`LowerError`] if the layering is not a valid execution order (which
+/// would indicate a layering bug).
+pub fn lower_fixed(result: &FixedCompileResult, name: &str) -> Result<IsaProgram, LowerError> {
+    let physical = &result.circuit;
+    let layering = Layering::new(physical);
+    let depth = layering.two_qubit_depth() as usize;
+    let mut stages: Vec<Vec<GateIdx>> = vec![Vec::new(); depth];
+    for (g, gate) in physical.gates().iter().enumerate() {
+        if gate.is_two_qubit() {
+            let layer = layering.two_qubit_layer(g) as usize;
+            stages[layer - 1].push(g);
+        }
+    }
+    lower_gate_schedule(
+        physical,
+        &stages,
+        ProgramHeader::new(format!("fixed:{}", result.architecture.name()), name),
+    )
+}
+
+/// Lowers a Geyser blocking result to an instruction stream.
+///
+/// `circuit` must be the circuit [`crate::geyser_pulses`] blocked. Each
+/// block's two-qubit content executes in the block's absorption order.
+///
+/// # Errors
+///
+/// [`LowerError`] if the recorded block schedule is not a valid
+/// execution order of `circuit`.
+pub fn lower_geyser(
+    circuit: &Circuit,
+    result: &GeyserResult,
+    name: &str,
+) -> Result<IsaProgram, LowerError> {
+    lower_gate_schedule(
+        circuit,
+        &result.schedule,
+        ProgramHeader::new("geyser", name),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_fixed, geyser_pulses, tan_iterp, FixedArchitecture};
+    use raa_circuit::{Gate, Qubit};
+    use raa_isa::{check_legality, replay_verify, IsaStats};
+    use raa_physics::HardwareParams;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(n);
+        for _ in 0..gates {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            if rng.random::<f64>() < 0.3 {
+                c.push(Gate::rz(Qubit(a), 0.4));
+            } else {
+                c.push(Gate::cz(Qubit(a), Qubit(b)));
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tan_lowering_passes_the_oracle() {
+        let c = random_circuit(12, 50, 1);
+        let r = tan_iterp(&c, &HardwareParams::neutral_atom());
+        let isa = lower_tan(&c, &r, "tan-iterp", "rand-12").unwrap();
+        check_legality(&isa).unwrap();
+        let report = replay_verify(&isa).unwrap();
+        assert_eq!(report.two_qubit_gates, r.two_qubit_gates);
+        assert_eq!(report.one_qubit_gates, r.one_qubit_gates);
+        assert_eq!(IsaStats::of(&isa).transfers, r.two_qubit_gates);
+    }
+
+    #[test]
+    fn fixed_lowerings_pass_the_oracle() {
+        let c = random_circuit(9, 30, 2);
+        for arch in FixedArchitecture::ALL {
+            let r = compile_fixed(&c, arch, 0).unwrap();
+            let isa = lower_fixed(&r, "rand-9").unwrap();
+            check_legality(&isa).unwrap();
+            let report = replay_verify(&isa).unwrap();
+            assert_eq!(report.two_qubit_gates, r.two_qubit_gates, "{}", arch.name());
+            assert!(isa.header.backend.starts_with("fixed:"));
+        }
+    }
+
+    #[test]
+    fn geyser_lowering_passes_the_oracle() {
+        let c = random_circuit(10, 40, 3);
+        let r = geyser_pulses(&c);
+        let isa = lower_geyser(&c, &r, "rand-10").unwrap();
+        check_legality(&isa).unwrap();
+        let report = replay_verify(&isa).unwrap();
+        assert_eq!(report.two_qubit_gates, c.two_qubit_count());
+        assert_eq!(report.one_qubit_gates, c.one_qubit_count());
+    }
+
+    #[test]
+    fn corrupted_schedule_is_rejected_by_the_oracle() {
+        let c = random_circuit(8, 25, 4);
+        let mut r = tan_iterp(&c, &HardwareParams::neutral_atom());
+        // Drop one scheduled gate: the lowering itself must notice the
+        // incomplete schedule.
+        let stage = r.schedule.iter_mut().find(|s| !s.is_empty()).unwrap();
+        stage.pop();
+        assert!(lower_tan(&c, &r, "tan-iterp", "corrupt").is_err());
+    }
+}

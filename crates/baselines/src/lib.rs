@@ -18,10 +18,14 @@
 
 mod fixed;
 mod geyser;
+mod isa;
 mod qpilot;
 mod tan;
 
-pub use fixed::{compile_fixed, compile_fixed_with, coupling_for, FixedArchitecture, FixedCompileResult};
+pub use fixed::{
+    compile_fixed, compile_fixed_with, coupling_for, FixedArchitecture, FixedCompileResult,
+};
 pub use geyser::{atomique_pulses, geyser_pulses, geyser_pulses_routed, GeyserResult};
+pub use isa::{lower_fixed, lower_geyser, lower_tan};
 pub use qpilot::{qpilot, QPilotResult};
 pub use tan::{tan_iterp, tan_solver, TanResult};

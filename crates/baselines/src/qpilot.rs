@@ -67,7 +67,10 @@ pub fn qpilot(circuit: &Circuit, params: &HardwareParams) -> QPilotResult {
         qubit_last_color.insert(b.0, color + 1);
         num_colors = num_colors.max(color + 1);
         let pulses = match g {
-            raa_circuit::Gate::TwoQ { kind: TwoQubitKind::Zz(_), .. } => 2,
+            raa_circuit::Gate::TwoQ {
+                kind: TwoQubitKind::Zz(_),
+                ..
+            } => 2,
             _ => 3,
         };
         color_of_gate.push((color, pulses));
@@ -75,8 +78,7 @@ pub fn qpilot(circuit: &Circuit, params: &HardwareParams) -> QPilotResult {
 
     // Ancilla preparation: one CZ per program qubit that interacts at all.
     let active_qubits = qubit_last_color.len();
-    let two_q: usize =
-        color_of_gate.iter().map(|&(_, p)| p).sum::<usize>() + active_qubits;
+    let two_q: usize = color_of_gate.iter().map(|&(_, p)| p).sum::<usize>() + active_qubits;
     let one_q = circuit.one_qubit_count();
     // Each colour class is one ancilla wave = 1 movement + 2 pulse layers.
     let depth = 2 * num_colors;
@@ -89,8 +91,9 @@ pub fn qpilot(circuit: &Circuit, params: &HardwareParams) -> QPilotResult {
         *per_color.entry(c).or_insert(0) += 1;
     }
     for (color, count) in per_color {
-        let moved: Vec<(u32, f64)> =
-            (0..count as u32).map(|i| (color as u32 * 10_000 + i, hop)).collect();
+        let moved: Vec<(u32, f64)> = (0..count as u32)
+            .map(|i| (color as u32 * 10_000 + i, hop))
+            .collect();
         ledger.record_move(&moved, params.t_move_s, n);
         for &(a, _) in &moved {
             ledger.record_two_qubit_gate(&[a]);

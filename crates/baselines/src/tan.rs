@@ -43,6 +43,10 @@ pub struct TanResult {
     pub compile_time_s: f64,
     /// Whether the solver hit its timeout (greedy fallback reported).
     pub timed_out: bool,
+    /// The stage schedule: per stage, the executed two-qubit gate
+    /// indices of the input circuit. Consumed by the ISA lowering
+    /// ([`crate::lower_tan`]).
+    pub schedule: Vec<Vec<GateIdx>>,
 }
 
 impl TanResult {
@@ -162,9 +166,7 @@ fn stage_compatible(circuit: &Circuit, g1: GateIdx, g2: GateIdx) -> bool {
     let (s2, t2) = gate_geometry(circuit, g2);
     // Per axis: the relative order of the two movers must be the same
     // before and after the move (equal stays equal, less stays less).
-    let ok = |s_a: i32, s_b: i32, t_a: i32, t_b: i32| {
-        (s_a - s_b).signum() == (t_a - t_b).signum()
-    };
+    let ok = |s_a: i32, s_b: i32, t_a: i32, t_b: i32| (s_a - s_b).signum() == (t_a - t_b).signum();
     ok(s1.0, s2.0, t1.0, t2.0) && ok(s1.1, s2.1, t1.1, t2.1)
 }
 
@@ -244,7 +246,7 @@ impl Searcher<'_> {
             return;
         }
         self.nodes += 1;
-        if self.nodes % 256 == 0 && Instant::now() >= self.deadline {
+        if self.nodes.is_multiple_of(256) && Instant::now() >= self.deadline {
             *self.timed_out = true;
             return;
         }
@@ -296,7 +298,7 @@ impl Refiner<'_> {
             return;
         }
         self.nodes += 1;
-        if self.nodes % 256 == 0 && Instant::now() >= self.deadline {
+        if self.nodes.is_multiple_of(256) && Instant::now() >= self.deadline {
             *self.timed_out = true;
             return;
         }
@@ -481,6 +483,7 @@ fn evaluate(circuit: &Circuit, schedule: &Schedule, params: &HardwareParams) -> 
         fidelity,
         compile_time_s: 0.0,
         timed_out: false,
+        schedule: schedule.clone(),
     }
 }
 
@@ -520,7 +523,12 @@ mod tests {
         let c = chain(8);
         let g = tan_iterp(&c, &params());
         let s = tan_solver(&c, &params(), Duration::from_secs(5));
-        assert!(s.stages <= g.stages, "solver {} > greedy {}", s.stages, g.stages);
+        assert!(
+            s.stages <= g.stages,
+            "solver {} > greedy {}",
+            s.stages,
+            g.stages
+        );
         assert!(!s.timed_out);
         assert_eq!(s.two_qubit_gates, g.two_qubit_gates);
     }

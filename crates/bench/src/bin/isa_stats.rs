@@ -1,0 +1,67 @@
+//! ISA-level statistics across backends: every small-suite benchmark is
+//! compiled by Atomique, Tan-IterP, the rectangular FAA baseline, and
+//! Geyser; each result is lowered to the shared instruction stream,
+//! verified by the shared oracle, and measured.
+//!
+//! Run with `cargo run --release -p raa-bench --bin isa_stats`.
+
+use atomique::{compile, emit_isa, AtomiqueConfig};
+use raa_baselines::{
+    compile_fixed, geyser_pulses, lower_fixed, lower_geyser, lower_tan, tan_iterp,
+    FixedArchitecture,
+};
+use raa_bench::harness::{isa_row, row, section, ISA_COLUMNS};
+use raa_benchmarks::small_suite;
+use raa_circuit::NativeGateSet;
+use raa_isa::{check_legality, replay_verify, IsaProgram};
+use raa_physics::HardwareParams;
+
+fn verified(name: &str, backend: &str, program: IsaProgram) -> IsaProgram {
+    check_legality(&program).unwrap_or_else(|e| panic!("{name} on {backend}: illegal stream: {e}"));
+    replay_verify(&program)
+        .unwrap_or_else(|e| panic!("{name} on {backend}: unfaithful stream: {e}"));
+    program
+}
+
+fn main() {
+    let cfg = AtomiqueConfig::default();
+    let params = HardwareParams::neutral_atom();
+
+    for b in small_suite() {
+        section(b.name);
+        row(
+            "",
+            &ISA_COLUMNS
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>(),
+        );
+
+        let ours = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let isa = verified(b.name, "atomique", emit_isa(&ours, &cfg.hardware, b.name));
+        row("atomique", &isa_row(&isa));
+
+        let tan = tan_iterp(&b.circuit, &params);
+        let isa = verified(
+            b.name,
+            "tan-iterp",
+            lower_tan(&b.circuit, &tan, "tan-iterp", b.name).unwrap(),
+        );
+        row("tan-iterp", &isa_row(&isa));
+
+        let fixed = compile_fixed(&b.circuit, FixedArchitecture::FaaRectangular, 0)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let isa = verified(b.name, "faa-rect", lower_fixed(&fixed, b.name).unwrap());
+        row("faa-rect", &isa_row(&isa));
+
+        let native = b.circuit.decompose_to(NativeGateSet::Cz);
+        let geyser = geyser_pulses(&native);
+        let isa = verified(
+            b.name,
+            "geyser",
+            lower_geyser(&native, &geyser, b.name).unwrap(),
+        );
+        row("geyser", &isa_row(&isa));
+    }
+    println!("\nAll streams verified by the shared oracle (legality + replay).");
+}

@@ -19,13 +19,25 @@ pub fn table1() {
     section("Table I: hardware parameters");
     let n = HardwareParams::neutral_atom();
     let s = HardwareParams::superconducting();
-    println!("neutral atom : f2Q {:.4}  f1Q {:.5}  t2Q {:.0} ns  t1Q {:.0} ns  T1 {:.0} s",
-        n.two_qubit_fidelity, n.one_qubit_fidelity, n.two_qubit_time_s * 1e9, n.one_qubit_time_s * 1e9, n.coherence_time_s);
+    println!(
+        "neutral atom : f2Q {:.4}  f1Q {:.5}  t2Q {:.0} ns  t1Q {:.0} ns  T1 {:.0} s",
+        n.two_qubit_fidelity,
+        n.one_qubit_fidelity,
+        n.two_qubit_time_s * 1e9,
+        n.one_qubit_time_s * 1e9,
+        n.coherence_time_s
+    );
     println!("               d {:.0} um  Tmove {:.0} us  Ttransfer {:.0} us  Ploss {:.4}  xzpf {:.0} nm  w0 2pi*{:.0} kHz  lambda {:.3}",
         n.atom_distance_um, n.t_move_s * 1e6, n.t_transfer_s * 1e6, n.transfer_loss_prob,
         n.x_zpf_m * 1e9, n.omega0_rad_s / (2.0 * std::f64::consts::PI) / 1e3, n.lambda);
-    println!("superconduct : f2Q {:.4}  f1Q {:.5}  t2Q {:.0} ns  t1Q {:.1} ns  T1 {:.1} us",
-        s.two_qubit_fidelity, s.one_qubit_fidelity, s.two_qubit_time_s * 1e9, s.one_qubit_time_s * 1e9, s.coherence_time_s * 1e6);
+    println!(
+        "superconduct : f2Q {:.4}  f1Q {:.5}  t2Q {:.0} ns  t1Q {:.1} ns  T1 {:.1} us",
+        s.two_qubit_fidelity,
+        s.one_qubit_fidelity,
+        s.two_qubit_time_s * 1e9,
+        s.one_qubit_time_s * 1e9,
+        s.coherence_time_s * 1e6
+    );
 }
 
 /// Table II: benchmark characteristics.
@@ -33,7 +45,10 @@ pub fn table2() {
     section("Table II: benchmarks");
     row(
         "name",
-        &["qubits", "2Q", "1Q", "2Q/Q", "deg/Q"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &["qubits", "2Q", "1Q", "2Q/Q", "deg/Q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
     );
     for b in large_suite().into_iter().chain(small_suite()) {
         let s = b.stats();
@@ -61,7 +76,10 @@ pub fn table3(quick: bool) {
         if quick && label == "QV-32" {
             continue;
         }
-        let b = suite.iter().find(|b| b.name == label).expect("table 3 benchmark in suite");
+        let b = suite
+            .iter()
+            .find(|b| b.name == label)
+            .expect("table 3 benchmark in suite");
         let g = geyser_pulses_routed(&b.circuit).expect("geyser routes");
         let a = compile(&b.circuit, &AtomiqueConfig::default()).expect("atomique compiles");
         names.push(label);
@@ -69,16 +87,33 @@ pub fn table3(quick: bool) {
         atomique_row.push(atomique_pulses(a.stats.two_qubit_gates) as f64);
     }
     row("", &names.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    row("Geyser (measured)", &geyser_row.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
-    row("Atomique (measured)", &atomique_row.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
+    row(
+        "Geyser (measured)",
+        &geyser_row.iter().map(|&v| fmt(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "Atomique (measured)",
+        &atomique_row.iter().map(|&v| fmt(v)).collect::<Vec<_>>(),
+    );
     let pg: Vec<f64> = paper::TABLE3_PULSES[0].to_vec();
     let pa: Vec<f64> = paper::TABLE3_PULSES[1].to_vec();
-    row("Geyser (paper)", &pg.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
-    row("Atomique (paper)", &pa.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
-    let ratios: Vec<f64> =
-        geyser_row.iter().zip(&atomique_row).map(|(g, a)| g / a.max(1.0)).collect();
-    println!("measured Geyser/Atomique pulse ratio: up to {:.1}x (paper: up to 6.5x)",
-        ratios.iter().copied().fold(0.0f64, f64::max));
+    row(
+        "Geyser (paper)",
+        &pg.iter().map(|&v| fmt(v)).collect::<Vec<_>>(),
+    );
+    row(
+        "Atomique (paper)",
+        &pa.iter().map(|&v| fmt(v)).collect::<Vec<_>>(),
+    );
+    let ratios: Vec<f64> = geyser_row
+        .iter()
+        .zip(&atomique_row)
+        .map(|(g, a)| g / a.max(1.0))
+        .collect();
+    println!(
+        "measured Geyser/Atomique pulse ratio: up to {:.1}x (paper: up to 6.5x)",
+        ratios.iter().copied().fold(0.0f64, f64::max)
+    );
 }
 
 /// Fig. 12: the constant-negative-jerk movement profile.
@@ -87,7 +122,10 @@ pub fn fig12() {
     let m = MovementProfile::new(15e-6, 300e-6);
     row(
         "t (us)",
-        &["jerk", "accel", "velocity", "distance"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &["jerk", "accel", "velocity", "distance"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
     );
     for s in m.sample(13) {
         row(
@@ -100,8 +138,11 @@ pub fn fig12() {
             ],
         );
     }
-    println!("peak velocity {:.3} m/s (paper profile peaks at 3D/2T = {:.3})",
-        m.peak_velocity(), 1.5 * 15e-6 / 300e-6);
+    println!(
+        "peak velocity {:.3} m/s (paper profile peaks at 3D/2T = {:.3})",
+        m.peak_velocity(),
+        1.5 * 15e-6 / 300e-6
+    );
 }
 
 /// Fig. 13: depth, two-qubit gates and fidelity on 17 benchmarks × 5
@@ -139,7 +180,7 @@ pub fn fig13(quick: bool) {
         let mut hdr = vec!["".to_string()];
         hdr.extend(names.iter().map(|s| s.to_string()));
         hdr.push("GMean".into());
-        row(&hdr[0], &hdr[1..].to_vec());
+        row(&hdr[0], &hdr[1..]);
         for (i, arch) in paper::FIG13_ARCHS.iter().enumerate() {
             let mut cells: Vec<String> = measured[i].iter().map(|&v| fmt(v)).collect();
             cells.push(fmt(gmean(&measured[i])));
@@ -297,7 +338,9 @@ pub fn fig25(quick: bool) {
     let mut names = Vec::new();
     let mut rows = vec![Vec::new(); 5];
     for label in keep {
-        let Some(b) = suite.iter().find(|b| b.name == label) else { continue };
+        let Some(b) = suite.iter().find(|b| b.name == label) else {
+            continue;
+        };
         let out = compare_architectures(b.name, &b.circuit, &cfg);
         names.push(label);
         for (i, f) in out.fixed.iter().enumerate() {

@@ -17,7 +17,11 @@ const SEED: u64 = 2024;
 
 fn fixed_fidelity(c: &Circuit, arch: FixedArchitecture, params: Option<&HardwareParams>) -> f64 {
     // Lighter layout search: the sweeps run hundreds of routings.
-    let cfg = raa_sabre::LayoutConfig { trials: 1, passes: 2, ..Default::default() };
+    let cfg = raa_sabre::LayoutConfig {
+        trials: 1,
+        passes: 2,
+        ..Default::default()
+    };
     let r = compile_fixed_with(c, arch, &cfg).expect("baseline compiles");
     match params {
         None => r.total_fidelity(),
@@ -39,8 +43,16 @@ fn fixed_fidelity(c: &Circuit, arch: FixedArchitecture, params: Option<&Hardware
 /// Fig. 15: generic-circuit sweep over 2Q-gates-per-qubit × degree.
 pub fn fig15(quick: bool) {
     section("Fig. 15: generic circuits (40 qubits), fidelity improvement over FAA");
-    let gpq: &[f64] = if quick { &[2.0, 10.0, 26.0] } else { &[2.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0] };
-    let degs: &[f64] = if quick { &[2.0, 4.0, 7.0] } else { &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] };
+    let gpq: &[f64] = if quick {
+        &[2.0, 10.0, 26.0]
+    } else {
+        &[2.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0]
+    };
+    let degs: &[f64] = if quick {
+        &[2.0, 4.0, 7.0]
+    } else {
+        &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    };
     let cfg = AtomiqueConfig::default();
     row(
         "gpq\\deg",
@@ -65,11 +77,17 @@ pub fn fig15(quick: bool) {
         );
         row(
             &format!("g={g} vs rect"),
-            &impr_rect.iter().map(|&v| format!("{v:.2}x")).collect::<Vec<_>>(),
+            &impr_rect
+                .iter()
+                .map(|&v| format!("{v:.2}x"))
+                .collect::<Vec<_>>(),
         );
         row(
             &format!("g={g} vs tri"),
-            &impr_tri.iter().map(|&v| format!("{v:.2}x")).collect::<Vec<_>>(),
+            &impr_tri
+                .iter()
+                .map(|&v| format!("{v:.2}x"))
+                .collect::<Vec<_>>(),
         );
     }
     println!("expected shape: improvement grows with both gate count and degree;");
@@ -79,10 +97,21 @@ pub fn fig15(quick: bool) {
 /// Fig. 16: QAOA sweep over qubit count × graph degree.
 pub fn fig16(quick: bool) {
     section("Fig. 16: QAOA regular graphs, fidelity improvement over FAA");
-    let sizes: &[usize] = if quick { &[10, 40, 100] } else { &[10, 20, 40, 60, 80, 100] };
-    let degs: &[usize] = if quick { &[3, 5, 7] } else { &[2, 3, 4, 5, 6, 7] };
+    let sizes: &[usize] = if quick {
+        &[10, 40, 100]
+    } else {
+        &[10, 20, 40, 60, 80, 100]
+    };
+    let degs: &[usize] = if quick {
+        &[3, 5, 7]
+    } else {
+        &[2, 3, 4, 5, 6, 7]
+    };
     let cfg = AtomiqueConfig::default();
-    row("n\\deg", &degs.iter().map(|d| format!("d={d}")).collect::<Vec<_>>());
+    row(
+        "n\\deg",
+        &degs.iter().map(|d| format!("d={d}")).collect::<Vec<_>>(),
+    );
     for &n in sizes {
         let mut cells = Vec::new();
         for &d in degs {
@@ -103,10 +132,21 @@ pub fn fig16(quick: bool) {
 /// Fig. 17: QSim sweep over qubit count × non-identity probability.
 pub fn fig17(quick: bool) {
     section("Fig. 17: QSim circuits, fidelity improvement over FAA");
-    let sizes: &[usize] = if quick { &[10, 40] } else { &[10, 20, 40, 60, 80, 100] };
-    let probs: &[f64] = if quick { &[0.3, 0.7] } else { &[0.1, 0.3, 0.5, 0.7] };
+    let sizes: &[usize] = if quick {
+        &[10, 40]
+    } else {
+        &[10, 20, 40, 60, 80, 100]
+    };
+    let probs: &[f64] = if quick {
+        &[0.3, 0.7]
+    } else {
+        &[0.1, 0.3, 0.5, 0.7]
+    };
     let cfg = AtomiqueConfig::default();
-    row("n\\p", &probs.iter().map(|p| format!("p={p}")).collect::<Vec<_>>());
+    row(
+        "n\\p",
+        &probs.iter().map(|p| format!("p={p}")).collect::<Vec<_>>(),
+    );
     for &n in sizes {
         let mut cells = Vec::new();
         for &p in probs {
@@ -136,8 +176,18 @@ pub fn fig18(quick: bool) {
 
     // (a) time per move.
     println!("--- (a) time per move (us) ---");
-    let times: &[f64] = if quick { &[100.0, 300.0, 1000.0] } else { &[100.0, 200.0, 300.0, 500.0, 700.0, 1000.0] };
-    row("workload", &times.iter().map(|t| format!("{t:.0}us")).collect::<Vec<_>>());
+    let times: &[f64] = if quick {
+        &[100.0, 300.0, 1000.0]
+    } else {
+        &[100.0, 200.0, 300.0, 500.0, 700.0, 1000.0]
+    };
+    row(
+        "workload",
+        &times
+            .iter()
+            .map(|t| format!("{t:.0}us"))
+            .collect::<Vec<_>>(),
+    );
     for (name, c) in &workloads {
         let cells: Vec<String> = times
             .iter()
@@ -149,20 +199,35 @@ pub fn fig18(quick: bool) {
             .collect();
         row(name, &cells);
     }
-    println!("expected shape: too fast -> heating/atom loss; too slow -> decoherence; optimum ~300 us");
+    println!(
+        "expected shape: too fast -> heating/atom loss; too slow -> decoherence; optimum ~300 us"
+    );
 
     // (b) average move speed is the same sweep re-expressed.
     println!("--- (b) average move speed (m/s) = d / t_move ---");
     let d = HardwareParams::neutral_atom().atom_distance_um;
     row(
         "speed",
-        &times.iter().map(|&t| format!("{:.3}", d * 1e-6 / (t * 1e-6))).collect::<Vec<_>>(),
+        &times
+            .iter()
+            .map(|&t| format!("{:.3}", d * 1e-6 / (t * 1e-6)))
+            .collect::<Vec<_>>(),
     );
 
     // (c) atom distance.
     println!("--- (c) atom distance (um) ---");
-    let dists: &[f64] = if quick { &[15.0, 60.0] } else { &[15.0, 30.0, 45.0, 60.0] };
-    row("workload", &dists.iter().map(|d| format!("{d:.0}um")).collect::<Vec<_>>());
+    let dists: &[f64] = if quick {
+        &[15.0, 60.0]
+    } else {
+        &[15.0, 30.0, 45.0, 60.0]
+    };
+    row(
+        "workload",
+        &dists
+            .iter()
+            .map(|d| format!("{d:.0}um"))
+            .collect::<Vec<_>>(),
+    );
     for (name, c) in &workloads {
         let cells: Vec<String> = dists
             .iter()
@@ -187,8 +252,18 @@ pub fn fig18(quick: bool) {
     // (d) n_vib cooling threshold, evaluated at 60 um spacing as the paper
     // does (to stress cooling).
     println!("--- (d) n_vib cooling threshold (60 um spacing) ---");
-    let thresholds: &[f64] = if quick { &[5.0, 15.0, 30.0] } else { &[5.0, 10.0, 15.0, 20.0, 25.0, 30.0] };
-    row("workload", &thresholds.iter().map(|t| format!("{t:.0}")).collect::<Vec<_>>());
+    let thresholds: &[f64] = if quick {
+        &[5.0, 15.0, 30.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+    };
+    row(
+        "workload",
+        &thresholds
+            .iter()
+            .map(|t| format!("{t:.0}"))
+            .collect::<Vec<_>>(),
+    );
     for (name, c) in &workloads {
         let cells: Vec<String> = thresholds
             .iter()
@@ -211,8 +286,15 @@ pub fn fig18(quick: bool) {
 
     // (e) coherence time.
     println!("--- (e) coherence time (s) ---");
-    let t1s: &[f64] = if quick { &[0.15, 15.0] } else { &[0.15, 1.5, 15.0, 150.0] };
-    row("workload", &t1s.iter().map(|t| format!("{t}s")).collect::<Vec<_>>());
+    let t1s: &[f64] = if quick {
+        &[0.15, 15.0]
+    } else {
+        &[0.15, 1.5, 15.0, 150.0]
+    };
+    row(
+        "workload",
+        &t1s.iter().map(|t| format!("{t}s")).collect::<Vec<_>>(),
+    );
     for (name, c) in &workloads {
         let cells: Vec<String> = t1s
             .iter()
@@ -228,8 +310,15 @@ pub fn fig18(quick: bool) {
 
     // (f) two-qubit gate fidelity.
     println!("--- (f) 2Q gate fidelity ---");
-    let f2qs: &[f64] = if quick { &[0.99, 0.9975, 0.9999] } else { &[0.99, 0.995, 0.9975, 0.999, 0.9999] };
-    row("workload", &f2qs.iter().map(|f| format!("{f}")).collect::<Vec<_>>());
+    let f2qs: &[f64] = if quick {
+        &[0.99, 0.9975, 0.9999]
+    } else {
+        &[0.99, 0.995, 0.9975, 0.999, 0.9999]
+    };
+    row(
+        "workload",
+        &f2qs.iter().map(|f| format!("{f}")).collect::<Vec<_>>(),
+    );
     for (name, c) in &workloads {
         let cells: Vec<String> = f2qs
             .iter()
@@ -257,16 +346,37 @@ pub fn fig20a(quick: bool) {
     let shapes: &[(usize, usize)] = if quick {
         &[(49, 1), (7, 7), (1, 49)]
     } else {
-        &[(49, 1), (24, 2), (16, 3), (12, 4), (9, 5), (8, 6), (7, 7), (6, 8), (5, 9), (4, 12), (3, 16), (2, 24), (1, 49)]
+        &[
+            (49, 1),
+            (24, 2),
+            (16, 3),
+            (12, 4),
+            (9, 5),
+            (8, 6),
+            (7, 7),
+            (6, 8),
+            (5, 9),
+            (4, 12),
+            (3, 16),
+            (2, 24),
+            (1, 49),
+        ]
     };
-    topology_sweep(shapes.iter().map(|&(r, c)| (ArrayDims::new(r, c), 2)), shapes.iter().map(|&(r, c)| format!("{r}x{c}")));
+    topology_sweep(
+        shapes.iter().map(|&(r, c)| (ArrayDims::new(r, c), 2)),
+        shapes.iter().map(|&(r, c)| format!("{r}x{c}")),
+    );
     println!("expected shape: square arrays maximize fidelity (shortest moves)");
 }
 
 /// Fig. 20(b): square array size from 7×7 to 20×20.
 pub fn fig20b(quick: bool) {
     section("Fig. 20b: square array size");
-    let sides: &[usize] = if quick { &[7, 10, 20] } else { &[7, 8, 9, 10, 12, 14, 16, 18, 20] };
+    let sides: &[usize] = if quick {
+        &[7, 10, 20]
+    } else {
+        &[7, 8, 9, 10, 12, 14, 16, 18, 20]
+    };
     topology_sweep(
         sides.iter().map(|&s| (ArrayDims::new(s, s), 2)),
         sides.iter().map(|&s| format!("{s}x{s}")),
@@ -277,7 +387,11 @@ pub fn fig20b(quick: bool) {
 /// Fig. 20(c): number of AOD arrays from 1 to 7.
 pub fn fig20c(quick: bool) {
     section("Fig. 20c: number of AOD arrays");
-    let counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 5, 6, 7] };
+    let counts: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7]
+    };
     topology_sweep(
         counts.iter().map(|&k| (ArrayDims::new(10, 10), k)),
         counts.iter().map(|&k| format!("{k} AODs")),
@@ -339,7 +453,13 @@ pub fn fig21(quick: bool) {
     let base = AtomiqueConfig::default().ablation_baseline();
     let configs = [
         ("baseline (dense/random/serial)", base.clone()),
-        ("+ qubit-array mapper", AtomiqueConfig { array_mapper: ArrayMapperKind::MaxKCut, ..base.clone() }),
+        (
+            "+ qubit-array mapper",
+            AtomiqueConfig {
+                array_mapper: ArrayMapperKind::MaxKCut,
+                ..base.clone()
+            },
+        ),
         (
             "+ qubit-atom mapper",
             AtomiqueConfig {
@@ -392,23 +512,55 @@ pub fn fig22(quick: bool) {
     }
     let settings = [
         ("all constraints", Relaxation::NONE),
-        ("relax C1 (addressing)", Relaxation { individual_addressing: true, ..Relaxation::NONE }),
-        ("relax C2 (ordering)", Relaxation { allow_order_violation: true, ..Relaxation::NONE }),
-        ("relax C3 (overlap)", Relaxation { allow_overlap: true, ..Relaxation::NONE }),
+        (
+            "relax C1 (addressing)",
+            Relaxation {
+                individual_addressing: true,
+                ..Relaxation::NONE
+            },
+        ),
+        (
+            "relax C2 (ordering)",
+            Relaxation {
+                allow_order_violation: true,
+                ..Relaxation::NONE
+            },
+        ),
+        (
+            "relax C3 (overlap)",
+            Relaxation {
+                allow_overlap: true,
+                ..Relaxation::NONE
+            },
+        ),
     ];
-    row("", &suite.iter().map(|b| b.name.to_string()).chain(["GMean".into()]).collect::<Vec<_>>());
+    row(
+        "",
+        &suite
+            .iter()
+            .map(|b| b.name.to_string())
+            .chain(["GMean".into()])
+            .collect::<Vec<_>>(),
+    );
     for (i, (name, relax)) in settings.iter().enumerate() {
         let mut dists = Vec::new();
         let mut depths = Vec::new();
         let mut times = Vec::new();
         for b in &suite {
-            let cfg = AtomiqueConfig { relaxation: *relax, ..AtomiqueConfig::default() };
+            let cfg = AtomiqueConfig {
+                relaxation: *relax,
+                ..AtomiqueConfig::default()
+            };
             let out = compile(&b.circuit, &cfg).expect("compiles");
             dists.push(out.stats.avg_move_distance_mm);
             depths.push(out.stats.depth as f64);
             times.push(out.stats.execution_time_s);
         }
-        let cells: Vec<String> = depths.iter().map(|&v| fmt(v)).chain([fmt(gmean(&depths))]).collect();
+        let cells: Vec<String> = depths
+            .iter()
+            .map(|&v| fmt(v))
+            .chain([fmt(gmean(&depths))])
+            .collect();
         row(&format!("{name} depth"), &cells);
         println!(
             "    gmean move-dist {:.4} mm, time {:.4} s  (paper gmeans: {:.4} mm, {:.0} depth, {:.4} s)",
@@ -429,7 +581,7 @@ pub fn fig23(quick: bool) {
     let workloads = [
         ("QAOA-rand", qaoa_random(n, 0.15, SEED)),
         ("QSIM-rand", qsim_random(n, 0.25, 10, SEED)),
-        ("Phase-Code", phase_code((n + 1) / 2, 2)),
+        ("Phase-Code", phase_code(n.div_ceil(2), 2)),
     ];
     let configs = [
         (
@@ -460,7 +612,9 @@ pub fn fig23(quick: bool) {
         }
         println!("{name:<26} {}", cells.join(" | "));
     }
-    println!("expected shape: varied sizes give the mapper freedom -> fewer 2Q/depth, more movement");
+    println!(
+        "expected shape: varied sizes give the mapper freedom -> fewer 2Q/depth, more movement"
+    );
 }
 
 /// Fig. 24: overlaps when logical qubits approach physical capacity.
@@ -474,11 +628,8 @@ pub fn fig24(quick: bool) {
     ];
     let sides: &[usize] = if quick { &[6, 10] } else { &[6, 8, 10] };
     for &side in sides {
-        let hw = RaaConfig::new(
-            ArrayDims::new(10, 10),
-            vec![ArrayDims::new(side, side); 2],
-        )
-        .expect("valid machine");
+        let hw = RaaConfig::new(ArrayDims::new(10, 10), vec![ArrayDims::new(side, side); 2])
+            .expect("valid machine");
         let cfg = AtomiqueConfig::for_hardware(hw);
         let mut overlaps = Vec::new();
         let mut cells = Vec::new();

@@ -31,7 +31,11 @@ pub struct ArchComparison {
 ///
 /// Panics if any compilation fails (the harness benchmarks are all sized
 /// to fit every architecture).
-pub fn compare_architectures(name: &str, circuit: &Circuit, cfg: &AtomiqueConfig) -> ArchComparison {
+pub fn compare_architectures(
+    name: &str,
+    circuit: &Circuit,
+    cfg: &AtomiqueConfig,
+) -> ArchComparison {
     let fixed = FixedArchitecture::ALL
         .iter()
         .map(|&arch| {
@@ -40,7 +44,11 @@ pub fn compare_architectures(name: &str, circuit: &Circuit, cfg: &AtomiqueConfig
         })
         .collect();
     let atomique = compile(circuit, cfg).unwrap_or_else(|e| panic!("{name} on Atomique: {e}"));
-    ArchComparison { name: name.to_string(), fixed, atomique }
+    ArchComparison {
+        name: name.to_string(),
+        fixed,
+        atomique,
+    }
 }
 
 /// Prints a section header.
@@ -75,9 +83,46 @@ pub fn fmt(v: f64) -> String {
 /// Prints a paper-vs-measured metric block: one line per series.
 pub fn paper_vs_measured(metric: &str, labels: &[&str], paper: &[f64], measured: &[f64]) {
     println!("--- {metric} ---");
-    row("", &labels.iter().map(|l| l.to_string()).collect::<Vec<_>>());
+    row(
+        "",
+        &labels.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+    );
     row("paper", &paper.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
-    row("measured", &measured.iter().map(|&v| fmt(v)).collect::<Vec<_>>());
+    row(
+        "measured",
+        &measured.iter().map(|&v| fmt(v)).collect::<Vec<_>>(),
+    );
+}
+
+/// Column labels matching [`isa_row`].
+pub const ISA_COLUMNS: [&str; 7] = [
+    "instrs",
+    "moves",
+    "pulses",
+    "xfers",
+    "travel(mm)",
+    "json(KB)",
+    "bin(KB)",
+];
+
+/// ISA-level statistics of one instruction stream, formatted for
+/// [`row`]: instruction count, moves, pulses, transfers, summed line
+/// travel, and both encoded stream sizes.
+pub fn isa_row(program: &raa_isa::IsaProgram) -> Vec<String> {
+    let s = raa_isa::IsaStats::of(program);
+    let json_bytes = raa_isa::codec::to_json(program)
+        .unwrap_or_else(|e| panic!("unencodable stream for `{}`: {e}", program.header.name))
+        .len();
+    let bin_bytes = raa_isa::codec::to_bytes(program).len();
+    vec![
+        s.instructions.to_string(),
+        s.moves.to_string(),
+        s.pulses.to_string(),
+        s.transfers.to_string(),
+        fmt(s.line_travel_um / 1000.0),
+        fmt(json_bytes as f64 / 1024.0),
+        fmt(bin_bytes as f64 / 1024.0),
+    ]
 }
 
 #[cfg(test)]

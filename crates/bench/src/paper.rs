@@ -39,29 +39,74 @@ pub const FIG13_ARCHS: [&str; 5] = [
 
 /// Fig. 13 depth (parallel 2Q layers) per architecture × benchmark.
 pub const FIG13_DEPTH: [[f64; 18]; 5] = [
-    [150., 195., 1371., 82., 127., 677., 1564., 314., 836., 54., 3298., 78., 210., 503., 1256., 272., 906., 700.],
-    [227., 122., 2181., 33., 104., 308., 940., 169., 510., 38., 1576., 27., 191., 523., 2190., 280., 1740., 656.],
-    [138., 145., 1632., 73., 117., 531., 1424., 190., 738., 74., 2223., 47., 180., 509., 1126., 206., 993., 609.],
-    [111., 117., 1068., 71., 147., 346., 996., 146., 416., 36., 1556., 32., 115., 349., 760., 141., 647., 415.],
-    [103., 75., 665., 22., 36., 163., 325., 76., 173., 35., 844., 18., 58., 134., 297., 52., 132., 189.],
+    [
+        150., 195., 1371., 82., 127., 677., 1564., 314., 836., 54., 3298., 78., 210., 503., 1256.,
+        272., 906., 700.,
+    ],
+    [
+        227., 122., 2181., 33., 104., 308., 940., 169., 510., 38., 1576., 27., 191., 523., 2190.,
+        280., 1740., 656.,
+    ],
+    [
+        138., 145., 1632., 73., 117., 531., 1424., 190., 738., 74., 2223., 47., 180., 509., 1126.,
+        206., 993., 609.,
+    ],
+    [
+        111., 117., 1068., 71., 147., 346., 996., 146., 416., 36., 1556., 32., 115., 349., 760.,
+        141., 647., 415.,
+    ],
+    [
+        103., 75., 665., 22., 36., 163., 325., 76., 173., 35., 844., 18., 58., 134., 297., 52.,
+        132., 189.,
+    ],
 ];
 
 /// Fig. 13 two-qubit gate counts.
 pub const FIG13_TWO_Q: [[f64; 18]; 5] = [
-    [174., 251., 5388., 99., 212., 1232., 4318., 580., 2024., 54., 4480., 105., 390., 1319., 4559., 812., 4178., 1775.],
-    [247., 157., 4644., 37., 153., 405., 1373., 232., 775., 40., 1788., 45., 275., 821., 3496., 457., 3144., 1064.],
-    [162., 170., 3954., 82., 132., 746., 2454., 316., 1232., 79., 2461., 67., 262., 905., 2685., 502., 2603., 1107.],
-    [128., 144., 3399., 74., 208., 545., 1857., 227., 976., 39., 1722., 48., 226., 749., 2202., 390., 1949., 875.],
-    [116., 102., 1665., 22., 36., 182., 372., 106., 223., 37., 891., 30., 105., 279., 745., 115., 345., 316.],
+    [
+        174., 251., 5388., 99., 212., 1232., 4318., 580., 2024., 54., 4480., 105., 390., 1319.,
+        4559., 812., 4178., 1775.,
+    ],
+    [
+        247., 157., 4644., 37., 153., 405., 1373., 232., 775., 40., 1788., 45., 275., 821., 3496.,
+        457., 3144., 1064.,
+    ],
+    [
+        162., 170., 3954., 82., 132., 746., 2454., 316., 1232., 79., 2461., 67., 262., 905., 2685.,
+        502., 2603., 1107.,
+    ],
+    [
+        128., 144., 3399., 74., 208., 545., 1857., 227., 976., 39., 1722., 48., 226., 749., 2202.,
+        390., 1949., 875.,
+    ],
+    [
+        116., 102., 1665., 22., 36., 182., 372., 106., 223., 37., 891., 30., 105., 279., 745.,
+        115., 345., 316.,
+    ],
 ];
 
 /// Fig. 13 fidelities.
 pub const FIG13_FIDELITY: [[f64; 18]; 5] = [
-    [0.330, 0.160, 0.000, 0.063, 0.002, 0.000, 0.000, 0.005, 0.000, 0.760, 0.000, 0.473, 0.027, 0.000, 0.000, 0.000, 0.000, 0.000],
-    [0.488, 0.656, 0.000, 0.904, 0.662, 0.336, 0.025, 0.537, 0.125, 0.897, 0.008, 0.888, 0.481, 0.113, 0.000, 0.296, 0.000, 0.058],
-    [0.653, 0.640, 0.000, 0.805, 0.705, 0.141, 0.002, 0.436, 0.039, 0.813, 0.002, 0.839, 0.503, 0.093, 0.001, 0.267, 0.001, 0.054],
-    [0.711, 0.682, 0.000, 0.819, 0.573, 0.234, 0.007, 0.546, 0.074, 0.903, 0.011, 0.880, 0.547, 0.136, 0.003, 0.353, 0.006, 0.097],
-    [0.716, 0.746, 0.001, 0.919, 0.852, 0.458, 0.160, 0.726, 0.366, 0.906, 0.081, 0.922, 0.732, 0.367, 0.032, 0.677, 0.259, 0.281],
+    [
+        0.330, 0.160, 0.000, 0.063, 0.002, 0.000, 0.000, 0.005, 0.000, 0.760, 0.000, 0.473, 0.027,
+        0.000, 0.000, 0.000, 0.000, 0.000,
+    ],
+    [
+        0.488, 0.656, 0.000, 0.904, 0.662, 0.336, 0.025, 0.537, 0.125, 0.897, 0.008, 0.888, 0.481,
+        0.113, 0.000, 0.296, 0.000, 0.058,
+    ],
+    [
+        0.653, 0.640, 0.000, 0.805, 0.705, 0.141, 0.002, 0.436, 0.039, 0.813, 0.002, 0.839, 0.503,
+        0.093, 0.001, 0.267, 0.001, 0.054,
+    ],
+    [
+        0.711, 0.682, 0.000, 0.819, 0.573, 0.234, 0.007, 0.546, 0.074, 0.903, 0.011, 0.880, 0.547,
+        0.136, 0.003, 0.353, 0.006, 0.097,
+    ],
+    [
+        0.716, 0.746, 0.001, 0.919, 0.852, 0.458, 0.160, 0.726, 0.366, 0.906, 0.081, 0.922, 0.732,
+        0.367, 0.032, 0.677, 0.259, 0.281,
+    ],
 ];
 
 /// Fig. 14 benchmark labels (last entry is Mean).
@@ -82,9 +127,15 @@ pub const FIG14_LABELS: [&str; 12] = [
 
 /// Fig. 14 fidelity rows: Tan-Solver, Tan-IterP, Atomique.
 pub const FIG14_FIDELITY: [[f64; 12]; 3] = [
-    [0.94, 0.97, 0.94, 0.82, 0.96, 0.95, 0.71, 0.89, 0.98, 0.92, 0.94, 0.91],
-    [0.95, 0.97, 0.94, 0.81, 0.96, 0.96, 0.80, 0.91, 0.98, 0.92, 0.95, 0.92],
-    [0.89, 0.96, 0.92, 0.69, 0.96, 0.94, 0.73, 0.87, 0.97, 0.90, 0.90, 0.88],
+    [
+        0.94, 0.97, 0.94, 0.82, 0.96, 0.95, 0.71, 0.89, 0.98, 0.92, 0.94, 0.91,
+    ],
+    [
+        0.95, 0.97, 0.94, 0.81, 0.96, 0.96, 0.80, 0.91, 0.98, 0.92, 0.95, 0.92,
+    ],
+    [
+        0.89, 0.96, 0.92, 0.69, 0.96, 0.94, 0.73, 0.87, 0.97, 0.90, 0.90, 0.88,
+    ],
 ];
 
 /// Fig. 14 two-qubit gate rows: Tan-Solver, Tan-IterP, Atomique.
@@ -96,9 +147,15 @@ pub const FIG14_TWO_Q: [[f64; 12]; 3] = [
 
 /// Fig. 14 compile-time rows (seconds): Tan-Solver, Tan-IterP, Atomique.
 pub const FIG14_COMPILE_S: [[f64; 12]; 3] = [
-    [66., 19., 336., 3757., 86., 31., 7967., 578., 0.82, 4649., 4408., 1991.],
-    [2.13, 4.02, 36., 24., 12., 1.39, 28., 2.42, 0.60, 19., 2.66, 12.],
-    [0.83, 0.65, 0.82, 1.32, 0.59, 0.92, 1.68, 1.15, 0.47, 0.59, 0.61, 0.88],
+    [
+        66., 19., 336., 3757., 86., 31., 7967., 578., 0.82, 4649., 4408., 1991.,
+    ],
+    [
+        2.13, 4.02, 36., 24., 12., 1.39, 28., 2.42, 0.60, 19., 2.66, 12.,
+    ],
+    [
+        0.83, 0.65, 0.82, 1.32, 0.59, 0.92, 1.68, 1.15, 0.47, 0.59, 0.61, 0.88,
+    ],
 ];
 
 /// Fig. 19 benchmark labels (last entry is GMean).
@@ -185,10 +242,18 @@ pub const FIG25_LABELS: [&str; 14] = [
 /// Fig. 25 additional-CNOT rows for the four baselines (Atomique's row in
 /// the source dump is incomplete and is reported measured-only).
 pub const FIG25_ADDITIONAL_CNOT: [[f64; 14]; 4] = [
-    [82., 179., 3900., 77., 176., 1056., 3958., 20., 3604., 78., 310., 712., 3878., 1387.],
-    [143., 85., 3156., 15., 111., 229., 1013., 6., 912., 18., 195., 288., 2841., 693.],
-    [70., 98., 2466., 60., 96., 570., 2094., 45., 1585., 40., 182., 402., 2303., 770.],
-    [36., 72., 1911., 52., 172., 369., 1497., 5., 846., 21., 146., 290., 1649., 544.],
+    [
+        82., 179., 3900., 77., 176., 1056., 3958., 20., 3604., 78., 310., 712., 3878., 1387.,
+    ],
+    [
+        143., 85., 3156., 15., 111., 229., 1013., 6., 912., 18., 195., 288., 2841., 693.,
+    ],
+    [
+        70., 98., 2466., 60., 96., 570., 2094., 45., 1585., 40., 182., 402., 2303., 770.,
+    ],
+    [
+        36., 72., 1911., 52., 172., 369., 1497., 5., 846., 21., 146., 290., 1649., 544.,
+    ],
 ];
 
 #[cfg(test)]

@@ -31,7 +31,12 @@ use raa_circuit::{Circuit, Gate, Qubit};
 /// assert!((s.two_qubit_gates_per_qubit - 10.0).abs() < 1.0);
 /// assert!((s.degree_per_qubit - 4.0).abs() < 1.0);
 /// ```
-pub fn arbitrary_circuit(n: usize, gates_per_qubit: f64, degree_per_qubit: f64, seed: u64) -> Circuit {
+pub fn arbitrary_circuit(
+    n: usize,
+    gates_per_qubit: f64,
+    degree_per_qubit: f64,
+    seed: u64,
+) -> Circuit {
     assert!(
         degree_per_qubit < n as f64,
         "degree {degree_per_qubit} must be below n {n}"
@@ -50,8 +55,9 @@ pub fn arbitrary_circuit(n: usize, gates_per_qubit: f64, degree_per_qubit: f64, 
         attempts += 1;
         // Pick the lowest-degree qubit (random tie-break) and a partner.
         let min_deg = *deg.iter().min().expect("nonempty");
-        let candidates: Vec<u32> =
-            (0..n as u32).filter(|&q| deg[q as usize] == min_deg).collect();
+        let candidates: Vec<u32> = (0..n as u32)
+            .filter(|&q| deg[q as usize] == min_deg)
+            .collect();
         let a = *candidates.choose(&mut rng).expect("nonempty");
         let b = rng.random_range(0..n as u32);
         if a == b {
@@ -118,8 +124,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(arbitrary_circuit(16, 6.0, 3.0, 9), arbitrary_circuit(16, 6.0, 3.0, 9));
-        assert_ne!(arbitrary_circuit(16, 6.0, 3.0, 9), arbitrary_circuit(16, 6.0, 3.0, 10));
+        assert_eq!(
+            arbitrary_circuit(16, 6.0, 3.0, 9),
+            arbitrary_circuit(16, 6.0, 3.0, 9)
+        );
+        assert_ne!(
+            arbitrary_circuit(16, 6.0, 3.0, 9),
+            arbitrary_circuit(16, 6.0, 3.0, 10)
+        );
     }
 
     #[test]

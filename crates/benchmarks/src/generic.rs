@@ -251,7 +251,11 @@ pub fn hhl(clock: usize, sys: usize) -> Circuit {
     for i in (0..clock).rev() {
         c.push(Gate::h(clk(i)));
         for j in (0..i).rev() {
-            c.push(Gate::zz(clk(j), clk(i), std::f64::consts::PI / (1 << (i - j)) as f64));
+            c.push(Gate::zz(
+                clk(j),
+                clk(i),
+                std::f64::consts::PI / (1 << (i - j)) as f64,
+            ));
             c.push(Gate::rz(clk(j), 0.05));
         }
     }
@@ -264,7 +268,11 @@ pub fn hhl(clock: usize, sys: usize) -> Circuit {
     // Uncompute: QFT + inverse evolution.
     for i in 0..clock {
         for j in 0..i {
-            c.push(Gate::zz(clk(j), clk(i), -std::f64::consts::PI / (1 << (i - j)) as f64));
+            c.push(Gate::zz(
+                clk(j),
+                clk(i),
+                -std::f64::consts::PI / (1 << (i - j)) as f64,
+            ));
             c.push(Gate::rz(clk(j), 0.05));
         }
         c.push(Gate::h(clk(i)));
@@ -420,10 +428,22 @@ mod tests {
         let c = mermin_bell(10);
         let s = CircuitStats::of(&c);
         // Paper: 67 2Q, 30 1Q.
-        assert!((s.two_qubit_gates as i64 - 67).abs() <= 5, "{}", s.two_qubit_gates);
-        assert!((s.one_qubit_gates as i64 - 30).abs() <= 2, "{}", s.one_qubit_gates);
+        assert!(
+            (s.two_qubit_gates as i64 - 67).abs() <= 5,
+            "{}",
+            s.two_qubit_gates
+        );
+        assert!(
+            (s.one_qubit_gates as i64 - 30).abs() <= 2,
+            "{}",
+            s.one_qubit_gates
+        );
         let c5 = mermin_bell(5);
-        assert!((c5.two_qubit_count() as i64 - 19).abs() <= 2, "{}", c5.two_qubit_count());
+        assert!(
+            (c5.two_qubit_count() as i64 - 19).abs() <= 2,
+            "{}",
+            c5.two_qubit_count()
+        );
     }
 
     #[test]

@@ -76,12 +76,13 @@ fn mixer(c: &mut Circuit, rng: &mut StdRng) {
 /// (`degree ≥ n` or odd `n·degree`).
 pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Vec<(u32, u32)> {
     assert!(degree < n, "degree {degree} must be below n {n}");
-    assert!(n * degree % 2 == 0, "n*degree must be even");
+    assert!((n * degree).is_multiple_of(2), "n*degree must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: loop {
         // Stubs: each vertex appears `degree` times.
-        let mut stubs: Vec<u32> =
-            (0..n as u32).flat_map(|v| std::iter::repeat(v).take(degree)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, degree))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut edges: Vec<(u32, u32)> = stubs
             .chunks(2)
@@ -162,7 +163,10 @@ mod tests {
         let c = qaoa_random(20, 0.5, 7);
         let m = c.two_qubit_count() as f64;
         let expect = 190.0 * 0.5;
-        assert!((m - expect).abs() < 30.0, "got {m} edges, expected ≈{expect}");
+        assert!(
+            (m - expect).abs() < 30.0,
+            "got {m} edges, expected ≈{expect}"
+        );
         assert_eq!(c.one_qubit_count(), 20);
     }
 

@@ -32,7 +32,11 @@ pub enum Pauli {
 ///
 /// Panics if `paulis.len() != c.num_qubits()`.
 pub fn append_pauli_rotation(c: &mut Circuit, paulis: &[Pauli], theta: f64) {
-    assert_eq!(paulis.len(), c.num_qubits(), "string length must match register");
+    assert_eq!(
+        paulis.len(),
+        c.num_qubits(),
+        "string length must match register"
+    );
     let involved: Vec<u32> = paulis
         .iter()
         .enumerate()
@@ -192,7 +196,11 @@ mod tests {
     fn h2_and_lih_match_table_two_scale() {
         let h = h2();
         assert_eq!(h.num_qubits(), 4);
-        assert!((h.two_qubit_count() as f64 - 40.0).abs() <= 5.0, "{}", h.two_qubit_count());
+        assert!(
+            (h.two_qubit_count() as f64 - 40.0).abs() <= 5.0,
+            "{}",
+            h.two_qubit_count()
+        );
         let l = lih();
         assert_eq!(l.num_qubits(), 6);
         assert!(

@@ -47,13 +47,41 @@ const SUITE_SEED: u64 = 2024;
 pub fn large_suite() -> Vec<Benchmark> {
     use BenchmarkKind::*;
     vec![
-        Benchmark { name: "HHL-7", kind: Generic, circuit: hhl(4, 2) },
-        Benchmark { name: "Mermin-Bell-10", kind: Generic, circuit: mermin_bell(10) },
-        Benchmark { name: "QV-32", kind: Generic, circuit: qv(32, 32, SUITE_SEED) },
-        Benchmark { name: "BV-50", kind: Generic, circuit: bv(50, 22, SUITE_SEED) },
-        Benchmark { name: "BV-70", kind: Generic, circuit: bv(70, 36, SUITE_SEED) },
-        Benchmark { name: "QSim-rand-20", kind: QSim, circuit: qsim_random(20, 0.5, 10, SUITE_SEED) },
-        Benchmark { name: "QSim-rand-40", kind: QSim, circuit: qsim_random(40, 0.5, 10, SUITE_SEED) },
+        Benchmark {
+            name: "HHL-7",
+            kind: Generic,
+            circuit: hhl(4, 2),
+        },
+        Benchmark {
+            name: "Mermin-Bell-10",
+            kind: Generic,
+            circuit: mermin_bell(10),
+        },
+        Benchmark {
+            name: "QV-32",
+            kind: Generic,
+            circuit: qv(32, 32, SUITE_SEED),
+        },
+        Benchmark {
+            name: "BV-50",
+            kind: Generic,
+            circuit: bv(50, 22, SUITE_SEED),
+        },
+        Benchmark {
+            name: "BV-70",
+            kind: Generic,
+            circuit: bv(70, 36, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSim-rand-20",
+            kind: QSim,
+            circuit: qsim_random(20, 0.5, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSim-rand-40",
+            kind: QSim,
+            circuit: qsim_random(40, 0.5, 10, SUITE_SEED),
+        },
         Benchmark {
             name: "QSim-rand-20-p0.3",
             kind: QSim,
@@ -64,14 +92,46 @@ pub fn large_suite() -> Vec<Benchmark> {
             kind: QSim,
             circuit: qsim_random(40, 0.3, 10, SUITE_SEED),
         },
-        Benchmark { name: "H2-4", kind: QSim, circuit: h2() },
-        Benchmark { name: "LiH-6", kind: QSim, circuit: lih() },
-        Benchmark { name: "QAOA-rand-10", kind: Qaoa, circuit: qaoa_random(10, 0.5, SUITE_SEED) },
-        Benchmark { name: "QAOA-rand-20", kind: Qaoa, circuit: qaoa_random(20, 0.5, SUITE_SEED) },
-        Benchmark { name: "QAOA-rand-30", kind: Qaoa, circuit: qaoa_random(30, 0.5, SUITE_SEED) },
-        Benchmark { name: "QAOA-rand-50", kind: Qaoa, circuit: qaoa_random(50, 0.5, SUITE_SEED) },
-        Benchmark { name: "QAOA-regu5-40", kind: Qaoa, circuit: qaoa_regular(40, 5, SUITE_SEED) },
-        Benchmark { name: "QAOA-regu6-100", kind: Qaoa, circuit: qaoa_regular(100, 6, SUITE_SEED) },
+        Benchmark {
+            name: "H2-4",
+            kind: QSim,
+            circuit: h2(),
+        },
+        Benchmark {
+            name: "LiH-6",
+            kind: QSim,
+            circuit: lih(),
+        },
+        Benchmark {
+            name: "QAOA-rand-10",
+            kind: Qaoa,
+            circuit: qaoa_random(10, 0.5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-rand-20",
+            kind: Qaoa,
+            circuit: qaoa_random(20, 0.5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-rand-30",
+            kind: Qaoa,
+            circuit: qaoa_random(30, 0.5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-rand-50",
+            kind: Qaoa,
+            circuit: qaoa_random(50, 0.5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-regu5-40",
+            kind: Qaoa,
+            circuit: qaoa_regular(40, 5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-regu6-100",
+            kind: Qaoa,
+            circuit: qaoa_regular(100, 6, SUITE_SEED),
+        },
     ]
 }
 
@@ -80,17 +140,61 @@ pub fn large_suite() -> Vec<Benchmark> {
 pub fn small_suite() -> Vec<Benchmark> {
     use BenchmarkKind::*;
     vec![
-        Benchmark { name: "Mermin-Bell-5", kind: Generic, circuit: mermin_bell(5) },
-        Benchmark { name: "VQE-10", kind: Generic, circuit: vqe(10, SUITE_SEED) },
-        Benchmark { name: "VQE-20", kind: Generic, circuit: vqe(20, SUITE_SEED) },
-        Benchmark { name: "Adder-10", kind: Generic, circuit: adder(4) },
-        Benchmark { name: "BV-14", kind: Generic, circuit: bv(14, 13 .min(13), SUITE_SEED) },
-        Benchmark { name: "QSim-rand-5", kind: QSim, circuit: qsim_random(5, 0.5, 10, SUITE_SEED) },
-        Benchmark { name: "QSim-rand-10", kind: QSim, circuit: qsim_random(10, 0.5, 10, SUITE_SEED) },
-        Benchmark { name: "H2-4", kind: QSim, circuit: h2() },
-        Benchmark { name: "QAOA-rand-5", kind: Qaoa, circuit: qaoa_random(5, 0.5, SUITE_SEED) },
-        Benchmark { name: "QAOA-regu3-20", kind: Qaoa, circuit: qaoa_regular(20, 3, SUITE_SEED) },
-        Benchmark { name: "QAOA-regu4-10", kind: Qaoa, circuit: qaoa_regular(10, 4, SUITE_SEED) },
+        Benchmark {
+            name: "Mermin-Bell-5",
+            kind: Generic,
+            circuit: mermin_bell(5),
+        },
+        Benchmark {
+            name: "VQE-10",
+            kind: Generic,
+            circuit: vqe(10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "VQE-20",
+            kind: Generic,
+            circuit: vqe(20, SUITE_SEED),
+        },
+        Benchmark {
+            name: "Adder-10",
+            kind: Generic,
+            circuit: adder(4),
+        },
+        Benchmark {
+            name: "BV-14",
+            kind: Generic,
+            circuit: bv(14, 13, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSim-rand-5",
+            kind: QSim,
+            circuit: qsim_random(5, 0.5, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QSim-rand-10",
+            kind: QSim,
+            circuit: qsim_random(10, 0.5, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "H2-4",
+            kind: QSim,
+            circuit: h2(),
+        },
+        Benchmark {
+            name: "QAOA-rand-5",
+            kind: Qaoa,
+            circuit: qaoa_random(5, 0.5, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-regu3-20",
+            kind: Qaoa,
+            circuit: qaoa_regular(20, 3, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-regu4-10",
+            kind: Qaoa,
+            circuit: qaoa_regular(10, 4, SUITE_SEED),
+        },
     ]
 }
 
@@ -105,8 +209,16 @@ pub fn topology_suite() -> Vec<Benchmark> {
             kind: Generic,
             circuit: arbitrary_circuit(100, 10.0, 5.0, SUITE_SEED),
         },
-        Benchmark { name: "QSim-40Q", kind: QSim, circuit: qsim_random(40, 0.5, 10, SUITE_SEED) },
-        Benchmark { name: "QAOA-40Q", kind: Qaoa, circuit: qaoa_regular(40, 5, SUITE_SEED) },
+        Benchmark {
+            name: "QSim-40Q",
+            kind: QSim,
+            circuit: qsim_random(40, 0.5, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: "QAOA-40Q",
+            kind: Qaoa,
+            circuit: qaoa_regular(40, 5, SUITE_SEED),
+        },
     ]
 }
 
@@ -124,7 +236,11 @@ pub fn relaxation_suite() -> Vec<Benchmark> {
             kind: QSim,
             circuit: qsim_random(100, 0.25, 10, SUITE_SEED),
         },
-        Benchmark { name: "Phase-Code-200", kind: Generic, circuit: phase_code(100, 2) },
+        Benchmark {
+            name: "Phase-Code-200",
+            kind: Generic,
+            circuit: phase_code(100, 2),
+        },
     ]
 }
 
@@ -149,7 +265,11 @@ mod tests {
         let s = small_suite();
         assert_eq!(s.len(), 11);
         for b in &s {
-            assert!(b.stats().num_qubits <= 20, "{} too large for Tan-Solver", b.name);
+            assert!(
+                b.stats().num_qubits <= 20,
+                "{} too large for Tan-Solver",
+                b.name
+            );
         }
     }
 
@@ -164,7 +284,12 @@ mod tests {
 
     #[test]
     fn names_are_unique_per_suite() {
-        for suite in [large_suite(), small_suite(), topology_suite(), relaxation_suite()] {
+        for suite in [
+            large_suite(),
+            small_suite(),
+            topology_suite(),
+            relaxation_suite(),
+        ] {
             let mut names: Vec<_> = suite.iter().map(|b| b.name).collect();
             names.sort_unstable();
             let before = names.len();

@@ -43,7 +43,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, gates: Vec::new() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Creates a circuit from parts, validating every gate.
@@ -173,7 +176,10 @@ impl Circuit {
         new_num_qubits: usize,
         mut f: impl FnMut(Qubit) -> Qubit,
     ) -> Result<Circuit, CircuitError> {
-        Circuit::with_gates(new_num_qubits, self.gates.iter().map(|g| g.map_qubits(&mut f)))
+        Circuit::with_gates(
+            new_num_qubits,
+            self.gates.iter().map(|g| g.map_qubits(&mut f)),
+        )
     }
 
     /// Decomposes every non-native gate into the given native set.
@@ -198,7 +204,8 @@ impl Circuit {
     /// Iterates over the two-qubit gates as unordered `(min, max)` pairs.
     pub fn two_qubit_pairs(&self) -> impl Iterator<Item = (Qubit, Qubit)> + '_ {
         self.gates.iter().filter_map(|g| {
-            g.pair().map(|(a, b)| if a.0 <= b.0 { (a, b) } else { (b, a) })
+            g.pair()
+                .map(|(a, b)| if a.0 <= b.0 { (a, b) } else { (b, a) })
         })
     }
 }
@@ -302,9 +309,18 @@ mod tests {
     fn try_push_rejects_out_of_range() {
         let mut c = Circuit::new(2);
         let err = c.try_push(Gate::h(Qubit(2))).unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        ));
         let err = c.try_push(Gate::cz(Qubit(0), Qubit(5))).unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 5, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange { qubit: 5, .. }
+        ));
     }
 
     #[test]
@@ -350,7 +366,10 @@ mod tests {
         assert_eq!(cx.two_qubit_count(), 2);
         assert!(cx.gates().iter().all(|g| !matches!(
             g,
-            Gate::TwoQ { kind: TwoQubitKind::Cz | TwoQubitKind::Zz(_) | TwoQubitKind::Swap, .. }
+            Gate::TwoQ {
+                kind: TwoQubitKind::Cz | TwoQubitKind::Zz(_) | TwoQubitKind::Swap,
+                ..
+            }
         )));
         // Rydberg hardware: ZZ is a single native pulse.
         let cz = c.decompose_to(NativeGateSet::Cz);

@@ -43,7 +43,11 @@ impl CircuitDag {
                 last_on_qubit[q.index()] = Some(i);
             }
         }
-        CircuitDag { preds, succs, num_gates: n }
+        CircuitDag {
+            preds,
+            succs,
+            num_gates: n,
+        }
     }
 
     /// The predecessor gates of `g`.
@@ -109,9 +113,14 @@ impl DagSchedule {
     pub fn from_dag(dag: CircuitDag) -> Self {
         let n = dag.len();
         let remaining_preds: Vec<u32> = (0..n).map(|i| dag.preds(i).len() as u32).collect();
-        let front: Vec<GateIdx> =
-            (0..n).filter(|&i| remaining_preds[i] == 0).collect();
-        DagSchedule { dag, remaining_preds, executed: vec![false; n], front, num_done: 0 }
+        let front: Vec<GateIdx> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        DagSchedule {
+            dag,
+            remaining_preds,
+            executed: vec![false; n],
+            front,
+            num_done: 0,
+        }
     }
 
     /// The gates currently executable (all predecessors done), in ascending
@@ -216,7 +225,12 @@ impl Layering {
             depth = depth.max(l + 1);
             depth_2q = depth_2q.max(l2);
         }
-        Layering { layer, layer_2q, depth, depth_2q }
+        Layering {
+            layer,
+            layer_2q,
+            depth,
+            depth_2q,
+        }
     }
 
     /// The ASAP layer of gate `g` (0-based).

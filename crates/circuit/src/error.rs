@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_lowercase() {
-        let e = CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 3 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 5,
+            num_qubits: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains('5') && msg.contains('3'));
         assert!(msg.chars().next().unwrap().is_lowercase());

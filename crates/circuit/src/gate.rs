@@ -129,82 +129,134 @@ pub enum Gate {
 impl Gate {
     /// Hadamard on `q`.
     pub fn h(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::H, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::H,
+            qubit: q,
+        }
     }
 
     /// Pauli-X on `q`.
     pub fn x(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::X, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::X,
+            qubit: q,
+        }
     }
 
     /// Pauli-Y on `q`.
     pub fn y(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Y, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Y,
+            qubit: q,
+        }
     }
 
     /// Pauli-Z on `q`.
     pub fn z(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Z, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Z,
+            qubit: q,
+        }
     }
 
     /// S gate on `q`.
     pub fn s(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::S, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::S,
+            qubit: q,
+        }
     }
 
     /// S† gate on `q`.
     pub fn sdg(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Sdg, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Sdg,
+            qubit: q,
+        }
     }
 
     /// T gate on `q`.
     pub fn t(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::T, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::T,
+            qubit: q,
+        }
     }
 
     /// T† gate on `q`.
     pub fn tdg(q: Qubit) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Tdg, qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Tdg,
+            qubit: q,
+        }
     }
 
     /// X-rotation by `theta` on `q`.
     pub fn rx(q: Qubit, theta: f64) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Rx(theta), qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Rx(theta),
+            qubit: q,
+        }
     }
 
     /// Y-rotation by `theta` on `q`.
     pub fn ry(q: Qubit, theta: f64) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Ry(theta), qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Ry(theta),
+            qubit: q,
+        }
     }
 
     /// Z-rotation by `theta` on `q`.
     pub fn rz(q: Qubit, theta: f64) -> Self {
-        Gate::OneQ { kind: OneQubitKind::Rz(theta), qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::Rz(theta),
+            qubit: q,
+        }
     }
 
     /// General one-qubit unitary on `q`.
     pub fn u(q: Qubit, theta: f64, phi: f64, lambda: f64) -> Self {
-        Gate::OneQ { kind: OneQubitKind::U(theta, phi, lambda), qubit: q }
+        Gate::OneQ {
+            kind: OneQubitKind::U(theta, phi, lambda),
+            qubit: q,
+        }
     }
 
     /// Controlled-Z between `a` and `b`.
     pub fn cz(a: Qubit, b: Qubit) -> Self {
-        Gate::TwoQ { kind: TwoQubitKind::Cz, a, b }
+        Gate::TwoQ {
+            kind: TwoQubitKind::Cz,
+            a,
+            b,
+        }
     }
 
     /// CNOT with control `c` and target `t`.
     pub fn cx(c: Qubit, t: Qubit) -> Self {
-        Gate::TwoQ { kind: TwoQubitKind::Cx, a: c, b: t }
+        Gate::TwoQ {
+            kind: TwoQubitKind::Cx,
+            a: c,
+            b: t,
+        }
     }
 
     /// ZZ(θ) interaction between `a` and `b`.
     pub fn zz(a: Qubit, b: Qubit, theta: f64) -> Self {
-        Gate::TwoQ { kind: TwoQubitKind::Zz(theta), a, b }
+        Gate::TwoQ {
+            kind: TwoQubitKind::Zz(theta),
+            a,
+            b,
+        }
     }
 
     /// SWAP between `a` and `b`.
     pub fn swap(a: Qubit, b: Qubit) -> Self {
-        Gate::TwoQ { kind: TwoQubitKind::Swap, a, b }
+        Gate::TwoQ {
+            kind: TwoQubitKind::Swap,
+            a,
+            b,
+        }
     }
 
     /// Whether this gate acts on two qubits.
@@ -224,7 +276,10 @@ impl Gate {
     pub fn is_swap(&self) -> bool {
         matches!(
             self,
-            Gate::TwoQ { kind: TwoQubitKind::Swap, .. }
+            Gate::TwoQ {
+                kind: TwoQubitKind::Swap,
+                ..
+            }
         )
     }
 
@@ -268,8 +323,15 @@ impl Gate {
     /// Used when applying a qubit layout (logical → physical) or the inverse.
     pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
         match *self {
-            Gate::OneQ { kind, qubit } => Gate::OneQ { kind, qubit: f(qubit) },
-            Gate::TwoQ { kind, a, b } => Gate::TwoQ { kind, a: f(a), b: f(b) },
+            Gate::OneQ { kind, qubit } => Gate::OneQ {
+                kind,
+                qubit: f(qubit),
+            },
+            Gate::TwoQ { kind, a, b } => Gate::TwoQ {
+                kind,
+                a: f(a),
+                b: f(b),
+            },
         }
     }
 

@@ -45,6 +45,6 @@ mod stats;
 pub use circuit::{one_qubit_angle, pulse_count, Circuit, NativeGateSet};
 pub use dag::{depth, layers, two_qubit_depth, CircuitDag, DagSchedule, GateIdx, Layering};
 pub use error::CircuitError;
-pub use opt::optimize;
 pub use gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+pub use opt::optimize;
 pub use stats::{CircuitStats, InteractionGraph};

@@ -104,11 +104,9 @@ fn pass(gates: &mut [Option<Gate>], num_qubits: usize) -> bool {
 }
 
 fn rescan(gates: &[Option<Gate>], before: usize, q: Qubit) -> Option<usize> {
-    (0..before).rev().find(|&j| {
-        gates[j]
-            .map(|g| g.qubits().contains(&q))
-            .unwrap_or(false)
-    })
+    (0..before)
+        .rev()
+        .find(|&j| gates[j].map(|g| g.qubits().contains(&q)).unwrap_or(false))
 }
 
 fn is_identity(g: &Gate) -> bool {
@@ -118,7 +116,10 @@ fn is_identity(g: &Gate) -> bool {
             OneQubitKind::U(t, p, l) => t.abs() < EPS && p.abs() < EPS && l.abs() < EPS,
             _ => false,
         },
-        Gate::TwoQ { kind: TwoQubitKind::Zz(t), .. } => t.abs() < EPS,
+        Gate::TwoQ {
+            kind: TwoQubitKind::Zz(t),
+            ..
+        } => t.abs() < EPS,
         _ => false,
     }
 }
@@ -129,9 +130,16 @@ fn is_identity(g: &Gate) -> bool {
 fn combine(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
     use OneQubitKind::*;
     match (a, b) {
-        (Gate::OneQ { kind: ka, qubit: qa }, Gate::OneQ { kind: kb, qubit: qb })
-            if qa == qb =>
-        {
+        (
+            Gate::OneQ {
+                kind: ka,
+                qubit: qa,
+            },
+            Gate::OneQ {
+                kind: kb,
+                qubit: qb,
+            },
+        ) if qa == qb => {
             match (ka, kb) {
                 (H, H) | (X, X) | (Y, Y) | (Z, Z) => Some(None),
                 (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) => Some(None),
@@ -139,9 +147,7 @@ fn combine(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
                 (Ry(x), Ry(y)) => Some(Some(Gate::ry(*qa, x + y))),
                 (Rz(x), Rz(y)) => Some(Some(Gate::rz(*qa, x + y))),
                 // Z-family phases merge into Rz up to global phase.
-                (Z, Rz(y)) | (Rz(y), Z) => {
-                    Some(Some(Gate::rz(*qa, y + std::f64::consts::PI)))
-                }
+                (Z, Rz(y)) | (Rz(y), Z) => Some(Some(Gate::rz(*qa, y + std::f64::consts::PI))),
                 (S, Rz(y)) | (Rz(y), S) => {
                     Some(Some(Gate::rz(*qa, y + std::f64::consts::FRAC_PI_2)))
                 }
@@ -157,7 +163,18 @@ fn combine(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
                 _ => None,
             }
         }
-        (Gate::TwoQ { kind: ka, a: a1, b: b1 }, Gate::TwoQ { kind: kb, a: a2, b: b2 }) => {
+        (
+            Gate::TwoQ {
+                kind: ka,
+                a: a1,
+                b: b1,
+            },
+            Gate::TwoQ {
+                kind: kb,
+                a: a2,
+                b: b2,
+            },
+        ) => {
             let same_ordered = a1 == a2 && b1 == b2;
             let same_sym = same_ordered || (a1 == b2 && b1 == a2);
             match (ka, kb) {
@@ -207,7 +224,10 @@ mod tests {
         let o = optimize(&c);
         assert_eq!(o.len(), 1);
         match o.gates()[0] {
-            Gate::OneQ { kind: OneQubitKind::Rz(t), .. } => assert!((t - 0.75).abs() < 1e-12),
+            Gate::OneQ {
+                kind: OneQubitKind::Rz(t),
+                ..
+            } => assert!((t - 0.75).abs() < 1e-12),
             ref g => panic!("unexpected {g:?}"),
         }
     }

@@ -113,10 +113,12 @@ fn emit_gate(g: &Gate, out: &mut String) {
 
 /// Parses an OpenQASM 2.0 program covering this workspace's gate set.
 ///
-/// Supported statements: `OPENQASM`, `include`, `qreg`, `creg` (ignored),
-/// `barrier`/`measure` (ignored), the one-qubit gates
-/// `h x y z s sdg t tdg rx ry rz u3 u`, and the two-qubit gates
-/// `cz cx rzz swap`.
+/// Supported statements: `OPENQASM`, `include` (e.g. `qelib1.inc`,
+/// skipped), `qreg`, `creg`/`barrier`/`measure`/`reset`/`id` (ignored),
+/// the one-qubit gates `h x y z s sdg t tdg rx ry rz p u1 u2 u3 u`, and
+/// the two-qubit gates `cz cx rzz swap`. `//` line comments, `/* … */`
+/// block comments and multiple statements per line are accepted, so
+/// QASMBench-style files import cleanly.
 ///
 /// # Errors
 ///
@@ -133,69 +135,156 @@ fn emit_gate(g: &Gate, out: &mut String) {
 /// # Ok::<(), qasm::QasmError>(())
 /// ```
 pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let text = strip_block_comments(text);
     let mut circuit: Option<Circuit> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
-        let stmt = raw.split("//").next().unwrap_or("").trim();
-        if stmt.is_empty() {
-            continue;
-        }
-        let stmt = stmt.strip_suffix(';').unwrap_or(stmt).trim();
-        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg")
-            || stmt.starts_with("barrier") || stmt.starts_with("measure")
-        {
-            continue;
-        }
-        if let Some(rest) = stmt.strip_prefix("qreg") {
-            let n = rest
-                .trim()
-                .split('[')
-                .nth(1)
-                .and_then(|s| s.split(']').next())
-                .and_then(|s| s.parse::<usize>().ok())
-                .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })?;
-            circuit = Some(Circuit::new(n));
-            continue;
-        }
-        let Some(c) = circuit.as_mut() else {
-            return Err(QasmError::MissingRegister);
-        };
-        let (head, operands) = stmt
-            .split_once(' ')
-            .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })?;
-        let (name, params) = match head.split_once('(') {
-            Some((n, p)) => {
-                let p = p.strip_suffix(')').ok_or_else(|| QasmError::Syntax {
-                    line,
-                    text: stmt.into(),
-                })?;
-                (n, parse_params(p, line, stmt)?)
+        let code = raw.split("//").next().unwrap_or("").trim();
+        for stmt in code.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
             }
-            None => (head, Vec::new()),
-        };
-        let qubits = parse_operands(operands, line, stmt)?;
-        let gate = build_gate(name, &params, &qubits, line)?;
-        c.try_push(gate)?;
+            parse_statement(stmt, line, &mut circuit)?;
+        }
     }
     circuit.ok_or(QasmError::MissingRegister)
+}
+
+/// Removes `/* … */` block comments, preserving newlines so error line
+/// numbers stay correct. A `/*` that appears after `//` on the same line
+/// is part of the line comment, not a block-comment opener (line
+/// comments are stripped later, per line).
+fn strip_block_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find("/*") {
+        // `//` earlier on the same line comments out this `/*`.
+        let line_start = rest[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        if rest[line_start..start].contains("//") {
+            // Emit through the end of this line and continue after it.
+            let line_end = rest[start..]
+                .find('\n')
+                .map(|i| start + i + 1)
+                .unwrap_or(rest.len());
+            out.push_str(&rest[..line_end]);
+            rest = &rest[line_end..];
+            continue;
+        }
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let end = after.find("*/").map(|e| e + 2).unwrap_or(after.len());
+        out.extend(after[..end].chars().filter(|&ch| ch == '\n'));
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    circuit: &mut Option<Circuit>,
+) -> Result<(), QasmError> {
+    if stmt.starts_with("OPENQASM")
+        || stmt.starts_with("include")
+        || stmt.starts_with("creg")
+        || stmt.starts_with("barrier")
+        || stmt.starts_with("measure")
+        || stmt.starts_with("reset")
+        || stmt == "id"
+        || stmt.starts_with("id ")
+    {
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("qreg") {
+        let n = rest
+            .trim()
+            .split('[')
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| QasmError::Syntax {
+                line,
+                text: stmt.into(),
+            })?;
+        *circuit = Some(Circuit::new(n));
+        return Ok(());
+    }
+    let Some(c) = circuit.as_mut() else {
+        return Err(QasmError::MissingRegister);
+    };
+    // Split `name(params) operands` / `name operands`, tolerating spaces
+    // inside the parameter list (`u2(0, pi) q[0];`).
+    let syntax = || QasmError::Syntax {
+        line,
+        text: stmt.into(),
+    };
+    let (name, params, operands) = match stmt.find('(') {
+        Some(open) => {
+            let close = stmt.rfind(')').ok_or_else(syntax)?;
+            if close < open {
+                return Err(syntax());
+            }
+            let name = stmt[..open].trim();
+            let params = parse_params(&stmt[open + 1..close], line, stmt)?;
+            (name, params, stmt[close + 1..].trim())
+        }
+        None => {
+            let (head, operands) = stmt.split_once(' ').ok_or_else(syntax)?;
+            (head, Vec::new(), operands)
+        }
+    };
+    let qubits = parse_operands(operands, line, stmt)?;
+    let gate = build_gate(name, &params, &qubits, line)?;
+    c.try_push(gate)?;
+    Ok(())
 }
 
 fn parse_params(text: &str, line: usize, stmt: &str) -> Result<Vec<f64>, QasmError> {
     text.split(',')
         .map(|p| {
-            let p = p.trim();
-            // Accept simple `pi`-expressions emitted by common tools.
-            match p {
-                "pi" => Ok(std::f64::consts::PI),
-                "-pi" => Ok(-std::f64::consts::PI),
-                "pi/2" => Ok(std::f64::consts::FRAC_PI_2),
-                "-pi/2" => Ok(-std::f64::consts::FRAC_PI_2),
-                "pi/4" => Ok(std::f64::consts::FRAC_PI_4),
-                "-pi/4" => Ok(-std::f64::consts::FRAC_PI_4),
-                _ => p.parse::<f64>().map_err(|_| QasmError::Syntax { line, text: stmt.into() }),
-            }
+            eval_pi_expr(p).ok_or_else(|| QasmError::Syntax {
+                line,
+                text: stmt.into(),
+            })
         })
         .collect()
+}
+
+/// Evaluates the `*`/`/` products of `pi` and numeric literals that
+/// real-world QASM emits as gate angles: `pi`, `-pi/2`, `3*pi/4`,
+/// `2*pi`, `0.5*pi`, plain floats. No parentheses or `+`/binary `-`.
+fn eval_pi_expr(expr: &str) -> Option<f64> {
+    let expr = expr.trim();
+    let (sign, expr) = match expr.strip_prefix('-') {
+        Some(rest) => (-1.0, rest.trim_start()),
+        None => (1.0, expr),
+    };
+    if expr.is_empty() {
+        return None;
+    }
+    let mut value = 1.0f64;
+    let mut rest = expr;
+    let mut op = '*';
+    loop {
+        let end = rest.find(['*', '/']).unwrap_or(rest.len());
+        let token = rest[..end].trim();
+        let factor = if token == "pi" {
+            std::f64::consts::PI
+        } else {
+            token.parse::<f64>().ok()?
+        };
+        match op {
+            '*' => value *= factor,
+            _ => value /= factor,
+        }
+        if end == rest.len() {
+            return Some(sign * value);
+        }
+        op = rest.as_bytes()[end] as char;
+        rest = &rest[end + 1..];
+    }
 }
 
 fn parse_operands(text: &str, line: usize, stmt: &str) -> Result<Vec<Qubit>, QasmError> {
@@ -207,16 +296,25 @@ fn parse_operands(text: &str, line: usize, stmt: &str) -> Result<Vec<Qubit>, Qas
                 .and_then(|s| s.split(']').next())
                 .and_then(|s| s.parse::<u32>().ok())
                 .map(Qubit)
-                .ok_or_else(|| QasmError::Syntax { line, text: stmt.into() })
+                .ok_or_else(|| QasmError::Syntax {
+                    line,
+                    text: stmt.into(),
+                })
         })
         .collect()
 }
 
 fn build_gate(name: &str, params: &[f64], qs: &[Qubit], line: usize) -> Result<Gate, QasmError> {
     let one = |f: fn(Qubit) -> Gate| -> Result<Gate, QasmError> {
-        qs.first().copied().map(f).ok_or(QasmError::Syntax { line, text: name.into() })
+        qs.first().copied().map(f).ok_or(QasmError::Syntax {
+            line,
+            text: name.into(),
+        })
     };
-    let bad = || QasmError::Syntax { line, text: name.into() };
+    let bad = || QasmError::Syntax {
+        line,
+        text: name.into(),
+    };
     match (name, params.len(), qs.len()) {
         ("h", 0, 1) => one(Gate::h),
         ("x", 0, 1) => one(Gate::x),
@@ -229,14 +327,29 @@ fn build_gate(name: &str, params: &[f64], qs: &[Qubit], line: usize) -> Result<G
         ("rx", 1, 1) => Ok(Gate::rx(qs[0], params[0])),
         ("ry", 1, 1) => Ok(Gate::ry(qs[0], params[0])),
         ("rz", 1, 1) => Ok(Gate::rz(qs[0], params[0])),
+        // u1(λ)/p(λ) are rz(λ) up to global phase; u2(φ,λ) = u(π/2, φ, λ).
+        ("u1" | "p", 1, 1) => Ok(Gate::rz(qs[0], params[0])),
+        ("u2", 2, 1) => Ok(Gate::u(
+            qs[0],
+            std::f64::consts::FRAC_PI_2,
+            params[0],
+            params[1],
+        )),
         ("u" | "u3", 3, 1) => Ok(Gate::u(qs[0], params[0], params[1], params[2])),
         ("cz", 0, 2) => Ok(Gate::cz(qs[0], qs[1])),
         ("cx" | "CX", 0, 2) => Ok(Gate::cx(qs[0], qs[1])),
         ("rzz", 1, 2) => Ok(Gate::zz(qs[0], qs[1], params[0])),
         ("swap", 0, 2) => Ok(Gate::swap(qs[0], qs[1])),
-        ("h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "rx" | "ry" | "rz" | "u" | "u3"
-        | "cz" | "cx" | "rzz" | "swap", _, _) => Err(bad()),
-        _ => Err(QasmError::UnsupportedGate { line, name: name.into() }),
+        (
+            "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "rx" | "ry" | "rz" | "u1" | "p"
+            | "u2" | "u" | "u3" | "cz" | "cx" | "rzz" | "swap",
+            _,
+            _,
+        ) => Err(bad()),
+        _ => Err(QasmError::UnsupportedGate {
+            line,
+            name: name.into(),
+        }),
     }
 }
 
@@ -274,10 +387,22 @@ mod tests {
         c.push(Gate::swap(Qubit(0), Qubit(1)));
         let q = to_qasm(&c);
         for needle in [
-            "h q[0];", "x q[0];", "y q[0];", "z q[0];", "s q[0];", "sdg q[0];",
-            "t q[0];", "tdg q[0];", "rx(0.25) q[1];", "ry(0.5) q[1];",
-            "rz(0.75) q[1];", "u3(0.1,0.2,0.3) q[1];", "cz q[0],q[1];",
-            "cx q[1],q[2];", "rzz(1.5) q[0],q[2];", "swap q[0],q[1];",
+            "h q[0];",
+            "x q[0];",
+            "y q[0];",
+            "z q[0];",
+            "s q[0];",
+            "sdg q[0];",
+            "t q[0];",
+            "tdg q[0];",
+            "rx(0.25) q[1];",
+            "ry(0.5) q[1];",
+            "rz(0.75) q[1];",
+            "u3(0.1,0.2,0.3) q[1];",
+            "cz q[0],q[1];",
+            "cx q[1],q[2];",
+            "rzz(1.5) q[0],q[2];",
+            "swap q[0],q[1];",
         ] {
             assert!(q.contains(needle), "missing {needle} in:\n{q}");
         }
@@ -323,8 +448,44 @@ mod tests {
     }
 
     #[test]
+    fn parser_accepts_pi_products() {
+        use std::f64::consts::PI;
+        // The pi-expressions QASMBench-style files actually contain.
+        let text = "qreg q[1];\nrz(pi/8) q[0];\nrz(3*pi/4) q[0];\nrz(2*pi) q[0];\nrz(-3*pi/8) q[0];\nrz(0.5*pi) q[0];\n";
+        let c = from_qasm(text).unwrap();
+        let angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::OneQ {
+                    kind: OneQubitKind::Rz(t),
+                    ..
+                } => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let expect = [
+            PI / 8.0,
+            3.0 * PI / 4.0,
+            2.0 * PI,
+            -3.0 * PI / 8.0,
+            0.5 * PI,
+        ];
+        assert_eq!(angles.len(), expect.len());
+        for (a, e) in angles.iter().zip(expect) {
+            assert!((a - e).abs() < 1e-12, "{a} != {e}");
+        }
+        // Garbage expressions still error.
+        assert!(from_qasm("qreg q[1];\nrz(pi+1) q[0];\n").is_err());
+        assert!(from_qasm("qreg q[1];\nrz(two*pi) q[0];\n").is_err());
+    }
+
+    #[test]
     fn parser_rejects_garbage() {
-        assert!(matches!(from_qasm("h q[0];"), Err(QasmError::MissingRegister)));
+        assert!(matches!(
+            from_qasm("h q[0];"),
+            Err(QasmError::MissingRegister)
+        ));
         assert!(matches!(
             from_qasm("qreg q[2];\nccx q[0],q[1],q[0];"),
             Err(QasmError::UnsupportedGate { .. })
@@ -349,5 +510,94 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn qasmbench_style_file_imports() {
+        // Block comments, multiple statements per line, qelib1 aliases
+        // (u1/u2/p), reset/id statements, odd whitespace.
+        let text = "\
+/* QASMBench-style header
+   spanning lines */
+OPENQASM 2.0;
+include \"qelib1.inc\";
+qreg q[3]; creg c[3];
+h q[0]; h q[1]; // two on one line
+u1(0.25) q[0];
+p(pi/4) q[1];
+u2(0.1, 0.2) q[2];
+id q[0];
+reset q[1];
+cx q[0], q[1]; /* inline */ cz q[1], q[2];
+barrier q;
+measure q[0] -> c[0];
+";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.two_qubit_count(), 2);
+        // h h u1 p u2 = 5 one-qubit gates (id/reset ignored).
+        assert_eq!(c.one_qubit_count(), 5);
+        // u1/p become rz; u2 becomes u(π/2, φ, λ).
+        assert!(matches!(
+            c.gates()[2],
+            Gate::OneQ { kind: OneQubitKind::Rz(t), .. } if (t - 0.25).abs() < 1e-12
+        ));
+        assert!(matches!(
+            c.gates()[4],
+            Gate::OneQ {
+                kind: OneQubitKind::U(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn block_comment_preserves_line_numbers() {
+        let text = "/* two\nlines */\nqreg q[1];\nbogus q[0];\n";
+        match from_qasm(text) {
+            Err(QasmError::UnsupportedGate { line, .. }) => assert_eq!(line, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_block_comment_swallows_rest() {
+        let text = "qreg q[2];\nh q[0];\n/* trailing junk that never closes\nccx nope";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_opener_inside_line_comment_is_inert() {
+        // A `/*` after `//` is part of the line comment; the following
+        // gates must not be swallowed.
+        let text = "OPENQASM 2.0;\nqreg q[2]; // header /* note\nh q[0];\ncx q[0],q[1];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 2);
+        // And a real block comment after such a line still works.
+        let text = "qreg q[2]; // x /* y\n/* real\ncomment */ h q[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn parse_emit_parse_roundtrip() {
+        // Parse an external-style file, emit it, re-parse: the circuit
+        // must survive exactly (the emitted subset is canonical).
+        let text = "\
+OPENQASM 2.0;
+include \"qelib1.inc\";
+qreg q[4];
+h q[0]; u1(0.5) q[1]; u2(-0.25, 0.75) q[2];
+cx q[0], q[1];
+rzz(1.25) q[1], q[2];
+swap q[2], q[3]; // routing
+";
+        let first = from_qasm(text).unwrap();
+        let emitted = to_qasm(&first);
+        let second = from_qasm(&emitted).unwrap();
+        assert_eq!(first, second);
+        // And re-emission is stable.
+        assert_eq!(to_qasm(&second), emitted);
     }
 }

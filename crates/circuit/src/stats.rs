@@ -2,7 +2,7 @@
 //! (qubit count, gate counts, two-qubit gates per qubit, degree per qubit)
 //! plus the weighted interaction graph consumed by the qubit-array mapper.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::circuit::Circuit;
 use crate::dag::Layering;
@@ -71,7 +71,7 @@ impl CircuitStats {
 #[derive(Debug, Clone, Default)]
 pub struct InteractionGraph {
     num_qubits: usize,
-    weights: HashMap<(u32, u32), f64>,
+    weights: BTreeMap<(u32, u32), f64>,
 }
 
 impl InteractionGraph {
@@ -91,9 +91,12 @@ impl InteractionGraph {
     ///
     /// Panics if `gamma` is not in `(0, 1]`.
     pub fn with_layer_decay(circuit: &Circuit, gamma: f64) -> Self {
-        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1], got {gamma}");
+        assert!(
+            gamma > 0.0 && gamma <= 1.0,
+            "gamma must be in (0, 1], got {gamma}"
+        );
         let layering = Layering::new(circuit);
-        let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut weights: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         for (idx, g) in circuit.gates().iter().enumerate() {
             if let Some((a, b)) = g.pair() {
                 let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
@@ -102,7 +105,10 @@ impl InteractionGraph {
                 *weights.entry(key).or_insert(0.0) += gamma.powi(l as i32);
             }
         }
-        InteractionGraph { num_qubits: circuit.num_qubits(), weights }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+        }
     }
 
     /// Number of vertices (qubits).
@@ -118,7 +124,9 @@ impl InteractionGraph {
 
     /// Iterates over `((u, v), weight)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = ((Qubit, Qubit), f64)> + '_ {
-        self.weights.iter().map(|(&(u, v), &w)| ((Qubit(u), Qubit(v)), w))
+        self.weights
+            .iter()
+            .map(|(&(u, v), &w)| ((Qubit(u), Qubit(v)), w))
     }
 
     /// Number of distinct interacting pairs.
@@ -168,6 +176,25 @@ mod tests {
         c.push(Gate::cz(Qubit(0), Qubit(1)));
         c.push(Gate::cz(Qubit(2), Qubit(3)));
         c
+    }
+
+    #[test]
+    fn edges_iterate_in_sorted_key_order() {
+        // The interaction graph must iterate deterministically: greedy
+        // MAX k-Cut sums edge weights during mapping, and a
+        // hash-order-dependent float summation made whole compilations
+        // differ between processes (same input, same seed). Sorted
+        // iteration pins the summation order.
+        let mut c = Circuit::new(30);
+        for i in 0..29u32 {
+            c.push(Gate::cz(Qubit(i), Qubit(i + 1)));
+            c.push(Gate::cz(Qubit(i), Qubit((i + 7) % 30)));
+        }
+        let g = InteractionGraph::of(&c);
+        let keys: Vec<(u32, u32)> = g.edges().map(|((u, v), _)| (u.0, v.0)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "edge iteration must be key-sorted");
     }
 
     #[test]

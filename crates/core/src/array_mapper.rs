@@ -70,7 +70,10 @@ pub fn map_to_arrays(
     let n = circuit.num_qubits();
     let capacity = hardware.total_capacity();
     if n > capacity {
-        return Err(CompileError::Capacity { required: n, available: capacity });
+        return Err(CompileError::Capacity {
+            required: n,
+            available: capacity,
+        });
     }
     let caps: Vec<usize> = (0..hardware.num_arrays())
         .map(|a| hardware.dims(raa_arch::ArrayIndex(a as u8)).capacity())
@@ -93,9 +96,14 @@ fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64) -> ArrayMapping {
     let graph = InteractionGraph::with_layer_decay(circuit, gamma);
 
     let mut order: Vec<usize> = (0..n).collect();
-    let mut degree: Vec<f64> = (0..n).map(|q| graph.weighted_degree(Qubit(q as u32))).collect();
+    let mut degree: Vec<f64> = (0..n)
+        .map(|q| graph.weighted_degree(Qubit(q as u32)))
+        .collect();
     order.sort_by(|&a, &b| {
-        degree[b].partial_cmp(&degree[a]).expect("finite weights").then(a.cmp(&b))
+        degree[b]
+            .partial_cmp(&degree[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
     });
 
     let mut array_of = vec![u8::MAX; n];
@@ -124,7 +132,10 @@ fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64) -> ArrayMapping {
         members[a].push(qb);
     }
     degree.clear(); // explicit: degrees only needed for ordering
-    ArrayMapping { array_of, num_arrays: k }
+    ArrayMapping {
+        array_of,
+        num_arrays: k,
+    }
 }
 
 /// Fig. 21 baseline, modelling Qiskit's dense layout: qubits gravitate to
@@ -134,13 +145,13 @@ fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64) -> ArrayMapping {
 /// SLM and the rest split evenly — the worst *legal* concentration.)
 fn dense(n: usize, caps: &[usize]) -> ArrayMapping {
     let k = caps.len();
-    let slm_share = ((2 * n).div_ceil(3)).min(caps[0]).min(n.saturating_sub(1).max(1));
+    let slm_share = ((2 * n).div_ceil(3))
+        .min(caps[0])
+        .min(n.saturating_sub(1).max(1));
     let rest = n - slm_share;
     let per_aod = rest.div_ceil((k - 1).max(1));
     let mut array_of = Vec::with_capacity(n);
-    for _ in 0..slm_share {
-        array_of.push(0u8);
-    }
+    array_of.resize(slm_share, 0u8);
     let mut a = 1usize;
     let mut used = 0usize;
     for _ in 0..rest {
@@ -151,7 +162,10 @@ fn dense(n: usize, caps: &[usize]) -> ArrayMapping {
         array_of.push(a as u8);
         used += 1;
     }
-    ArrayMapping { array_of, num_arrays: k }
+    ArrayMapping {
+        array_of,
+        num_arrays: k,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +245,10 @@ mod tests {
         let c = Circuit::new(301);
         assert!(matches!(
             map_to_arrays(&c, &hw(), ArrayMapperKind::MaxKCut, 0.9),
-            Err(CompileError::Capacity { required: 301, available: 300 })
+            Err(CompileError::Capacity {
+                required: 301,
+                available: 300
+            })
         ));
     }
 

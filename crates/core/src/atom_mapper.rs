@@ -78,7 +78,10 @@ pub fn map_to_atoms(
     for (a, slots) in slots_by_array.iter().enumerate() {
         let cap = hardware.dims(ArrayIndex(a as u8)).capacity();
         if slots.len() > cap {
-            return Err(CompileError::Capacity { required: slots.len(), available: cap });
+            return Err(CompileError::Capacity {
+                required: slots.len(),
+                available: cap,
+            });
         }
     }
     match kind {
@@ -101,7 +104,9 @@ fn load_balance(
     let dims = hardware.dims(slm);
     let mut slm_slots = slots_by_array[0].clone();
     slm_slots.sort_by_key(|&s| std::cmp::Reverse(counts[s as usize]));
-    for (&slot, &(r, c)) in slm_slots.iter().zip(diagonal_spiral_order(dims.rows, dims.cols).iter())
+    for (&slot, &(r, c)) in slm_slots
+        .iter()
+        .zip(diagonal_spiral_order(dims.rows, dims.cols).iter())
     {
         site_of_slot[slot as usize] = Some(TrapSite::new(slm, r, c));
     }
@@ -116,11 +121,11 @@ fn load_balance(
     ranked.sort_by_key(|&((a, b), f)| (std::cmp::Reverse(f), a, b));
 
     // --- Pass 2: aligned AOD mapping, one AOD at a time (Fig. 7). ---
-    for k in 1..hardware.num_arrays() {
+    for (k, array_slots) in slots_by_array.iter().enumerate().skip(1) {
         let array = ArrayIndex(k as u8);
         let dims = hardware.dims(array);
         let mut free = vec![vec![true; dims.cols]; dims.rows];
-        let mut remaining: Vec<u32> = slots_by_array[k].clone();
+        let mut remaining: Vec<u32> = array_slots.clone();
 
         for &((a, b), _) in &ranked {
             // One endpoint placed (anywhere), the other an unplaced slot of
@@ -213,14 +218,17 @@ fn random(hardware: &RaaConfig, slots_by_array: &[Vec<u32>], seed: u64) -> AtomM
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raa_circuit::Qubit;
     use crate::array_mapper::ArrayMapping;
     use crate::transpile::transpile;
+    use raa_circuit::Qubit;
     use raa_circuit::{Circuit, Gate};
     use raa_sabre::SabreConfig;
 
     fn make_transpiled(c: &Circuit, array_of: Vec<u8>) -> TranspiledCircuit {
-        let mapping = ArrayMapping { array_of, num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of,
+            num_arrays: 3,
+        };
         transpile(c, &mapping, &SabreConfig::default()).unwrap()
     }
 

@@ -4,8 +4,8 @@
 
 use std::time::Instant;
 
-use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
 use raa_circuit::Circuit;
+use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
 
 use crate::array_mapper::map_to_arrays;
 use crate::atom_mapper::map_to_atoms;
@@ -36,7 +36,10 @@ use crate::transpile::transpile;
 /// assert!(out.total_fidelity() > 0.99);
 /// # Ok::<(), atomique::CompileError>(())
 /// ```
-pub fn compile(circuit: &Circuit, config: &AtomiqueConfig) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    circuit: &Circuit,
+    config: &AtomiqueConfig,
+) -> Result<CompiledProgram, CompileError> {
     let start = Instant::now();
 
     // 0. Peephole optimization (the paper preprocesses with Qiskit
@@ -51,8 +54,12 @@ pub fn compile(circuit: &Circuit, config: &AtomiqueConfig) -> Result<CompiledPro
     let transpiled = transpile(circuit, &array_mapping, &config.sabre)?;
 
     // 3. Qubit-atom mapper (Figs. 6–7).
-    let atom_mapping =
-        map_to_atoms(&transpiled, &config.hardware, config.atom_mapper, config.seed)?;
+    let atom_mapping = map_to_atoms(
+        &transpiled,
+        &config.hardware,
+        config.atom_mapper,
+        config.seed,
+    )?;
 
     // 4. High-parallelism router (Figs. 8–11).
     let routed = route_movements(
@@ -110,13 +117,28 @@ pub fn compile(circuit: &Circuit, config: &AtomiqueConfig) -> Result<CompiledPro
         transfers: r.transfers,
         compile_time_s: start.elapsed().as_secs_f64(),
     };
-    Ok(CompiledProgram {
+    let mut out = CompiledProgram {
         stages: routed.stages,
         mapping: atom_mapping,
         slot_of_qubit: transpiled.slot_of_qubit.clone(),
+        slot_circuit: transpiled.circuit,
         stats,
         fidelity,
-    })
+        isa: None,
+    };
+
+    // 6. Opt-in ISA lowering and independent verification.
+    if config.emit_isa || config.verify_isa {
+        let isa = crate::lower::emit_isa(&out, &config.hardware, "");
+        if config.verify_isa {
+            raa_isa::check_legality(&isa).map_err(CompileError::IsaLegality)?;
+            raa_isa::replay_verify(&isa).map_err(CompileError::IsaReplay)?;
+        }
+        if config.emit_isa {
+            out.isa = Some(isa);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -165,7 +187,10 @@ mod tests {
         let logical_2q = raa_circuit::optimize(&c)
             .decompose_to(raa_circuit::NativeGateSet::Cz)
             .two_qubit_count();
-        assert_eq!(out.stats.two_qubit_gates, logical_2q + 3 * out.stats.swaps_inserted);
+        assert_eq!(
+            out.stats.two_qubit_gates,
+            logical_2q + 3 * out.stats.swaps_inserted
+        );
         assert_eq!(out.stats.additional_cnots, 3 * out.stats.swaps_inserted);
         assert!(out.stats.depth >= 1);
         assert!(out.total_fidelity() > 0.0 && out.total_fidelity() <= 1.0);
@@ -199,7 +224,10 @@ mod tests {
         let par = compile(&c, &cfg).unwrap();
         let ser = compile(
             &c,
-            &AtomiqueConfig { router_mode: RouterMode::Serial, ..AtomiqueConfig::default() },
+            &AtomiqueConfig {
+                router_mode: RouterMode::Serial,
+                ..AtomiqueConfig::default()
+            },
         )
         .unwrap();
         assert!(par.stats.depth <= ser.stats.depth);
@@ -212,7 +240,10 @@ mod tests {
         let smart = compile(&c, &AtomiqueConfig::default()).unwrap();
         let dense = compile(
             &c,
-            &AtomiqueConfig { array_mapper: ArrayMapperKind::Dense, ..AtomiqueConfig::default() },
+            &AtomiqueConfig {
+                array_mapper: ArrayMapperKind::Dense,
+                ..AtomiqueConfig::default()
+            },
         )
         .unwrap();
         assert!(
@@ -229,7 +260,10 @@ mod tests {
         let lb = compile(&c, &AtomiqueConfig::default()).unwrap();
         let rnd = compile(
             &c,
-            &AtomiqueConfig { atom_mapper: AtomMapperKind::Random, ..AtomiqueConfig::default() },
+            &AtomiqueConfig {
+                atom_mapper: AtomMapperKind::Random,
+                ..AtomiqueConfig::default()
+            },
         )
         .unwrap();
         // Same gate counts; load balance should not be worse on depth by

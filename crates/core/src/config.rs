@@ -90,6 +90,18 @@ pub struct AtomiqueConfig {
     pub sabre: SabreConfig,
     /// Seed for the random atom mapper (ablation only).
     pub seed: u64,
+    /// Lower the compiled schedule to a `raa-isa` instruction stream and
+    /// attach it to the output (`CompiledProgram::isa`). The attached
+    /// stream's header name is empty — use
+    /// [`emit_isa`](crate::emit_isa) directly to produce a named stream.
+    pub emit_isa: bool,
+    /// Run the independent ISA oracle after compilation: the stream must
+    /// pass `raa_isa::check_legality` (C1/C2/C3 re-verified from the
+    /// stream alone) and `raa_isa::replay_verify` (every reference gate
+    /// executed exactly once, DAG order respected). Compilation fails if
+    /// either check does. Implies lowering; the stream is attached only
+    /// when [`AtomiqueConfig::emit_isa`] is also set.
+    pub verify_isa: bool,
 }
 
 impl Default for AtomiqueConfig {
@@ -104,6 +116,8 @@ impl Default for AtomiqueConfig {
             router_mode: RouterMode::default(),
             sabre: SabreConfig::default(),
             seed: 0,
+            emit_isa: false,
+            verify_isa: false,
         }
     }
 }
@@ -111,7 +125,10 @@ impl Default for AtomiqueConfig {
 impl AtomiqueConfig {
     /// Configuration with a specific machine, paper defaults elsewhere.
     pub fn for_hardware(hardware: RaaConfig) -> Self {
-        AtomiqueConfig { hardware, ..AtomiqueConfig::default() }
+        AtomiqueConfig {
+            hardware,
+            ..AtomiqueConfig::default()
+        }
     }
 
     /// The Fig. 21 "all baselines" configuration: dense array mapper,

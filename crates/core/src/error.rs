@@ -29,6 +29,12 @@ pub enum CompileError {
         /// Gates that remained unscheduled.
         remaining: usize,
     },
+    /// The emitted instruction stream failed the independent legality
+    /// checker (requested via `AtomiqueConfig::verify_isa`).
+    IsaLegality(raa_isa::LegalityError),
+    /// The emitted instruction stream failed the replay verifier
+    /// (requested via `AtomiqueConfig::verify_isa`).
+    IsaReplay(raa_isa::ReplayError),
 }
 
 impl fmt::Display for CompileError {
@@ -45,6 +51,8 @@ impl fmt::Display for CompileError {
                 f,
                 "movement router stalled with {remaining} gates left (hardware constraints unsatisfiable)"
             ),
+            CompileError::IsaLegality(e) => write!(f, "ISA legality check failed: {e}"),
+            CompileError::IsaReplay(e) => write!(f, "ISA replay verification failed: {e}"),
         }
     }
 }
@@ -55,6 +63,8 @@ impl Error for CompileError {
             CompileError::Arch(e) => Some(e),
             CompileError::Circuit(e) => Some(e),
             CompileError::Routing(e) => Some(e),
+            CompileError::IsaLegality(e) => Some(e),
+            CompileError::IsaReplay(e) => Some(e),
             _ => None,
         }
     }
@@ -84,7 +94,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CompileError::Capacity { required: 400, available: 300 };
+        let e = CompileError::Capacity {
+            required: 400,
+            available: 300,
+        };
         assert!(e.to_string().contains("400"));
         assert!(e.source().is_none());
         let e: CompileError = SabreError::Disconnected.into();

@@ -42,6 +42,7 @@ mod atom_mapper;
 mod compiler;
 mod config;
 mod error;
+mod lower;
 mod program;
 mod render;
 mod router;
@@ -53,6 +54,7 @@ pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
 pub use compiler::compile;
 pub use config::{ArrayMapperKind, AtomMapperKind, AtomiqueConfig, Relaxation, RouterMode};
 pub use error::CompileError;
+pub use lower::emit_isa;
 pub use program::{CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind};
 pub use render::{render_schedule, summarize};
 pub use router::{route_movements, RoutedProgram};

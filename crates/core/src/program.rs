@@ -74,7 +74,10 @@ impl Stage {
 
     /// A one-qubit layer.
     pub fn one_qubit(gates: Vec<Gate>) -> Self {
-        Stage { one_qubit_gates: gates, ..Stage::empty(StageKind::OneQubit) }
+        Stage {
+            one_qubit_gates: gates,
+            ..Stage::empty(StageKind::OneQubit)
+        }
     }
 
     /// A movement stage executing `gate_pairs` after `moves`, with the
@@ -84,22 +87,36 @@ impl Stage {
         retract_moves: Vec<LineMove>,
         gate_pairs: Vec<(u32, u32)>,
     ) -> Self {
-        Stage { moves, retract_moves, gate_pairs, ..Stage::empty(StageKind::Movement) }
+        Stage {
+            moves,
+            retract_moves,
+            gate_pairs,
+            ..Stage::empty(StageKind::Movement)
+        }
     }
 
     /// A reset (re-homing/parking) stage keeping `kept_aods` in the field.
     pub fn reset(kept_aods: Vec<u8>) -> Self {
-        Stage { kept_aods, ..Stage::empty(StageKind::Reset) }
+        Stage {
+            kept_aods,
+            ..Stage::empty(StageKind::Reset)
+        }
     }
 
     /// A transfer-assisted gate between two slots.
     pub fn transfer_assisted(a: u32, b: u32) -> Self {
-        Stage { gate_pairs: vec![(a, b)], ..Stage::empty(StageKind::TransferAssisted) }
+        Stage {
+            gate_pairs: vec![(a, b)],
+            ..Stage::empty(StageKind::TransferAssisted)
+        }
     }
 
     /// A cooling stage for AOD `k`.
     pub fn cooling(k: u8) -> Self {
-        Stage { cooled_aod: Some(k), ..Stage::empty(StageKind::Cooling) }
+        Stage {
+            cooled_aod: Some(k),
+            ..Stage::empty(StageKind::Cooling)
+        }
     }
 }
 
@@ -148,10 +165,17 @@ pub struct CompiledProgram {
     pub mapping: AtomMapping,
     /// Initial slot of each logical qubit.
     pub slot_of_qubit: Vec<u32>,
+    /// The transpiled slot-level circuit the schedule executes (every
+    /// two-qubit gate inter-array, SWAPs decomposed). This is the
+    /// reference the ISA replay verifier checks the stream against.
+    pub slot_circuit: raa_circuit::Circuit,
     /// Compilation and execution statistics.
     pub stats: CompileStats,
     /// The per-source fidelity estimate.
     pub fidelity: FidelityBreakdown,
+    /// The lowered instruction stream, when requested via
+    /// [`AtomiqueConfig::emit_isa`](crate::AtomiqueConfig).
+    pub isa: Option<raa_isa::IsaProgram>,
 }
 
 impl CompiledProgram {
@@ -203,8 +227,14 @@ mod tests {
 
     #[test]
     fn stage_constructors_set_kinds() {
-        assert_eq!(Stage::one_qubit(vec![Gate::h(Qubit(0))]).kind, StageKind::OneQubit);
-        assert_eq!(Stage::movement(vec![], vec![], vec![(0, 1)]).kind, StageKind::Movement);
+        assert_eq!(
+            Stage::one_qubit(vec![Gate::h(Qubit(0))]).kind,
+            StageKind::OneQubit
+        );
+        assert_eq!(
+            Stage::movement(vec![], vec![], vec![(0, 1)]).kind,
+            StageKind::Movement
+        );
         let r = Stage::reset(vec![1]);
         assert_eq!(r.kind, StageKind::Reset);
         assert_eq!(r.kept_aods, vec![1]);

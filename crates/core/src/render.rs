@@ -55,8 +55,11 @@ pub fn render_schedule(program: &CompiledProgram) -> String {
                         );
                     }
                 }
-                let gates: Vec<String> =
-                    stage.gate_pairs.iter().map(|(a, b)| format!("({a},{b})")).collect();
+                let gates: Vec<String> = stage
+                    .gate_pairs
+                    .iter()
+                    .map(|(a, b)| format!("({a},{b})"))
+                    .collect();
                 let _ = writeln!(out, "stage {i:04} PULSE  gates: {}", gates.join(" "));
                 for mv in &stage.retract_moves {
                     let _ = writeln!(
@@ -136,8 +139,11 @@ mod tests {
         let p = program();
         let text = render_schedule(&p);
         let rendered_pulses = text.matches("PULSE").count();
-        let stages_with_gates =
-            p.stages.iter().filter(|s| s.kind == StageKind::Movement).count();
+        let stages_with_gates = p
+            .stages
+            .iter()
+            .filter(|s| s.kind == StageKind::Movement)
+            .count();
         assert_eq!(rendered_pulses, stages_with_gates);
     }
 

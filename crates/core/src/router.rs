@@ -34,7 +34,7 @@
 use std::collections::{HashMap, HashSet};
 
 use raa_arch::{ArrayIndex, RaaConfig, TrapSite};
-use raa_circuit::{Gate, GateIdx, DagSchedule};
+use raa_circuit::{DagSchedule, Gate, GateIdx};
 use raa_physics::{HardwareParams, MovementLedger};
 
 use crate::atom_mapper::AtomMapping;
@@ -126,7 +126,11 @@ struct Plan {
 
 impl Plan {
     fn checkpoint(&self) -> (usize, usize, usize) {
-        (self.target_journal.len(), self.axis_journal.len(), self.gates.len())
+        (
+            self.target_journal.len(),
+            self.axis_journal.len(),
+            self.gates.len(),
+        )
     }
 }
 
@@ -193,15 +197,15 @@ fn solve_axis(
     // Right of the last pinned line: mirror image.
     let (last_i, last_t) = *pinned.last().expect("nonempty");
     let mut bound = last_t;
-    for i in last_i + 1..n {
-        if out[i] > bound + LINE_GAP {
-            bound = out[i];
+    for slot in out.iter_mut().take(n).skip(last_i + 1) {
+        if *slot > bound + LINE_GAP {
+            bound = *slot;
         } else {
-            out[i] = (bound + 0.55).ceil() + 0.5;
-            if out[i] <= bound + LINE_GAP {
-                out[i] = bound + 1.0;
+            *slot = (bound + 0.55).ceil() + 0.5;
+            if *slot <= bound + LINE_GAP {
+                *slot = bound + 1.0;
             }
-            bound = out[i];
+            bound = *slot;
         }
     }
     // Between consecutive pinned lines: keep current when legal, else
@@ -213,9 +217,8 @@ fn solve_axis(
         if k == 0 {
             continue;
         }
-        let legal = (li + 1..ri).all(|i| {
-            out[i] > out[i - 1] + LINE_GAP && out[i] < rt - LINE_GAP * ((ri - i) as f64)
-        });
+        let legal = (li + 1..ri)
+            .all(|i| out[i] > out[i - 1] + LINE_GAP && out[i] < rt - LINE_GAP * ((ri - i) as f64));
         if legal {
             continue;
         }
@@ -255,8 +258,14 @@ impl<'a> RouterState<'a> {
         for (slot, site) in mapping.site_of_slot.iter().enumerate() {
             if !site.array.is_slm() {
                 let k = site.array.aod_number() as u8;
-                atoms_on_line.entry((k, Axis::Row, site.row)).or_default().push(slot as u32);
-                atoms_on_line.entry((k, Axis::Col, site.col)).or_default().push(slot as u32);
+                atoms_on_line
+                    .entry((k, Axis::Row, site.row))
+                    .or_default()
+                    .push(slot as u32);
+                atoms_on_line
+                    .entry((k, Axis::Col, site.col))
+                    .or_default()
+                    .push(slot as u32);
                 atoms_in_aod[k as usize].push(slot as u32);
             }
         }
@@ -281,7 +290,10 @@ impl<'a> RouterState<'a> {
             (site.row as f64, site.col as f64)
         } else {
             let k = site.array.aod_number();
-            (self.eff_row[k][site.row as usize], self.eff_col[k][site.col as usize])
+            (
+                self.eff_row[k][site.row as usize],
+                self.eff_col[k][site.col as usize],
+            )
         }
     }
 
@@ -371,7 +383,10 @@ impl<'a> RouterState<'a> {
         let cp = plan.checkpoint();
         let site_a = self.site_of_slot[a as usize];
         let site_b = self.site_of_slot[b as usize];
-        debug_assert_ne!(site_a.array, site_b.array, "intra-array gate reached router");
+        debug_assert_ne!(
+            site_a.array, site_b.array,
+            "intra-array gate reached router"
+        );
 
         // Unpark any parked participant arrays.
         for site in [site_a, site_b] {
@@ -385,15 +400,22 @@ impl<'a> RouterState<'a> {
 
         // Compute explicit movement targets.
         let ok = if site_a.array.is_slm() || site_b.array.is_slm() {
-            let (slm, aod) = if site_a.array.is_slm() { (site_a, site_b) } else { (site_b, site_a) };
+            let (slm, aod) = if site_a.array.is_slm() {
+                (site_a, site_b)
+            } else {
+                (site_b, site_a)
+            };
             let k = aod.array.aod_number() as u8;
             self.set_target(plan, (k, Axis::Row, aod.row), slm.row as f64 + DELTA_ROW)
                 && self.set_target(plan, (k, Axis::Col, aod.col), slm.col as f64 + DELTA_COL)
         } else {
             // AOD–AOD: the lower-indexed array anchors; the other moves to
             // the anchor's effective position plus the interaction offset.
-            let (anchor, mover) =
-                if site_a.array.0 < site_b.array.0 { (site_a, site_b) } else { (site_b, site_a) };
+            let (anchor, mover) = if site_a.array.0 < site_b.array.0 {
+                (site_a, site_b)
+            } else {
+                (site_b, site_a)
+            };
             let ka = anchor.array.aod_number();
             let km = mover.array.aod_number() as u8;
             let (ar, ac) = (
@@ -429,12 +451,7 @@ impl<'a> RouterState<'a> {
                 Axis::Row => self.eff_row[k as usize].clone(),
                 Axis::Col => self.eff_col[k as usize].clone(),
             };
-            let solved = match solve_axis(
-                &cur,
-                &plan.targets,
-                |i| (k, axis, i),
-                self.relax,
-            ) {
+            let solved = match solve_axis(&cur, &plan.targets, |i| (k, axis, i), self.relax) {
                 Ok(v) => v,
                 Err(rej) => {
                     self.rollback(plan, cp, Some(key), &[a, b]);
@@ -507,8 +524,7 @@ impl<'a> RouterState<'a> {
                 let y_part = plan.participants.contains(&y);
                 let y_slm = self.site_of_slot[y as usize].array.is_slm();
                 let x_slm = self.site_of_slot[x as usize].array.is_slm();
-                let band_applies =
-                    (x_part && y_part) || (x_part && y_slm) || (y_part && x_slm);
+                let band_applies = (x_part && (y_part || y_slm)) || (y_part && x_slm);
                 if band_applies && d < BAND_R {
                     return Err(Reject::Addressing);
                 }
@@ -520,16 +536,17 @@ impl<'a> RouterState<'a> {
     /// Commits the plan: updates committed positions and returns the
     /// per-line moves plus per-atom row/column track deltas (the ledger is
     /// fed once by the caller, after retraction is folded in).
-    fn commit(
-        &mut self,
-        plan: &Plan,
-    ) -> (Vec<LineMove>, HashMap<u32, f64>, HashMap<u32, f64>) {
+    fn commit(&mut self, plan: &Plan) -> (Vec<LineMove>, HashMap<u32, f64>, HashMap<u32, f64>) {
         let mut moves = Vec::new();
         let mut row_delta: HashMap<u32, f64> = HashMap::new();
         let mut col_delta: HashMap<u32, f64> = HashMap::new();
 
-        // Unparked arrays travel from the parking zone.
-        for &k in &plan.unparked {
+        // Unparked arrays travel from the parking zone. Sorted so the
+        // emitted move list (and thus the serialized stream) is
+        // deterministic.
+        let mut unparked: Vec<u8> = plan.unparked.iter().copied().collect();
+        unparked.sort_unstable();
+        for k in unparked {
             self.parked[k as usize] = false;
             for &atom in &self.atoms_in_aod[k as usize] {
                 row_delta.insert(atom, PARK_TRAVEL);
@@ -584,25 +601,34 @@ impl<'a> RouterState<'a> {
     /// Retracts the movable atom of each executed gate out of the Rydberg
     /// radius (move-in, pulse, move-out: the pulse must not re-fire on the
     /// next stage). Retraction distances are clamped so line order and the
-    /// minimum separation survive. Returns the retraction moves and adds
-    /// the per-atom deltas into the caller's maps.
+    /// minimum separation survive. Returns the retraction moves plus
+    /// whether every executed pair actually separated beyond the Rydberg
+    /// radius — when dense neighborhoods leave no clear retraction slot,
+    /// the caller must restore separation (reset fallback) before the
+    /// next pulse.
     fn apply_retraction(
         &mut self,
         plan: &Plan,
         row_delta: &mut HashMap<u32, f64>,
         col_delta: &mut HashMap<u32, f64>,
-    ) -> Vec<LineMove> {
-        /// Candidate retraction offsets, preferred order.
+    ) -> (Vec<LineMove>, bool) {
+        /// Preferred retraction offsets; a finer ± scan follows when all
+        /// of these are blocked by neighboring lines or resting atoms.
         const AMOUNTS: [f64; 8] = [0.3, -0.3, 0.45, -0.45, 0.2, -0.2, 0.6, -0.6];
+        /// Fallback scan: ±(0.18 + i·0.03) for i in 0..28 (up to ±1.02).
+        fn fallback_amounts() -> impl Iterator<Item = f64> {
+            (0..28).flat_map(|i| {
+                let a = 0.18 + i as f64 * 0.03;
+                [a, -a]
+            })
+        }
         let mut lines: Vec<LineKey> = Vec::new();
         for &(_, a, b) in &plan.gates {
             let sa = self.site_of_slot[a as usize];
             let sb = self.site_of_slot[b as usize];
             let movable = if sa.array.is_slm() {
                 sb
-            } else if sb.array.is_slm() {
-                sa
-            } else if sa.array.0 > sb.array.0 {
+            } else if sb.array.is_slm() || sa.array.0 > sb.array.0 {
                 sa
             } else {
                 sb
@@ -637,7 +663,7 @@ impl<'a> RouterState<'a> {
                 )
             };
             let mut chosen = None;
-            for amount in AMOUNTS {
+            for amount in AMOUNTS.into_iter().chain(fallback_amounts()) {
                 let new = pos + amount;
                 if new >= upper - LINE_GAP || new <= lower + LINE_GAP {
                     continue;
@@ -676,7 +702,13 @@ impl<'a> RouterState<'a> {
                 }
             }
         }
-        moves
+        // Did every pulsed pair actually separate? A pair is clear when at
+        // least one of its atoms' lines moved far enough.
+        let separated = plan
+            .desired
+            .iter()
+            .all(|&(a, b)| dist(self.pos(a), self.pos(b)) > INTERACT_R + 1e-9);
+        (moves, separated)
     }
 
     /// Whether moving `key` to `new_pos` keeps every atom on the line out
@@ -691,7 +723,9 @@ impl<'a> RouterState<'a> {
         pending: &HashSet<LineKey>,
     ) -> bool {
         let (k, axis, _) = key;
-        let Some(atoms) = self.atoms_on_line.get(&key) else { return true };
+        let Some(atoms) = self.atoms_on_line.get(&key) else {
+            return true;
+        };
         let n = self.site_of_slot.len() as u32;
         for &atom in atoms {
             let site = self.site_of_slot[atom as usize];
@@ -757,7 +791,11 @@ impl<'a> RouterState<'a> {
                 self.cur_col[k][c] = home;
                 self.eff_col[k][c] = home;
             }
-            let park_transition = if keep_this { self.parked[k] } else { !self.parked[k] };
+            let park_transition = if keep_this {
+                self.parked[k]
+            } else {
+                !self.parked[k]
+            };
             if displaced || park_transition {
                 for &atom in &self.atoms_in_aod[k] {
                     moved.push((atom, PARK_TRAVEL * spacing * 1e-6));
@@ -874,7 +912,9 @@ pub fn route_movements(
                 let moved_um = state.reset(&keep, params, &mut ledger, num_qubits);
                 total_move_um += moved_um;
                 exec_time += params.t_move_s;
-                stages.push(Stage::reset(keep.iter().map(|&k| k as u8).collect()));
+                let mut kept: Vec<u8> = keep.iter().map(|&k| k as u8).collect();
+                kept.sort_unstable();
+                stages.push(Stage::reset(kept));
                 last_was_reset = true;
                 continue;
             }
@@ -898,11 +938,11 @@ pub fn route_movements(
 
         // Commit: move in, fire the Rydberg laser, retract.
         let (moves, mut row_delta, mut col_delta) = state.commit(&plan);
-        let retract_moves = state.apply_retraction(&plan, &mut row_delta, &mut col_delta);
+        let (retract_moves, separated) =
+            state.apply_retraction(&plan, &mut row_delta, &mut col_delta);
         let spacing = state.hw.spacing_um;
         let mut moved: Vec<(u32, f64)> = Vec::new();
-        let all_atoms: HashSet<u32> =
-            row_delta.keys().chain(col_delta.keys()).copied().collect();
+        let all_atoms: HashSet<u32> = row_delta.keys().chain(col_delta.keys()).copied().collect();
         for atom in all_atoms {
             let dr = row_delta.get(&atom).copied().unwrap_or(0.0);
             let dc = col_delta.get(&atom).copied().unwrap_or(0.0);
@@ -925,6 +965,22 @@ pub fn route_movements(
             gate_pairs.push((a, b));
         }
         stages.push(Stage::movement(moves, retract_moves, gate_pairs));
+
+        // Retraction fallback: in dense neighborhoods every clear
+        // retraction slot can be blocked, leaving a pulsed pair inside
+        // the Rydberg radius. Re-home the in-field arrays before the
+        // next pulse fires (home positions are mutually clear by
+        // construction); parked arrays stay parked.
+        if !separated {
+            let keep: HashSet<usize> = (0..hw.num_aods()).filter(|&k| !state.parked[k]).collect();
+            let moved_um = state.reset(&keep, params, &mut ledger, num_qubits);
+            total_move_um += moved_um;
+            exec_time += params.t_move_s;
+            let mut kept: Vec<u8> = keep.iter().map(|&k| k as u8).collect();
+            kept.sort_unstable();
+            stages.push(Stage::reset(kept));
+            last_was_reset = true;
+        }
 
         // --- cooling (paper Sec. IV): swap any overheated AOD array with a
         // pre-cooled spare. ---
@@ -969,17 +1025,20 @@ fn aod_participants(state: &RouterState<'_>, a: u32, b: u32) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::array_mapper::ArrayMapping;
-    use crate::program::StageKind;
-    use raa_circuit::Qubit;
     use crate::atom_mapper::{map_to_atoms, AtomMapping};
     use crate::config::AtomMapperKind;
+    use crate::program::StageKind;
     use crate::transpile::transpile;
     use raa_circuit::Circuit;
+    use raa_circuit::Qubit;
     use raa_sabre::SabreConfig;
 
     fn setup(c: &Circuit, array_of: Vec<u8>) -> (TranspiledCircuit, AtomMapping, RaaConfig) {
         let hw = RaaConfig::default();
-        let mapping = ArrayMapping { array_of, num_arrays: hw.num_arrays() };
+        let mapping = ArrayMapping {
+            array_of,
+            num_arrays: hw.num_arrays(),
+        };
         let t = transpile(c, &mapping, &SabreConfig::default()).unwrap();
         let am = map_to_atoms(&t, &hw, AtomMapperKind::LoadBalance, 0).unwrap();
         (t, am, hw)
@@ -988,7 +1047,15 @@ mod tests {
     fn run(c: &Circuit, array_of: Vec<u8>) -> RoutedProgram {
         let (t, am, hw) = setup(c, array_of);
         let params = HardwareParams::neutral_atom();
-        route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Parallel).unwrap()
+        route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Parallel,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1074,7 +1141,10 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::cz(Qubit(0), Qubit(2)));
         c.push(Gate::cz(Qubit(1), Qubit(3)));
-        let mapping = ArrayMapping { array_of: vec![0, 0, 1, 1], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![0, 0, 1, 1],
+            num_arrays: 3,
+        };
         let t = transpile(&c, &mapping, &SabreConfig::default()).unwrap();
         // Hand-build an atom mapping forcing the conflict: SLM atoms on
         // different rows, both AOD atoms on AOD row 0 with the same column
@@ -1090,11 +1160,20 @@ mod tests {
         site_of_slot[aod1 as usize] = TrapSite::new(ArrayIndex::aod(0), 0, 1);
         let am = AtomMapping { site_of_slot };
         let params = HardwareParams::neutral_atom();
-        let out =
-            route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Parallel)
-                .unwrap();
+        let out = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Parallel,
+        )
+        .unwrap();
         assert_eq!(out.stats.two_qubit_gates, 2);
-        assert_eq!(out.stats.two_qubit_stages, 2, "row-target conflict must serialize");
+        assert_eq!(
+            out.stats.two_qubit_stages, 2,
+            "row-target conflict must serialize"
+        );
     }
 
     #[test]
@@ -1105,7 +1184,10 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::cz(Qubit(0), Qubit(2))); // SLM row 5 ← AOD row 0
         c.push(Gate::cz(Qubit(1), Qubit(3))); // SLM row 0 ← AOD row 1 (cross!)
-        let mapping = ArrayMapping { array_of: vec![0, 0, 1, 1], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![0, 0, 1, 1],
+            num_arrays: 3,
+        };
         let t = transpile(&c, &mapping, &SabreConfig::default()).unwrap();
         let slm0 = t.slot_of_qubit[0];
         let slm1 = t.slot_of_qubit[1];
@@ -1118,9 +1200,15 @@ mod tests {
         site_of_slot[aod1 as usize] = TrapSite::new(ArrayIndex::aod(0), 1, 3);
         let am = AtomMapping { site_of_slot };
         let params = HardwareParams::neutral_atom();
-        let out =
-            route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Parallel)
-                .unwrap();
+        let out = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Parallel,
+        )
+        .unwrap();
         // Both gates still execute (correctness), but not in one stage.
         assert_eq!(out.stats.two_qubit_gates, 2);
         assert!(out.stats.two_qubit_stages >= 2);
@@ -1143,9 +1231,15 @@ mod tests {
         let array_of: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
         let (t, am, hw) = setup(&c, array_of);
         let params = HardwareParams::neutral_atom();
-        let strict =
-            route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Parallel)
-                .unwrap();
+        let strict = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Parallel,
+        )
+        .unwrap();
         let relaxed = Relaxation {
             individual_addressing: true,
             allow_order_violation: true,
@@ -1194,9 +1288,15 @@ mod tests {
         let array_of: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
         let (t, am, hw) = setup(&c, array_of);
         let params = HardwareParams::neutral_atom();
-        let out =
-            route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Parallel)
-                .unwrap();
+        let out = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Parallel,
+        )
+        .unwrap();
         assert_eq!(
             out.stats.two_qubit_gates + out.stats.one_qubit_gates,
             t.circuit.len()
@@ -1205,7 +1305,13 @@ mod tests {
         let staged: usize = out
             .stages
             .iter()
-            .map(|s| if s.kind == StageKind::TransferAssisted { 1 } else { s.gate_pairs.len() })
+            .map(|s| {
+                if s.kind == StageKind::TransferAssisted {
+                    1
+                } else {
+                    s.gate_pairs.len()
+                }
+            })
             .sum();
         assert_eq!(staged, t.circuit.two_qubit_count());
     }

@@ -64,8 +64,8 @@ pub fn transpile(
     {
         let mut next_slot = 0u32;
         for a in 0..mapping.num_arrays as u8 {
-            for q in 0..n {
-                if mapping.array_of[q] == a {
+            for (q, &qa) in mapping.array_of.iter().enumerate() {
+                if qa == a {
                     slot_of_qubit[q] = next_slot;
                     slot_array.push(a);
                     part_sizes[a as usize] += 1;
@@ -115,7 +115,10 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::cz(Qubit(0), Qubit(2)));
         c.push(Gate::cz(Qubit(1), Qubit(3)));
-        let mapping = ArrayMapping { array_of: vec![0, 0, 1, 1], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![0, 0, 1, 1],
+            num_arrays: 3,
+        };
         let t = transpiled(&c, &mapping);
         assert_eq!(t.swaps_inserted, 0);
         assert_eq!(t.circuit.two_qubit_count(), 2);
@@ -126,7 +129,10 @@ mod tests {
     fn intra_array_gate_costs_one_swap() {
         let mut c = Circuit::new(4);
         c.push(Gate::cz(Qubit(0), Qubit(1))); // same array under this mapping
-        let mapping = ArrayMapping { array_of: vec![0, 0, 1, 1], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![0, 0, 1, 1],
+            num_arrays: 3,
+        };
         let t = transpiled(&c, &mapping);
         assert_eq!(t.swaps_inserted, 1);
         // 1 logical CZ + 3 CZs from the SWAP.
@@ -140,7 +146,10 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::cx(Qubit(0), Qubit(2)));
         c.push(Gate::zz(Qubit(1), Qubit(3), 0.4));
-        let mapping = ArrayMapping { array_of: vec![0, 0, 1, 1], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![0, 0, 1, 1],
+            num_arrays: 3,
+        };
         let t = transpiled(&c, &mapping);
         // CX → 1 CZ; ZZ is native (1 pulse); all inter-array so no swaps.
         assert_eq!(t.swaps_inserted, 0);
@@ -178,7 +187,10 @@ mod tests {
 
     #[test]
     fn slots_grouped_by_array() {
-        let mapping = ArrayMapping { array_of: vec![1, 0, 1, 0], num_arrays: 3 };
+        let mapping = ArrayMapping {
+            array_of: vec![1, 0, 1, 0],
+            num_arrays: 3,
+        };
         let c = Circuit::new(4);
         let t = transpiled(&c, &mapping);
         // Slot array indices are sorted ascending by construction.

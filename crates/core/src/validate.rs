@@ -57,12 +57,20 @@ pub enum ValidationError {
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ValidationError::PairTooFar { stage, pair, distance } => write!(
+            ValidationError::PairTooFar {
+                stage,
+                pair,
+                distance,
+            } => write!(
                 f,
                 "stage {stage}: scheduled pair ({}, {}) is {distance:.3} tracks apart",
                 pair.0, pair.1
             ),
-            ValidationError::UnwantedInteraction { stage, pair, distance } => write!(
+            ValidationError::UnwantedInteraction {
+                stage,
+                pair,
+                distance,
+            } => write!(
                 f,
                 "stage {stage}: unwanted interaction between {} and {} at {distance:.3} tracks",
                 pair.0, pair.1
@@ -149,7 +157,11 @@ pub fn validate_program(
                 parked[k] = false; // unpark marker
                 continue;
             }
-            let lines = if mv.axis_row { &mut row_pos[k] } else { &mut col_pos[k] };
+            let lines = if mv.axis_row {
+                &mut row_pos[k]
+            } else {
+                &mut col_pos[k]
+            };
             let Some(slot) = lines.get_mut(mv.line as usize) else {
                 return Err(ValidationError::UnknownLine { stage: i });
             };
@@ -160,7 +172,10 @@ pub fn validate_program(
         for k in 0..num_aods {
             for lines in [&row_pos[k], &col_pos[k]] {
                 if lines.windows(2).any(|w| w[1] <= w[0]) {
-                    return Err(ValidationError::OrderViolation { stage: i, aod: k as u8 });
+                    return Err(ValidationError::OrderViolation {
+                        stage: i,
+                        aod: k as u8,
+                    });
                 }
             }
         }
@@ -173,7 +188,11 @@ pub fn validate_program(
             let pb = pos(site_of_slot[b as usize], &row_pos, &col_pos);
             let d = dist(pa, pb);
             if d > INTERACT_R + 1e-9 {
-                return Err(ValidationError::PairTooFar { stage: i, pair: (a, b), distance: d });
+                return Err(ValidationError::PairTooFar {
+                    stage: i,
+                    pair: (a, b),
+                    distance: d,
+                });
             }
         }
         let active: Vec<u32> = (0..site_of_slot.len() as u32)
@@ -200,29 +219,44 @@ pub fn validate_program(
                 }
             }
         }
-        // Apply the post-pulse retraction and verify that *no* pair is
-        // still within the Rydberg radius: the next pulse must fire on
-        // nothing.
+        // Apply the post-pulse retraction. Whether it fully separated the
+        // pulsed pairs is checked where it physically matters: at the
+        // *next* pulse (the unwanted-interaction check above) and at the
+        // end of the schedule (below) — the global Rydberg laser only
+        // fires at pulses, and the router may legally restore separation
+        // with a reset stage instead of a local retraction.
         for mv in &stage.retract_moves {
             let k = mv.aod as usize;
-            let lines = if mv.axis_row { &mut row_pos[k] } else { &mut col_pos[k] };
+            let lines = if mv.axis_row {
+                &mut row_pos[k]
+            } else {
+                &mut col_pos[k]
+            };
             let Some(slot) = lines.get_mut(mv.line as usize) else {
                 return Err(ValidationError::UnknownLine { stage: i });
             };
             *slot = mv.to_track;
         }
-        for (xi, &x) in active.iter().enumerate() {
-            let px = pos(site_of_slot[x as usize], &row_pos, &col_pos);
-            for &y in &active[xi + 1..] {
-                let py = pos(site_of_slot[y as usize], &row_pos, &col_pos);
-                let d = dist(px, py);
-                if d <= INTERACT_R {
-                    return Err(ValidationError::UnwantedInteraction {
-                        stage: i,
-                        pair: (x.min(y), x.max(y)),
-                        distance: d,
-                    });
-                }
+    }
+    // End of schedule: no in-field pair may remain within the radius (a
+    // further pulse would re-fire on it).
+    let active: Vec<u32> = (0..site_of_slot.len() as u32)
+        .filter(|&s| {
+            let site = site_of_slot[s as usize];
+            site.array.is_slm() || !parked[site.array.aod_number()]
+        })
+        .collect();
+    for (xi, &x) in active.iter().enumerate() {
+        let px = pos(site_of_slot[x as usize], &row_pos, &col_pos);
+        for &y in &active[xi + 1..] {
+            let py = pos(site_of_slot[y as usize], &row_pos, &col_pos);
+            let d = dist(px, py);
+            if d <= INTERACT_R {
+                return Err(ValidationError::UnwantedInteraction {
+                    stage: program.stages.len(),
+                    pair: (x.min(y), x.max(y)),
+                    distance: d,
+                });
             }
         }
     }
@@ -304,7 +338,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ValidationError::PairTooFar { stage: 3, pair: (1, 2), distance: 0.9 };
+        let e = ValidationError::PairTooFar {
+            stage: 3,
+            pair: (1, 2),
+            distance: 0.9,
+        };
         assert!(e.to_string().contains("stage 3"));
         let e = ValidationError::OrderViolation { stage: 1, aod: 0 };
         assert!(e.to_string().contains("AOD0"));

@@ -68,8 +68,7 @@ fn varied_aod_dimensions() {
 #[test]
 fn extreme_aspect_ratios() {
     for (r, cdim) in [(16, 3), (3, 16), (24, 2)] {
-        let hw = RaaConfig::new(ArrayDims::new(r, cdim), vec![ArrayDims::new(r, cdim); 2])
-            .unwrap();
+        let hw = RaaConfig::new(ArrayDims::new(r, cdim), vec![ArrayDims::new(r, cdim); 2]).unwrap();
         let cfg = AtomiqueConfig::for_hardware(hw);
         let c = random_circuit(30, 60, 3);
         let out = compile(&c, &cfg).unwrap_or_else(|e| panic!("{r}x{cdim}: {e}"));
@@ -84,9 +83,18 @@ fn relaxation_matrix() {
     let c = random_circuit(20, 70, 4);
     let base = compile(&c, &AtomiqueConfig::default()).unwrap();
     let settings = [
-        Relaxation { individual_addressing: true, ..Relaxation::NONE },
-        Relaxation { allow_order_violation: true, ..Relaxation::NONE },
-        Relaxation { allow_overlap: true, ..Relaxation::NONE },
+        Relaxation {
+            individual_addressing: true,
+            ..Relaxation::NONE
+        },
+        Relaxation {
+            allow_order_violation: true,
+            ..Relaxation::NONE
+        },
+        Relaxation {
+            allow_overlap: true,
+            ..Relaxation::NONE
+        },
         Relaxation {
             individual_addressing: true,
             allow_order_violation: true,
@@ -96,10 +104,16 @@ fn relaxation_matrix() {
     for relax in settings {
         let out = compile(
             &c,
-            &AtomiqueConfig { relaxation: relax, ..AtomiqueConfig::default() },
+            &AtomiqueConfig {
+                relaxation: relax,
+                ..AtomiqueConfig::default()
+            },
         )
         .unwrap();
-        assert_eq!(out.stats.two_qubit_gates, base.stats.two_qubit_gates, "{relax:?}");
+        assert_eq!(
+            out.stats.two_qubit_gates, base.stats.two_qubit_gates,
+            "{relax:?}"
+        );
         assert!(out.stats.depth <= base.stats.depth + 5, "{relax:?}");
     }
 }
@@ -145,8 +159,10 @@ fn schedule_renders_completely() {
     let c = random_circuit(30, 120, 6);
     let out = compile(&c, &AtomiqueConfig::default()).unwrap();
     let text = atomique::render_schedule(&out);
-    assert_eq!(text.matches("PULSE").count() + text.matches("XFER").count(),
-        out.stats.depth);
+    assert_eq!(
+        text.matches("PULSE").count() + text.matches("XFER").count(),
+        out.stats.depth
+    );
     assert!(text.lines().count() >= out.stages.len());
     let summary = atomique::summarize(&out);
     assert!(summary.contains("30q"));

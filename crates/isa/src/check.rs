@@ -1,0 +1,584 @@
+//! The standalone legality checker.
+//!
+//! [`check_legality`] replays atom positions through an instruction
+//! stream and re-verifies the three RAA hardware constraints *purely
+//! from the stream* — it shares no state with the Atomique router, the
+//! baseline compilers, or `atomique::validate_program`, so it catches
+//! serialization and bookkeeping bugs none of them can see.
+//!
+//! Checks performed:
+//!
+//! * **C1 (exact-pair Rydberg addressing)** — at every
+//!   [`Instr::RydbergPulse`], each scheduled pair must sit within the
+//!   blockade radius, and *no other* pair of in-field atoms may; at the
+//!   end of the stream no pair at all may remain within the radius.
+//!   (The global laser fires only at pulses, so between pulses atoms may
+//!   transiently pass near each other — what matters is the
+//!   configuration whenever a pulse fires, which these two checks cover
+//!   exhaustively.)
+//! * **C2 (row/column order)** — at every pulse, each AOD's row and
+//!   column coordinates must be strictly increasing.
+//! * **C3 (line separation)** — at every pulse, adjacent rows/columns of
+//!   one AOD must be at least one blockade radius apart.
+//!
+//! [`Instr::Transfer`] gates are exempt from geometric checks: the
+//! re-grabbed atom is carried directly to its partner, which is exactly
+//! the transfer-loss-prone mechanism the paper charges separately.
+
+use crate::error::LegalityError;
+use crate::program::{Instr, IsaProgram};
+
+/// Slack applied to strict inequalities, matching the router/validator.
+const EPS: f64 = 1e-9;
+
+struct AodState {
+    rows: Vec<f64>,
+    cols: Vec<f64>,
+    home_rows: Vec<f64>,
+    home_cols: Vec<f64>,
+    parked: bool,
+}
+
+struct Machine {
+    slm: Option<(u16, u16)>,
+    aods: Vec<AodState>,
+    interact_r: f64,
+}
+
+impl Machine {
+    fn position(&self, site: crate::SiteSpec) -> (f64, f64) {
+        if site.array == 0 {
+            (site.row as f64, site.col as f64)
+        } else {
+            let aod = &self.aods[site.array as usize - 1];
+            (aod.rows[site.row as usize], aod.cols[site.col as usize])
+        }
+    }
+
+    fn in_field(&self, site: crate::SiteSpec) -> bool {
+        site.array == 0 || !self.aods[site.array as usize - 1].parked
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dr = a.0 - b.0;
+    let dc = a.1 - b.1;
+    (dr * dr + dc * dc).sqrt()
+}
+
+fn malformed(pc: usize, message: impl Into<String>) -> LegalityError {
+    LegalityError::Malformed {
+        pc,
+        message: message.into(),
+    }
+}
+
+/// Verifies that `program`'s stream satisfies the hardware constraints.
+///
+/// # Errors
+///
+/// The first violation or structural problem found, as a
+/// [`LegalityError`].
+pub fn check_legality(program: &IsaProgram) -> Result<(), LegalityError> {
+    let mut m = Machine {
+        slm: None,
+        aods: Vec::new(),
+        interact_r: program.interaction_radius_tracks(),
+    };
+    if !(m.interact_r.is_finite() && m.interact_r > 0.0) {
+        return Err(malformed(usize::MAX, "non-positive interaction radius"));
+    }
+
+    // --- Init section: must prefix the stream. ---
+    let mut pc = 0usize;
+    while pc < program.instrs.len() {
+        match program.instrs[pc] {
+            Instr::InitSlm { rows, cols } => {
+                if m.slm.is_some() {
+                    return Err(malformed(pc, "duplicate InitSlm"));
+                }
+                if rows == 0 || cols == 0 {
+                    return Err(malformed(pc, "empty SLM array"));
+                }
+                m.slm = Some((rows, cols));
+            }
+            Instr::InitAod {
+                aod,
+                rows,
+                cols,
+                fx,
+                fy,
+            } => {
+                if aod as usize != m.aods.len() {
+                    return Err(malformed(pc, "AOD arrays must be declared in index order"));
+                }
+                if rows == 0 || cols == 0 {
+                    return Err(malformed(pc, "empty AOD array"));
+                }
+                if !(fx.is_finite() && fy.is_finite()) {
+                    return Err(malformed(pc, "non-finite AOD home offset"));
+                }
+                let home_rows: Vec<f64> = (0..rows).map(|r| r as f64 + fy).collect();
+                let home_cols: Vec<f64> = (0..cols).map(|c| c as f64 + fx).collect();
+                m.aods.push(AodState {
+                    rows: home_rows.clone(),
+                    cols: home_cols.clone(),
+                    home_rows,
+                    home_cols,
+                    parked: false,
+                });
+            }
+            _ => break,
+        }
+        pc += 1;
+    }
+    if m.slm.is_none() {
+        return Err(malformed(usize::MAX, "stream declares no SLM array"));
+    }
+    if program.instrs[pc..]
+        .iter()
+        .any(|i| matches!(i, Instr::InitSlm { .. } | Instr::InitAod { .. }))
+    {
+        let at = pc
+            + program.instrs[pc..]
+                .iter()
+                .position(|i| matches!(i, Instr::InitSlm { .. } | Instr::InitAod { .. }))
+                .unwrap();
+        return Err(malformed(at, "init instruction after start of program"));
+    }
+
+    // --- Loading map: every slot on a declared, in-range trap. ---
+    let (slm_rows, slm_cols) = m.slm.unwrap();
+    for (slot, site) in program.sites.iter().enumerate() {
+        let ok = if site.array == 0 {
+            site.row < slm_rows && site.col < slm_cols
+        } else if let Some(aod) = m.aods.get(site.array as usize - 1) {
+            (site.row as usize) < aod.rows.len() && (site.col as usize) < aod.cols.len()
+        } else {
+            false
+        };
+        if !ok {
+            return Err(malformed(
+                usize::MAX,
+                format!("slot {slot} loaded on unknown trap"),
+            ));
+        }
+    }
+
+    // --- Replay. The C1 exactness check runs at every pulse (the global
+    // Rydberg laser fires nowhere else) and once more at the end of the
+    // stream, which is where incomplete retraction physically matters.
+    for (pc, instr) in program.instrs.iter().enumerate().skip(pc) {
+        match instr {
+            Instr::InitSlm { .. } | Instr::InitAod { .. } => unreachable!("init scanned above"),
+            Instr::MoveRow { aod, row, to, .. } => {
+                let aod_state = m
+                    .aods
+                    .get_mut(*aod as usize)
+                    .ok_or_else(|| malformed(pc, "move on undeclared AOD"))?;
+                let slot = aod_state
+                    .rows
+                    .get_mut(*row as usize)
+                    .ok_or_else(|| malformed(pc, "move on nonexistent row"))?;
+                if !to.is_finite() {
+                    return Err(malformed(pc, "non-finite move target"));
+                }
+                *slot = *to;
+                aod_state.parked = false;
+            }
+            Instr::MoveCol { aod, col, to, .. } => {
+                let aod_state = m
+                    .aods
+                    .get_mut(*aod as usize)
+                    .ok_or_else(|| malformed(pc, "move on undeclared AOD"))?;
+                let slot = aod_state
+                    .cols
+                    .get_mut(*col as usize)
+                    .ok_or_else(|| malformed(pc, "move on nonexistent column"))?;
+                if !to.is_finite() {
+                    return Err(malformed(pc, "non-finite move target"));
+                }
+                *slot = *to;
+                aod_state.parked = false;
+            }
+            Instr::Unpark { aod } => {
+                m.aods
+                    .get_mut(*aod as usize)
+                    .ok_or_else(|| malformed(pc, "unpark of undeclared AOD"))?
+                    .parked = false;
+            }
+            Instr::RydbergPulse { pairs } => {
+                check_line_constraints(&m, pc)?;
+                check_pulse(&m, program, pc, pairs)?;
+            }
+            Instr::RamanLayer { gates } => {
+                for g in gates {
+                    for q in g.qubits() {
+                        if q.index() >= program.num_slots() {
+                            return Err(malformed(pc, format!("raman gate on unknown slot {q}")));
+                        }
+                    }
+                }
+            }
+            Instr::Transfer { a, b } => {
+                if *a as usize >= program.num_slots() || *b as usize >= program.num_slots() {
+                    return Err(malformed(pc, "transfer on unknown slot"));
+                }
+            }
+            Instr::Cool { aod } => {
+                if *aod as usize >= m.aods.len() {
+                    return Err(malformed(pc, "cool of undeclared AOD"));
+                }
+            }
+            Instr::Park { kept } => {
+                for &k in kept {
+                    if k as usize >= m.aods.len() {
+                        return Err(malformed(pc, "park keeps undeclared AOD"));
+                    }
+                }
+                for (k, aod) in m.aods.iter_mut().enumerate() {
+                    aod.rows.clone_from(&aod.home_rows);
+                    aod.cols.clone_from(&aod.home_cols);
+                    aod.parked = !kept.contains(&(k as u8));
+                }
+            }
+        }
+    }
+    // End of stream: line constraints hold and no in-field pair remains
+    // within the blockade radius (a further pulse would re-fire on it).
+    let end = program.instrs.len();
+    check_line_constraints(&m, end)?;
+    check_no_proximity(&m, program, end, &[])?;
+    Ok(())
+}
+
+/// C2 and C3 over every declared AOD.
+fn check_line_constraints(m: &Machine, pc: usize) -> Result<(), LegalityError> {
+    for (k, aod) in m.aods.iter().enumerate() {
+        for (lines, rows) in [(&aod.rows, true), (&aod.cols, false)] {
+            for w in lines.windows(2) {
+                let gap = w[1] - w[0];
+                if gap <= EPS {
+                    return Err(LegalityError::OrderViolation {
+                        pc,
+                        aod: k as u8,
+                        rows,
+                    });
+                }
+                if gap < m.interact_r - EPS {
+                    return Err(LegalityError::LineOverlap {
+                        pc,
+                        aod: k as u8,
+                        rows,
+                        gap,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// C1 at a pulse: scheduled pairs touch, nothing else does.
+fn check_pulse(
+    m: &Machine,
+    program: &IsaProgram,
+    pc: usize,
+    pairs: &[(u32, u32)],
+) -> Result<(), LegalityError> {
+    let n = program.num_slots() as u32;
+    let mut desired: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+    for &(a, b) in pairs {
+        if a >= n || b >= n {
+            return Err(LegalityError::Malformed {
+                pc,
+                message: format!("pulse references unknown slot ({a}, {b})"),
+            });
+        }
+        for s in [a, b] {
+            if !m.in_field(program.sites[s as usize]) {
+                return Err(LegalityError::Malformed {
+                    pc,
+                    message: format!("pulse on slot {s} of a parked array"),
+                });
+            }
+        }
+        desired.push((a.min(b), a.max(b)));
+        let pa = m.position(program.sites[a as usize]);
+        let pb = m.position(program.sites[b as usize]);
+        let d = dist(pa, pb);
+        if d > m.interact_r + EPS {
+            return Err(LegalityError::PairTooFar {
+                pc,
+                pair: (a, b),
+                distance: d,
+            });
+        }
+    }
+
+    check_no_proximity(m, program, pc, &desired)
+}
+
+/// No in-field pair except the `exempt` (normalized) ones may sit within
+/// the blockade radius. `exempt` is a pulse's scheduled pair set, empty
+/// for the end-of-stream check.
+fn check_no_proximity(
+    m: &Machine,
+    program: &IsaProgram,
+    pc: usize,
+    exempt: &[(u32, u32)],
+) -> Result<(), LegalityError> {
+    let n = program.num_slots() as u32;
+    let active: Vec<u32> = (0..n)
+        .filter(|&s| m.in_field(program.sites[s as usize]))
+        .collect();
+    for (xi, &x) in active.iter().enumerate() {
+        let px = m.position(program.sites[x as usize]);
+        for &y in &active[xi + 1..] {
+            let key = (x.min(y), x.max(y));
+            if exempt.contains(&key) {
+                continue;
+            }
+            let py = m.position(program.sites[y as usize]);
+            let d = dist(px, py);
+            if d <= m.interact_r {
+                return Err(LegalityError::UnwantedInteraction {
+                    pc,
+                    pair: key,
+                    distance: d,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgramHeader, SiteSpec, FORMAT_VERSION};
+    use raa_circuit::{Circuit, Gate, Qubit};
+
+    /// Two slots: s0 on SLM[0,0], s1 on AOD0[0,0]; one pulse brings s1
+    /// next to s0 and retracts it afterwards.
+    fn legal_program() -> IsaProgram {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        IsaProgram {
+            version: FORMAT_VERSION,
+            header: ProgramHeader::new("test", "legal"),
+            slot_of_qubit: vec![0, 1],
+            sites: vec![
+                SiteSpec {
+                    array: 0,
+                    row: 0,
+                    col: 0,
+                },
+                SiteSpec {
+                    array: 1,
+                    row: 0,
+                    col: 0,
+                },
+            ],
+            reference: c,
+            instrs: vec![
+                Instr::InitSlm { rows: 4, cols: 4 },
+                Instr::InitAod {
+                    aod: 0,
+                    rows: 1,
+                    cols: 1,
+                    fx: 0.4,
+                    fy: 0.6,
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.6,
+                    to: 0.05,
+                    retract: false,
+                },
+                Instr::MoveCol {
+                    aod: 0,
+                    col: 0,
+                    from: 0.4,
+                    to: 0.08,
+                    retract: false,
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1)],
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.05,
+                    to: 0.6,
+                    retract: true,
+                },
+                Instr::MoveCol {
+                    aod: 0,
+                    col: 0,
+                    from: 0.08,
+                    to: 0.4,
+                    retract: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn legal_program_passes() {
+        check_legality(&legal_program()).unwrap();
+    }
+
+    #[test]
+    fn pair_too_far_is_c1() {
+        let mut p = legal_program();
+        // Remove the column approach: the pair stays 0.32 tracks apart.
+        p.instrs.remove(3);
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::PairTooFar { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_retraction_is_caught() {
+        let mut p = legal_program();
+        p.instrs.truncate(5); // pulse with no retraction
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::UnwantedInteraction { .. })
+        ));
+    }
+
+    #[test]
+    fn order_inversion_is_c2() {
+        let mut p = legal_program();
+        // A second AOD row crossing below the first.
+        p.instrs[1] = Instr::InitAod {
+            aod: 0,
+            rows: 2,
+            cols: 1,
+            fx: 0.4,
+            fy: 0.6,
+        };
+        p.instrs.insert(
+            2,
+            Instr::MoveRow {
+                aod: 0,
+                row: 1,
+                from: 1.6,
+                to: 0.0,
+                retract: false,
+            },
+        );
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::OrderViolation { rows: true, .. })
+        ));
+    }
+
+    #[test]
+    fn near_lines_are_c3() {
+        let mut p = legal_program();
+        p.instrs[1] = Instr::InitAod {
+            aod: 0,
+            rows: 2,
+            cols: 1,
+            fx: 0.4,
+            fy: 0.6,
+        };
+        // Row 1 parks 0.1 tracks above row 0's target: ordered but within
+        // the 1/6-track blockade radius.
+        p.instrs.insert(
+            4,
+            Instr::MoveRow {
+                aod: 0,
+                row: 1,
+                from: 1.6,
+                to: 0.15,
+                retract: false,
+            },
+        );
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::LineOverlap { rows: true, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        // No SLM.
+        let mut p = legal_program();
+        p.instrs.remove(0);
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::Malformed { .. })
+        ));
+
+        // Init after start.
+        let mut p = legal_program();
+        p.instrs.push(Instr::InitAod {
+            aod: 1,
+            rows: 1,
+            cols: 1,
+            fx: 0.2,
+            fy: 0.2,
+        });
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::Malformed { .. })
+        ));
+
+        // Move on undeclared AOD.
+        let mut p = legal_program();
+        p.instrs.push(Instr::MoveRow {
+            aod: 3,
+            row: 0,
+            from: 0.0,
+            to: 1.0,
+            retract: false,
+        });
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn parked_arrays_are_exempt_until_unparked() {
+        let mut p = legal_program();
+        // Park AOD0 away, then pulse nothing: the parked atom must not
+        // count as in-field even though its home overlaps nothing anyway.
+        p.instrs = vec![
+            p.instrs[0].clone(),
+            p.instrs[1].clone(),
+            Instr::Park { kept: vec![] },
+            Instr::RydbergPulse { pairs: vec![] },
+        ];
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        p.reference = c;
+        check_legality(&p).unwrap();
+    }
+
+    #[test]
+    fn pulse_on_parked_atom_is_rejected() {
+        let mut p = legal_program();
+        // Park AOD0, then pulse the pair anyway: slot 1 is out of the
+        // interaction field, so the pulse is malformed even if its home
+        // happened to sit near the partner.
+        p.instrs = vec![
+            p.instrs[0].clone(),
+            p.instrs[1].clone(),
+            Instr::Park { kept: vec![] },
+            Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            },
+        ];
+        assert!(matches!(
+            check_legality(&p),
+            Err(LegalityError::Malformed { .. })
+        ));
+    }
+}

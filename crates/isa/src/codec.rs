@@ -1,0 +1,1445 @@
+//! Program codecs: human-readable JSON and a compact binary format.
+//!
+//! Both codecs are *lossless*: decoding an encoded program yields an
+//! equal program, and re-encoding a decoded program is byte-identical.
+//! Floating-point fields round-trip exactly — JSON uses Rust's
+//! shortest-round-trip formatting, the binary format stores raw IEEE-754
+//! bits.
+//!
+//! Neither codec depends on external crates (this workspace builds
+//! offline); the JSON subset emitted/accepted is plain RFC 8259.
+
+use raa_circuit::{Circuit, Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+use crate::error::{DecodeError, EncodeError};
+use crate::program::{Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION};
+
+// ---------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------
+
+/// Encodes `program` as a JSON document.
+///
+/// # Errors
+///
+/// [`EncodeError::NonFiniteNumber`] if any float field is NaN/infinite.
+pub fn to_json(program: &IsaProgram) -> Result<String, EncodeError> {
+    let mut w = JsonWriter {
+        out: String::with_capacity(4096),
+    };
+    w.out.push('{');
+    w.key("format");
+    w.string("raa-isa");
+    w.sep();
+    w.key("version");
+    w.uint(program.version as u64);
+    w.sep();
+    w.key("backend");
+    w.string(&program.header.backend);
+    w.sep();
+    w.key("name");
+    w.string(&program.header.name);
+    w.sep();
+    w.key("spacing_um");
+    w.float(program.header.spacing_um, "spacing_um")?;
+    w.sep();
+    w.key("rydberg_radius_um");
+    w.float(program.header.rydberg_radius_um, "rydberg_radius_um")?;
+    w.sep();
+    w.key("slot_of_qubit");
+    w.out.push('[');
+    for (i, &s) in program.slot_of_qubit.iter().enumerate() {
+        if i > 0 {
+            w.sep();
+        }
+        w.uint(s as u64);
+    }
+    w.out.push(']');
+    w.sep();
+    w.key("sites");
+    w.out.push('[');
+    for (i, site) in program.sites.iter().enumerate() {
+        if i > 0 {
+            w.sep();
+        }
+        w.out.push('[');
+        w.uint(site.array as u64);
+        w.sep();
+        w.uint(site.row as u64);
+        w.sep();
+        w.uint(site.col as u64);
+        w.out.push(']');
+    }
+    w.out.push(']');
+    w.sep();
+    w.key("reference");
+    w.out.push('{');
+    w.key("num_slots");
+    w.uint(program.reference.num_qubits() as u64);
+    w.sep();
+    w.key("gates");
+    w.out.push('[');
+    for (i, g) in program.reference.gates().iter().enumerate() {
+        if i > 0 {
+            w.sep();
+        }
+        w.gate(g)?;
+    }
+    w.out.push_str("]}");
+    w.sep();
+    w.key("instrs");
+    w.out.push('[');
+    for (i, instr) in program.instrs.iter().enumerate() {
+        if i > 0 {
+            w.sep();
+        }
+        w.instr(instr)?;
+    }
+    w.out.push_str("]}");
+    Ok(w.out)
+}
+
+struct JsonWriter {
+    out: String,
+}
+
+impl JsonWriter {
+    fn sep(&mut self) {
+        self.out.push(',');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.string(k);
+        self.out.push(':');
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn uint(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    fn float(&mut self, v: f64, field: &'static str) -> Result<(), EncodeError> {
+        if !v.is_finite() {
+            return Err(EncodeError::NonFiniteNumber { field });
+        }
+        // Rust's shortest-round-trip formatting: parses back bit-exactly.
+        self.out.push_str(&format!("{v}"));
+        Ok(())
+    }
+
+    fn gate(&mut self, g: &Gate) -> Result<(), EncodeError> {
+        self.out.push('[');
+        match *g {
+            Gate::OneQ { kind, qubit } => {
+                let (name, params): (&str, Vec<f64>) = match kind {
+                    OneQubitKind::H => ("h", vec![]),
+                    OneQubitKind::X => ("x", vec![]),
+                    OneQubitKind::Y => ("y", vec![]),
+                    OneQubitKind::Z => ("z", vec![]),
+                    OneQubitKind::S => ("s", vec![]),
+                    OneQubitKind::Sdg => ("sdg", vec![]),
+                    OneQubitKind::T => ("t", vec![]),
+                    OneQubitKind::Tdg => ("tdg", vec![]),
+                    OneQubitKind::Rx(t) => ("rx", vec![t]),
+                    OneQubitKind::Ry(t) => ("ry", vec![t]),
+                    OneQubitKind::Rz(t) => ("rz", vec![t]),
+                    OneQubitKind::U(t, p, l) => ("u", vec![t, p, l]),
+                };
+                self.string(name);
+                self.sep();
+                self.uint(qubit.0 as u64);
+                for p in params {
+                    self.sep();
+                    self.float(p, "gate angle")?;
+                }
+            }
+            Gate::TwoQ { kind, a, b } => {
+                let (name, param): (&str, Option<f64>) = match kind {
+                    TwoQubitKind::Cz => ("cz", None),
+                    TwoQubitKind::Cx => ("cx", None),
+                    TwoQubitKind::Zz(t) => ("zz", Some(t)),
+                    TwoQubitKind::Swap => ("swap", None),
+                };
+                self.string(name);
+                self.sep();
+                self.uint(a.0 as u64);
+                self.sep();
+                self.uint(b.0 as u64);
+                if let Some(t) = param {
+                    self.sep();
+                    self.float(t, "gate angle")?;
+                }
+            }
+        }
+        self.out.push(']');
+        Ok(())
+    }
+
+    fn instr(&mut self, instr: &Instr) -> Result<(), EncodeError> {
+        self.out.push('[');
+        match instr {
+            Instr::InitSlm { rows, cols } => {
+                self.string("islm");
+                self.sep();
+                self.uint(*rows as u64);
+                self.sep();
+                self.uint(*cols as u64);
+            }
+            Instr::InitAod {
+                aod,
+                rows,
+                cols,
+                fx,
+                fy,
+            } => {
+                self.string("iaod");
+                self.sep();
+                self.uint(*aod as u64);
+                self.sep();
+                self.uint(*rows as u64);
+                self.sep();
+                self.uint(*cols as u64);
+                self.sep();
+                self.float(*fx, "aod fx")?;
+                self.sep();
+                self.float(*fy, "aod fy")?;
+            }
+            Instr::MoveRow {
+                aod,
+                row,
+                from,
+                to,
+                retract,
+            } => {
+                self.string("mrow");
+                self.sep();
+                self.uint(*aod as u64);
+                self.sep();
+                self.uint(*row as u64);
+                self.sep();
+                self.float(*from, "move from")?;
+                self.sep();
+                self.float(*to, "move to")?;
+                self.sep();
+                self.uint(*retract as u64);
+            }
+            Instr::MoveCol {
+                aod,
+                col,
+                from,
+                to,
+                retract,
+            } => {
+                self.string("mcol");
+                self.sep();
+                self.uint(*aod as u64);
+                self.sep();
+                self.uint(*col as u64);
+                self.sep();
+                self.float(*from, "move from")?;
+                self.sep();
+                self.float(*to, "move to")?;
+                self.sep();
+                self.uint(*retract as u64);
+            }
+            Instr::Unpark { aod } => {
+                self.string("unpark");
+                self.sep();
+                self.uint(*aod as u64);
+            }
+            Instr::RydbergPulse { pairs } => {
+                self.string("pulse");
+                self.sep();
+                self.out.push('[');
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        self.sep();
+                    }
+                    self.out.push('[');
+                    self.uint(*a as u64);
+                    self.sep();
+                    self.uint(*b as u64);
+                    self.out.push(']');
+                }
+                self.out.push(']');
+            }
+            Instr::RamanLayer { gates } => {
+                self.string("raman");
+                self.sep();
+                self.out.push('[');
+                for (i, g) in gates.iter().enumerate() {
+                    if i > 0 {
+                        self.sep();
+                    }
+                    self.gate(g)?;
+                }
+                self.out.push(']');
+            }
+            Instr::Transfer { a, b } => {
+                self.string("xfer");
+                self.sep();
+                self.uint(*a as u64);
+                self.sep();
+                self.uint(*b as u64);
+            }
+            Instr::Cool { aod } => {
+                self.string("cool");
+                self.sep();
+                self.uint(*aod as u64);
+            }
+            Instr::Park { kept } => {
+                self.string("park");
+                self.sep();
+                self.out.push('[');
+                for (i, k) in kept.iter().enumerate() {
+                    if i > 0 {
+                        self.sep();
+                    }
+                    self.uint(*k as u64);
+                }
+                self.out.push(']');
+            }
+        }
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON decoding
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError::Json {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DecodeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.peek().ok_or(DecodeError::UnexpectedEnd)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(self.err(format!("unexpected byte `{}`", c as char))),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, DecodeError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, DecodeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| DecodeError::BadUtf8)?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or(DecodeError::UnexpectedEnd)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos).ok_or(DecodeError::UnexpectedEnd)?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("bad low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // Re-borrow from the byte slice to keep UTF-8 intact.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while let Some(&c) = self.bytes.get(end) {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| DecodeError::BadUtf8)?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DecodeError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        let text = std::str::from_utf8(chunk).map_err(|_| DecodeError::BadUtf8)?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("bad hex"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, DecodeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, DecodeError> {
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(items));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            items.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(items));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn structure(message: impl Into<String>) -> DecodeError {
+    DecodeError::Structure {
+        message: message.into(),
+    }
+}
+
+impl Value {
+    fn num(&self) -> Result<f64, DecodeError> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            _ => Err(structure("expected number")),
+        }
+    }
+
+    fn uint(&self, max: u64) -> Result<u64, DecodeError> {
+        let v = self.num()?;
+        if v.fract() != 0.0 || v < 0.0 || v > max as f64 {
+            return Err(structure(format!("expected integer in [0, {max}]")));
+        }
+        Ok(v as u64)
+    }
+
+    fn str(&self) -> Result<&str, DecodeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(structure("expected string")),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Value], DecodeError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(structure("expected array")),
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Value, DecodeError> {
+        match self {
+            Value::Obj(items) => items
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| structure(format!("missing field `{key}`"))),
+            _ => Err(structure("expected object")),
+        }
+    }
+}
+
+fn gate_from_value(v: &Value) -> Result<Gate, DecodeError> {
+    let items = v.arr()?;
+    let name = items
+        .first()
+        .ok_or_else(|| structure("empty gate"))?
+        .str()?;
+    let q = |i: usize| -> Result<Qubit, DecodeError> {
+        Ok(Qubit(
+            items
+                .get(i)
+                .ok_or_else(|| structure("truncated gate"))?
+                .uint(u32::MAX as u64)? as u32,
+        ))
+    };
+    let f = |i: usize| -> Result<f64, DecodeError> {
+        items
+            .get(i)
+            .ok_or_else(|| structure("truncated gate"))?
+            .num()
+    };
+    let arity_ok = |n: usize| -> Result<(), DecodeError> {
+        if items.len() == n {
+            Ok(())
+        } else {
+            Err(structure(format!(
+                "gate `{name}` expects {} arguments",
+                n - 1
+            )))
+        }
+    };
+    Ok(match name {
+        "h" => {
+            arity_ok(2)?;
+            Gate::h(q(1)?)
+        }
+        "x" => {
+            arity_ok(2)?;
+            Gate::x(q(1)?)
+        }
+        "y" => {
+            arity_ok(2)?;
+            Gate::y(q(1)?)
+        }
+        "z" => {
+            arity_ok(2)?;
+            Gate::z(q(1)?)
+        }
+        "s" => {
+            arity_ok(2)?;
+            Gate::s(q(1)?)
+        }
+        "sdg" => {
+            arity_ok(2)?;
+            Gate::sdg(q(1)?)
+        }
+        "t" => {
+            arity_ok(2)?;
+            Gate::t(q(1)?)
+        }
+        "tdg" => {
+            arity_ok(2)?;
+            Gate::tdg(q(1)?)
+        }
+        "rx" => {
+            arity_ok(3)?;
+            Gate::rx(q(1)?, f(2)?)
+        }
+        "ry" => {
+            arity_ok(3)?;
+            Gate::ry(q(1)?, f(2)?)
+        }
+        "rz" => {
+            arity_ok(3)?;
+            Gate::rz(q(1)?, f(2)?)
+        }
+        "u" => {
+            arity_ok(5)?;
+            Gate::u(q(1)?, f(2)?, f(3)?, f(4)?)
+        }
+        "cz" => {
+            arity_ok(3)?;
+            Gate::cz(q(1)?, q(2)?)
+        }
+        "cx" => {
+            arity_ok(3)?;
+            Gate::cx(q(1)?, q(2)?)
+        }
+        "zz" => {
+            arity_ok(4)?;
+            Gate::zz(q(1)?, q(2)?, f(3)?)
+        }
+        "swap" => {
+            arity_ok(3)?;
+            Gate::swap(q(1)?, q(2)?)
+        }
+        other => return Err(DecodeError::BadTag { tag: other.into() }),
+    })
+}
+
+fn instr_from_value(v: &Value) -> Result<Instr, DecodeError> {
+    let items = v.arr()?;
+    let name = items
+        .first()
+        .ok_or_else(|| structure("empty instruction"))?
+        .str()?;
+    let get = |i: usize| -> Result<&Value, DecodeError> {
+        items
+            .get(i)
+            .ok_or_else(|| structure("truncated instruction"))
+    };
+    Ok(match name {
+        "islm" => Instr::InitSlm {
+            rows: get(1)?.uint(u16::MAX as u64)? as u16,
+            cols: get(2)?.uint(u16::MAX as u64)? as u16,
+        },
+        "iaod" => Instr::InitAod {
+            aod: get(1)?.uint(u8::MAX as u64)? as u8,
+            rows: get(2)?.uint(u16::MAX as u64)? as u16,
+            cols: get(3)?.uint(u16::MAX as u64)? as u16,
+            fx: get(4)?.num()?,
+            fy: get(5)?.num()?,
+        },
+        "mrow" => Instr::MoveRow {
+            aod: get(1)?.uint(u8::MAX as u64)? as u8,
+            row: get(2)?.uint(u16::MAX as u64)? as u16,
+            from: get(3)?.num()?,
+            to: get(4)?.num()?,
+            retract: get(5)?.uint(1)? == 1,
+        },
+        "mcol" => Instr::MoveCol {
+            aod: get(1)?.uint(u8::MAX as u64)? as u8,
+            col: get(2)?.uint(u16::MAX as u64)? as u16,
+            from: get(3)?.num()?,
+            to: get(4)?.num()?,
+            retract: get(5)?.uint(1)? == 1,
+        },
+        "unpark" => Instr::Unpark {
+            aod: get(1)?.uint(u8::MAX as u64)? as u8,
+        },
+        "pulse" => {
+            let mut pairs = Vec::new();
+            for p in get(1)?.arr()? {
+                let xs = p.arr()?;
+                if xs.len() != 2 {
+                    return Err(structure("pulse pair must have two slots"));
+                }
+                pairs.push((
+                    xs[0].uint(u32::MAX as u64)? as u32,
+                    xs[1].uint(u32::MAX as u64)? as u32,
+                ));
+            }
+            Instr::RydbergPulse { pairs }
+        }
+        "raman" => {
+            let gates = get(1)?
+                .arr()?
+                .iter()
+                .map(gate_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            Instr::RamanLayer { gates }
+        }
+        "xfer" => Instr::Transfer {
+            a: get(1)?.uint(u32::MAX as u64)? as u32,
+            b: get(2)?.uint(u32::MAX as u64)? as u32,
+        },
+        "cool" => Instr::Cool {
+            aod: get(1)?.uint(u8::MAX as u64)? as u8,
+        },
+        "park" => Instr::Park {
+            kept: get(1)?
+                .arr()?
+                .iter()
+                .map(|k| Ok(k.uint(u8::MAX as u64)? as u8))
+                .collect::<Result<Vec<_>, DecodeError>>()?,
+        },
+        other => return Err(DecodeError::BadTag { tag: other.into() }),
+    })
+}
+
+/// Decodes a JSON document produced by [`to_json`].
+///
+/// # Errors
+///
+/// [`DecodeError`] on syntax, tag or structure problems.
+pub fn from_json(text: &str) -> Result<IsaProgram, DecodeError> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(DecodeError::TrailingData {
+            bytes: parser.bytes.len() - parser.pos,
+        });
+    }
+
+    if root.field("format")?.str()? != "raa-isa" {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = root.field("version")?.uint(u32::MAX as u64)? as u32;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion { found: version });
+    }
+
+    let slot_of_qubit = root
+        .field("slot_of_qubit")?
+        .arr()?
+        .iter()
+        .map(|v| Ok(v.uint(u32::MAX as u64)? as u32))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let sites = root
+        .field("sites")?
+        .arr()?
+        .iter()
+        .map(|v| {
+            let xs = v.arr()?;
+            if xs.len() != 3 {
+                return Err(structure("site must be [array, row, col]"));
+            }
+            Ok(SiteSpec {
+                array: xs[0].uint(u8::MAX as u64)? as u8,
+                row: xs[1].uint(u16::MAX as u64)? as u16,
+                col: xs[2].uint(u16::MAX as u64)? as u16,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    let reference_v = root.field("reference")?;
+    let num_slots = reference_v.field("num_slots")?.uint(u32::MAX as u64)? as usize;
+    let gates = reference_v
+        .field("gates")?
+        .arr()?
+        .iter()
+        .map(gate_from_value)
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let reference = Circuit::with_gates(num_slots, gates)
+        .map_err(|e| structure(format!("invalid reference circuit: {e}")))?;
+
+    let instrs = root
+        .field("instrs")?
+        .arr()?
+        .iter()
+        .map(instr_from_value)
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+
+    Ok(IsaProgram {
+        version,
+        header: ProgramHeader {
+            backend: root.field("backend")?.str()?.to_string(),
+            name: root.field("name")?.str()?.to_string(),
+            spacing_um: root.field("spacing_um")?.num()?,
+            rydberg_radius_um: root.field("rydberg_radius_um")?.num()?,
+        },
+        slot_of_qubit,
+        sites,
+        reference,
+        instrs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------
+
+/// Magic bytes opening every binary stream.
+const MAGIC: &[u8; 8] = b"RAA-ISA\0";
+
+/// Encodes `program` in the compact binary format. Infallible: floats
+/// are stored as raw IEEE-754 bits.
+pub fn to_bytes(program: &IsaProgram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, program.version);
+    put_str(&mut out, &program.header.backend);
+    put_str(&mut out, &program.header.name);
+    put_f64(&mut out, program.header.spacing_um);
+    put_f64(&mut out, program.header.rydberg_radius_um);
+    put_u32(&mut out, program.slot_of_qubit.len() as u32);
+    for &s in &program.slot_of_qubit {
+        put_u32(&mut out, s);
+    }
+    put_u32(&mut out, program.sites.len() as u32);
+    for site in &program.sites {
+        out.push(site.array);
+        put_u16(&mut out, site.row);
+        put_u16(&mut out, site.col);
+    }
+    put_u32(&mut out, program.reference.num_qubits() as u32);
+    put_u32(&mut out, program.reference.len() as u32);
+    for g in program.reference.gates() {
+        put_gate(&mut out, g);
+    }
+    put_u32(&mut out, program.instrs.len() as u32);
+    for instr in &program.instrs {
+        put_instr(&mut out, instr);
+    }
+    out
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_gate(out: &mut Vec<u8>, g: &Gate) {
+    match *g {
+        Gate::OneQ { kind, qubit } => {
+            let (tag, params): (u8, Vec<f64>) = match kind {
+                OneQubitKind::H => (0, vec![]),
+                OneQubitKind::X => (1, vec![]),
+                OneQubitKind::Y => (2, vec![]),
+                OneQubitKind::Z => (3, vec![]),
+                OneQubitKind::S => (4, vec![]),
+                OneQubitKind::Sdg => (5, vec![]),
+                OneQubitKind::T => (6, vec![]),
+                OneQubitKind::Tdg => (7, vec![]),
+                OneQubitKind::Rx(t) => (8, vec![t]),
+                OneQubitKind::Ry(t) => (9, vec![t]),
+                OneQubitKind::Rz(t) => (10, vec![t]),
+                OneQubitKind::U(t, p, l) => (11, vec![t, p, l]),
+            };
+            out.push(tag);
+            put_u32(out, qubit.0);
+            for p in params {
+                put_f64(out, p);
+            }
+        }
+        Gate::TwoQ { kind, a, b } => {
+            let (tag, param): (u8, Option<f64>) = match kind {
+                TwoQubitKind::Cz => (12, None),
+                TwoQubitKind::Cx => (13, None),
+                TwoQubitKind::Zz(t) => (14, Some(t)),
+                TwoQubitKind::Swap => (15, None),
+            };
+            out.push(tag);
+            put_u32(out, a.0);
+            put_u32(out, b.0);
+            if let Some(t) = param {
+                put_f64(out, t);
+            }
+        }
+    }
+}
+
+fn put_instr(out: &mut Vec<u8>, instr: &Instr) {
+    match instr {
+        Instr::InitSlm { rows, cols } => {
+            out.push(0);
+            put_u16(out, *rows);
+            put_u16(out, *cols);
+        }
+        Instr::InitAod {
+            aod,
+            rows,
+            cols,
+            fx,
+            fy,
+        } => {
+            out.push(1);
+            out.push(*aod);
+            put_u16(out, *rows);
+            put_u16(out, *cols);
+            put_f64(out, *fx);
+            put_f64(out, *fy);
+        }
+        Instr::MoveRow {
+            aod,
+            row,
+            from,
+            to,
+            retract,
+        } => {
+            out.push(2);
+            out.push(*aod);
+            put_u16(out, *row);
+            put_f64(out, *from);
+            put_f64(out, *to);
+            out.push(*retract as u8);
+        }
+        Instr::MoveCol {
+            aod,
+            col,
+            from,
+            to,
+            retract,
+        } => {
+            out.push(3);
+            out.push(*aod);
+            put_u16(out, *col);
+            put_f64(out, *from);
+            put_f64(out, *to);
+            out.push(*retract as u8);
+        }
+        Instr::Unpark { aod } => {
+            out.push(4);
+            out.push(*aod);
+        }
+        Instr::RydbergPulse { pairs } => {
+            out.push(5);
+            put_u32(out, pairs.len() as u32);
+            for (a, b) in pairs {
+                put_u32(out, *a);
+                put_u32(out, *b);
+            }
+        }
+        Instr::RamanLayer { gates } => {
+            out.push(6);
+            put_u32(out, gates.len() as u32);
+            for g in gates {
+                put_gate(out, g);
+            }
+        }
+        Instr::Transfer { a, b } => {
+            out.push(7);
+            put_u32(out, *a);
+            put_u32(out, *b);
+        }
+        Instr::Cool { aod } => {
+            out.push(8);
+            out.push(*aod);
+        }
+        Instr::Park { kept } => {
+            out.push(9);
+            put_u32(out, kept.len() as u32);
+            out.extend_from_slice(kept);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        self.pos += n;
+        Ok(chunk)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn gate(&mut self) -> Result<Gate, DecodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0..=11 => {
+                let q = Qubit(self.u32()?);
+                match tag {
+                    0 => Gate::h(q),
+                    1 => Gate::x(q),
+                    2 => Gate::y(q),
+                    3 => Gate::z(q),
+                    4 => Gate::s(q),
+                    5 => Gate::sdg(q),
+                    6 => Gate::t(q),
+                    7 => Gate::tdg(q),
+                    8 => Gate::rx(q, self.f64()?),
+                    9 => Gate::ry(q, self.f64()?),
+                    10 => Gate::rz(q, self.f64()?),
+                    _ => {
+                        let (t, p, l) = (self.f64()?, self.f64()?, self.f64()?);
+                        Gate::u(q, t, p, l)
+                    }
+                }
+            }
+            12..=15 => {
+                let a = Qubit(self.u32()?);
+                let b = Qubit(self.u32()?);
+                match tag {
+                    12 => Gate::cz(a, b),
+                    13 => Gate::cx(a, b),
+                    14 => Gate::zz(a, b, self.f64()?),
+                    _ => Gate::swap(a, b),
+                }
+            }
+            other => {
+                return Err(DecodeError::BadTag {
+                    tag: other.to_string(),
+                })
+            }
+        })
+    }
+
+    fn instr(&mut self) -> Result<Instr, DecodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => Instr::InitSlm {
+                rows: self.u16()?,
+                cols: self.u16()?,
+            },
+            1 => Instr::InitAod {
+                aod: self.u8()?,
+                rows: self.u16()?,
+                cols: self.u16()?,
+                fx: self.f64()?,
+                fy: self.f64()?,
+            },
+            2 => Instr::MoveRow {
+                aod: self.u8()?,
+                row: self.u16()?,
+                from: self.f64()?,
+                to: self.f64()?,
+                retract: self.u8()? != 0,
+            },
+            3 => Instr::MoveCol {
+                aod: self.u8()?,
+                col: self.u16()?,
+                from: self.f64()?,
+                to: self.f64()?,
+                retract: self.u8()? != 0,
+            },
+            4 => Instr::Unpark { aod: self.u8()? },
+            5 => {
+                let n = self.u32()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pairs.push((self.u32()?, self.u32()?));
+                }
+                Instr::RydbergPulse { pairs }
+            }
+            6 => {
+                let n = self.u32()? as usize;
+                let mut gates = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    gates.push(self.gate()?);
+                }
+                Instr::RamanLayer { gates }
+            }
+            7 => Instr::Transfer {
+                a: self.u32()?,
+                b: self.u32()?,
+            },
+            8 => Instr::Cool { aod: self.u8()? },
+            9 => {
+                let n = self.u32()? as usize;
+                Instr::Park {
+                    kept: self.take(n)?.to_vec(),
+                }
+            }
+            other => {
+                return Err(DecodeError::BadTag {
+                    tag: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+/// Decodes a binary stream produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// [`DecodeError`] on magic/version/structure problems.
+pub fn from_bytes(bytes: &[u8]) -> Result<IsaProgram, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = c.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion { found: version });
+    }
+    let backend = c.str()?;
+    let name = c.str()?;
+    let spacing_um = c.f64()?;
+    let rydberg_radius_um = c.f64()?;
+    let n = c.u32()? as usize;
+    let mut slot_of_qubit = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        slot_of_qubit.push(c.u32()?);
+    }
+    let n = c.u32()? as usize;
+    let mut sites = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        sites.push(SiteSpec {
+            array: c.u8()?,
+            row: c.u16()?,
+            col: c.u16()?,
+        });
+    }
+    let num_slots = c.u32()? as usize;
+    let num_gates = c.u32()? as usize;
+    let mut gates = Vec::with_capacity(num_gates.min(1 << 20));
+    for _ in 0..num_gates {
+        gates.push(c.gate()?);
+    }
+    let reference = Circuit::with_gates(num_slots, gates)
+        .map_err(|e| structure(format!("invalid reference circuit: {e}")))?;
+    let num_instrs = c.u32()? as usize;
+    let mut instrs = Vec::with_capacity(num_instrs.min(1 << 20));
+    for _ in 0..num_instrs {
+        instrs.push(c.instr()?);
+    }
+    if c.pos != bytes.len() {
+        return Err(DecodeError::TrailingData {
+            bytes: bytes.len() - c.pos,
+        });
+    }
+    Ok(IsaProgram {
+        version,
+        header: ProgramHeader {
+            backend,
+            name,
+            spacing_um,
+            rydberg_radius_um,
+        },
+        slot_of_qubit,
+        sites,
+        reference,
+        instrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> IsaProgram {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::rz(Qubit(1), 0.1234567890123_f64));
+        c.push(Gate::u(Qubit(2), -0.5, 1e-300, std::f64::consts::PI));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::zz(Qubit(1), Qubit(2), -2.75));
+        IsaProgram {
+            version: FORMAT_VERSION,
+            header: ProgramHeader::new("atomique", "codec \"quoted\"\nname"),
+            slot_of_qubit: vec![2, 0, 1],
+            sites: vec![
+                SiteSpec {
+                    array: 0,
+                    row: 0,
+                    col: 0,
+                },
+                SiteSpec {
+                    array: 1,
+                    row: 0,
+                    col: 1,
+                },
+                SiteSpec {
+                    array: 2,
+                    row: 3,
+                    col: 2,
+                },
+            ],
+            reference: c,
+            instrs: vec![
+                Instr::InitSlm { rows: 10, cols: 10 },
+                Instr::InitAod {
+                    aod: 0,
+                    rows: 10,
+                    cols: 10,
+                    fx: 0.395_833,
+                    fy: 0.604_167,
+                },
+                Instr::InitAod {
+                    aod: 1,
+                    rows: 4,
+                    cols: 4,
+                    fx: 0.604_167,
+                    fy: 0.291_667,
+                },
+                Instr::RamanLayer {
+                    gates: vec![Gate::h(Qubit(0)), Gate::rz(Qubit(1), 0.1234567890123_f64)],
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.604_167,
+                    to: 0.05,
+                    retract: false,
+                },
+                Instr::MoveCol {
+                    aod: 0,
+                    col: 1,
+                    from: 1.395_833,
+                    to: 0.08,
+                    retract: false,
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1), (2, 0xFFFF)],
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.05,
+                    to: 0.604_167,
+                    retract: true,
+                },
+                Instr::Unpark { aod: 1 },
+                Instr::Transfer { a: 1, b: 2 },
+                Instr::Cool { aod: 0 },
+                Instr::Park { kept: vec![0, 1] },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_and_stable() {
+        let p = sample_program();
+        let json = to_json(&p).unwrap();
+        let decoded = from_json(&json).unwrap();
+        assert_eq!(decoded, p);
+        // Re-encoding is byte-identical.
+        assert_eq!(to_json(&decoded).unwrap(), json);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless_and_stable() {
+        let p = sample_program();
+        let bytes = to_bytes(&p);
+        let decoded = from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(to_bytes(&decoded), bytes);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let p = sample_program();
+        assert!(to_bytes(&p).len() < to_json(&p).unwrap().len());
+    }
+
+    #[test]
+    fn json_accepts_whitespace() {
+        let p = sample_program();
+        let json = to_json(&p).unwrap();
+        let spaced = json.replace(',', ", ").replace(':', ": ");
+        assert_eq!(from_json(&spaced).unwrap(), p);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let p = sample_program();
+        let bytes = to_bytes(&p);
+
+        // Bad magic.
+        let mut corrupt = bytes.clone();
+        corrupt[0] = b'X';
+        assert_eq!(from_bytes(&corrupt), Err(DecodeError::BadMagic));
+
+        // Bad version.
+        let mut corrupt = bytes.clone();
+        corrupt[8] = 99;
+        assert!(matches!(
+            from_bytes(&corrupt),
+            Err(DecodeError::UnsupportedVersion { found: 99 })
+        ));
+
+        // Truncation anywhere must error, never panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(from_bytes(&bytes[..cut]).is_err());
+        }
+
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            from_bytes(&extended),
+            Err(DecodeError::TrailingData { bytes: 1 })
+        );
+
+        // JSON: wrong format tag, bad version, trailing data.
+        let json = to_json(&p).unwrap();
+        assert!(from_json(&json.replace("raa-isa", "nope")).is_err());
+        assert!(from_json(&json.replace("\"version\":1", "\"version\":9")).is_err());
+        assert!(from_json(&format!("{json} ,")).is_err());
+        assert!(from_json("{").is_err());
+    }
+
+    #[test]
+    fn malformed_surrogate_escapes_error_not_panic() {
+        let p = sample_program();
+        let json = to_json(&p).unwrap();
+        // High surrogate followed by a non-low-surrogate escape.
+        let bad = json.replacen("atomique", "\\ud800\\u0041", 1);
+        assert!(matches!(from_json(&bad), Err(DecodeError::Json { .. })));
+        // Lone high surrogate at end of string.
+        let bad = json.replacen("atomique", "\\ud800", 1);
+        assert!(matches!(from_json(&bad), Err(DecodeError::Json { .. })));
+        // A valid pair still decodes (U+1F600).
+        let good = json.replacen("atomique", "\\ud83d\\ude00", 1);
+        assert_eq!(from_json(&good).unwrap().header.backend, "😀");
+    }
+
+    #[test]
+    fn float_extremes_roundtrip() {
+        let mut p = sample_program();
+        p.instrs = vec![Instr::MoveRow {
+            aod: 0,
+            row: 0,
+            from: -0.0,
+            to: f64::MIN_POSITIVE,
+            retract: false,
+        }];
+        let decoded = from_json(&to_json(&p).unwrap()).unwrap();
+        match decoded.instrs[0] {
+            Instr::MoveRow { from, to, .. } => {
+                assert_eq!(from.to_bits(), (-0.0_f64).to_bits());
+                assert_eq!(to.to_bits(), f64::MIN_POSITIVE.to_bits());
+            }
+            _ => unreachable!(),
+        }
+        // NaN is encodable in binary, rejected by JSON.
+        p.instrs = vec![Instr::MoveRow {
+            aod: 0,
+            row: 0,
+            from: f64::NAN,
+            to: 0.0,
+            retract: false,
+        }];
+        assert!(to_json(&p).is_err());
+        let decoded = from_bytes(&to_bytes(&p)).unwrap();
+        match decoded.instrs[0] {
+            Instr::MoveRow { from, .. } => assert!(from.is_nan()),
+            _ => unreachable!(),
+        }
+    }
+}

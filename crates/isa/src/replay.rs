@@ -1,0 +1,315 @@
+//! The replay verifier: gate-set equivalence between an instruction
+//! stream and its embedded reference circuit.
+//!
+//! [`replay_verify`] walks the stream and matches every executed gate —
+//! each pair of a [`Instr::RydbergPulse`], each [`Instr::Transfer`], and
+//! each gate of a [`Instr::RamanLayer`] — against the *front layer* of
+//! the reference circuit's dependency DAG. A gate can only be matched
+//! when all of its predecessors have been matched, and each gate is
+//! matched exactly once; if the walk consumes the entire circuit the
+//! stream provably executes the reference circuit in a DAG-consistent
+//! linear extension. Combined with [`check_legality`](crate::check_legality)
+//! this yields an end-to-end oracle that is fully independent of the
+//! compilers' own bookkeeping.
+
+use raa_circuit::{DagSchedule, Gate, GateIdx};
+
+use crate::error::ReplayError;
+use crate::program::{Instr, IsaProgram};
+
+/// What [`replay_verify`] measured while proving equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Two-qubit gates executed (pulse pairs + transfers).
+    pub two_qubit_gates: usize,
+    /// One-qubit gates executed (Raman).
+    pub one_qubit_gates: usize,
+    /// Rydberg pulses fired.
+    pub pulses: usize,
+    /// Transfer-assisted gates executed.
+    pub transfers: usize,
+    /// Largest number of pairs driven by a single pulse.
+    pub max_parallel_pulse: usize,
+}
+
+/// Proves that `program`'s stream executes its reference circuit:
+/// every reference gate exactly once, in DAG-consistent order.
+///
+/// # Errors
+///
+/// The first mismatch found, as a [`ReplayError`].
+pub fn replay_verify(program: &IsaProgram) -> Result<ReplayReport, ReplayError> {
+    let circuit = &program.reference;
+    let n = circuit.num_qubits() as u32;
+    let mut sched = DagSchedule::new(circuit);
+    let mut report = ReplayReport::default();
+
+    for (pc, instr) in program.instrs.iter().enumerate() {
+        match instr {
+            Instr::RydbergPulse { pairs } => {
+                report.pulses += 1;
+                report.max_parallel_pulse = report.max_parallel_pulse.max(pairs.len());
+                let mut used: Vec<u32> = Vec::with_capacity(pairs.len() * 2);
+                for &(a, b) in pairs {
+                    for s in [a, b] {
+                        if s >= n {
+                            return Err(ReplayError::SlotOutOfRange { pc, slot: s });
+                        }
+                        if used.contains(&s) {
+                            return Err(ReplayError::SlotReuseInPulse { pc, slot: s });
+                        }
+                        used.push(s);
+                    }
+                    execute_pair(circuit, &mut sched, pc, a, b)?;
+                    report.two_qubit_gates += 1;
+                }
+            }
+            Instr::Transfer { a, b } => {
+                for s in [*a, *b] {
+                    if s >= n {
+                        return Err(ReplayError::SlotOutOfRange { pc, slot: s });
+                    }
+                }
+                execute_pair(circuit, &mut sched, pc, *a, *b)?;
+                report.two_qubit_gates += 1;
+                report.transfers += 1;
+            }
+            Instr::RamanLayer { gates } => {
+                for g in gates {
+                    execute_one_qubit(circuit, &mut sched, pc, g)?;
+                    report.one_qubit_gates += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let remaining = circuit.len() - report.two_qubit_gates - report.one_qubit_gates;
+    if remaining > 0 {
+        return Err(ReplayError::MissingGates { remaining });
+    }
+    Ok(report)
+}
+
+/// Matches `(a, b)` against an executable two-qubit reference gate.
+fn execute_pair(
+    circuit: &raa_circuit::Circuit,
+    sched: &mut DagSchedule,
+    pc: usize,
+    a: u32,
+    b: u32,
+) -> Result<(), ReplayError> {
+    let found: Option<GateIdx> =
+        sched
+            .front()
+            .iter()
+            .copied()
+            .find(|&g| match circuit.gates()[g].pair() {
+                Some((x, y)) => {
+                    let fwd = x.0 == a && y.0 == b;
+                    let symmetric = match circuit.gates()[g] {
+                        Gate::TwoQ { kind, .. } => kind.is_symmetric(),
+                        Gate::OneQ { .. } => false,
+                    };
+                    fwd || (symmetric && x.0 == b && y.0 == a)
+                }
+                None => false,
+            });
+    match found {
+        Some(g) => {
+            sched.execute(g);
+            Ok(())
+        }
+        None => Err(ReplayError::UnmatchedPair { pc, pair: (a, b) }),
+    }
+}
+
+/// Matches one Raman gate against an executable identical reference gate.
+fn execute_one_qubit(
+    circuit: &raa_circuit::Circuit,
+    sched: &mut DagSchedule,
+    pc: usize,
+    gate: &Gate,
+) -> Result<(), ReplayError> {
+    let found: Option<GateIdx> = sched
+        .front()
+        .iter()
+        .copied()
+        .find(|&g| circuit.gates()[g].is_one_qubit() && circuit.gates()[g] == *gate);
+    match found {
+        Some(g) => {
+            sched.execute(g);
+            Ok(())
+        }
+        None => Err(ReplayError::UnmatchedOneQubit {
+            pc,
+            gate: gate.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgramHeader, SiteSpec, FORMAT_VERSION};
+    use raa_circuit::{Circuit, Qubit};
+
+    fn program_for(circuit: Circuit, instrs: Vec<Instr>) -> IsaProgram {
+        let n = circuit.num_qubits();
+        IsaProgram {
+            version: FORMAT_VERSION,
+            header: ProgramHeader::new("test", "replay"),
+            slot_of_qubit: (0..n as u32).collect(),
+            sites: (0..n)
+                .map(|i| SiteSpec {
+                    array: 0,
+                    row: (i / 4) as u16,
+                    col: (i % 4) as u16,
+                })
+                .collect(),
+            reference: circuit,
+            instrs,
+        }
+    }
+
+    fn chain3() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(1), Qubit(2)));
+        c
+    }
+
+    #[test]
+    fn faithful_stream_verifies() {
+        let p = program_for(
+            chain3(),
+            vec![
+                Instr::InitSlm { rows: 2, cols: 4 },
+                Instr::RamanLayer {
+                    gates: vec![Gate::h(Qubit(0))],
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(1, 0)],
+                }, // symmetric order flip
+                Instr::Transfer { a: 1, b: 2 },
+            ],
+        );
+        let r = replay_verify(&p).unwrap();
+        assert_eq!(r.two_qubit_gates, 2);
+        assert_eq!(r.one_qubit_gates, 1);
+        assert_eq!(r.pulses, 1);
+        assert_eq!(r.transfers, 1);
+        assert_eq!(r.max_parallel_pulse, 1);
+    }
+
+    #[test]
+    fn dropped_gate_is_caught() {
+        let p = program_for(
+            chain3(),
+            vec![
+                Instr::RamanLayer {
+                    gates: vec![Gate::h(Qubit(0))],
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1)],
+                },
+            ],
+        );
+        assert_eq!(
+            replay_verify(&p),
+            Err(ReplayError::MissingGates { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_order_execution_is_caught() {
+        // (1,2) depends on (0,1): firing it first violates the DAG.
+        let p = program_for(
+            chain3(),
+            vec![Instr::RydbergPulse {
+                pairs: vec![(1, 2)],
+            }],
+        );
+        assert!(matches!(
+            replay_verify(&p),
+            Err(ReplayError::UnmatchedPair { pair: (1, 2), .. })
+        ));
+    }
+
+    #[test]
+    fn duplicated_gate_is_caught() {
+        let p = program_for(
+            chain3(),
+            vec![
+                Instr::RamanLayer {
+                    gates: vec![Gate::h(Qubit(0))],
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1)],
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1)],
+                },
+            ],
+        );
+        assert!(matches!(
+            replay_verify(&p),
+            Err(ReplayError::UnmatchedPair { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_raman_gate_is_caught() {
+        let p = program_for(
+            chain3(),
+            vec![Instr::RamanLayer {
+                gates: vec![Gate::x(Qubit(0))],
+            }],
+        );
+        assert!(matches!(
+            replay_verify(&p),
+            Err(ReplayError::UnmatchedOneQubit { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_reuse_in_one_pulse_is_caught() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        c.push(Gate::cz(Qubit(0), Qubit(2)));
+        let p = program_for(
+            c,
+            vec![Instr::RydbergPulse {
+                pairs: vec![(0, 1), (0, 2)],
+            }],
+        );
+        assert_eq!(
+            replay_verify(&p),
+            Err(ReplayError::SlotReuseInPulse { pc: 0, slot: 0 })
+        );
+    }
+
+    #[test]
+    fn cx_requires_operand_order() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        let flipped = program_for(
+            c.clone(),
+            vec![Instr::RydbergPulse {
+                pairs: vec![(1, 0)],
+            }],
+        );
+        assert!(matches!(
+            replay_verify(&flipped),
+            Err(ReplayError::UnmatchedPair { .. })
+        ));
+        let straight = program_for(
+            c,
+            vec![Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            }],
+        );
+        assert!(replay_verify(&straight).is_ok());
+    }
+}

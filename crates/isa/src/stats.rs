@@ -1,0 +1,147 @@
+//! Stream-level statistics.
+
+use crate::program::{Instr, IsaProgram};
+
+/// Aggregate statistics of one instruction stream, the ISA-level
+/// counterpart of the compiler's `CompileStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IsaStats {
+    /// Total instructions in the stream.
+    pub instructions: usize,
+    /// Row/column move instructions (including retractions).
+    pub moves: usize,
+    /// Rydberg pulses fired.
+    pub pulses: usize,
+    /// Raman one-qubit layers.
+    pub raman_layers: usize,
+    /// Transfer-assisted gates.
+    pub transfers: usize,
+    /// Cooling swaps.
+    pub cools: usize,
+    /// Park (re-home) events.
+    pub parks: usize,
+    /// Two-qubit gates executed (pulse pairs + transfers).
+    pub two_qubit_gates: usize,
+    /// One-qubit gates executed.
+    pub one_qubit_gates: usize,
+    /// Summed line travel of all move instructions, in track units.
+    /// (Line travel, not per-atom travel: one row move carries every
+    /// atom of that row.)
+    pub line_travel_tracks: f64,
+    /// Summed line travel in µm.
+    pub line_travel_um: f64,
+    /// Largest number of pairs driven by a single pulse.
+    pub max_parallel_pulse: usize,
+}
+
+impl IsaStats {
+    /// Computes the statistics of `program`.
+    pub fn of(program: &IsaProgram) -> IsaStats {
+        let mut s = IsaStats {
+            instructions: program.instrs.len(),
+            ..IsaStats::default()
+        };
+        for instr in &program.instrs {
+            match instr {
+                Instr::MoveRow { from, to, .. } | Instr::MoveCol { from, to, .. } => {
+                    s.moves += 1;
+                    s.line_travel_tracks += (to - from).abs();
+                }
+                Instr::RydbergPulse { pairs } => {
+                    s.pulses += 1;
+                    s.two_qubit_gates += pairs.len();
+                    s.max_parallel_pulse = s.max_parallel_pulse.max(pairs.len());
+                }
+                Instr::RamanLayer { gates } => {
+                    s.raman_layers += 1;
+                    s.one_qubit_gates += gates.len();
+                }
+                Instr::Transfer { .. } => {
+                    s.transfers += 1;
+                    s.two_qubit_gates += 1;
+                }
+                Instr::Cool { .. } => s.cools += 1,
+                Instr::Park { .. } => s.parks += 1,
+                Instr::InitSlm { .. } | Instr::InitAod { .. } | Instr::Unpark { .. } => {}
+            }
+        }
+        s.line_travel_um = s.line_travel_tracks * program.header.spacing_um;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgramHeader, SiteSpec, FORMAT_VERSION};
+    use raa_circuit::{Circuit, Gate, Qubit};
+
+    #[test]
+    fn counts_and_travel_add_up() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(Qubit(0)));
+        c.push(Gate::cz(Qubit(0), Qubit(1)));
+        let p = IsaProgram {
+            version: FORMAT_VERSION,
+            header: ProgramHeader::new("test", "stats"),
+            slot_of_qubit: vec![0, 1],
+            sites: vec![
+                SiteSpec {
+                    array: 0,
+                    row: 0,
+                    col: 0,
+                },
+                SiteSpec {
+                    array: 1,
+                    row: 0,
+                    col: 0,
+                },
+            ],
+            reference: c,
+            instrs: vec![
+                Instr::InitSlm { rows: 2, cols: 2 },
+                Instr::InitAod {
+                    aod: 0,
+                    rows: 1,
+                    cols: 1,
+                    fx: 0.4,
+                    fy: 0.6,
+                },
+                Instr::RamanLayer {
+                    gates: vec![Gate::h(Qubit(0))],
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.6,
+                    to: 0.1,
+                    retract: false,
+                },
+                Instr::RydbergPulse {
+                    pairs: vec![(0, 1)],
+                },
+                Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: 0.1,
+                    to: 0.6,
+                    retract: true,
+                },
+                Instr::Cool { aod: 0 },
+                Instr::Park { kept: vec![] },
+            ],
+        };
+        let s = IsaStats::of(&p);
+        assert_eq!(s.instructions, 8);
+        assert_eq!(s.moves, 2);
+        assert_eq!(s.pulses, 1);
+        assert_eq!(s.raman_layers, 1);
+        assert_eq!(s.two_qubit_gates, 1);
+        assert_eq!(s.one_qubit_gates, 1);
+        assert_eq!(s.cools, 1);
+        assert_eq!(s.parks, 1);
+        assert!((s.line_travel_tracks - 1.0).abs() < 1e-12);
+        assert!((s.line_travel_um - 15.0).abs() < 1e-9);
+        assert_eq!(s.max_parallel_pulse, 1);
+    }
+}

@@ -140,7 +140,11 @@ pub fn fixed_architecture_fidelity(
         two_qubit_time_s: two_qubit_layers as f64 * params.two_qubit_time_s,
     };
     let (one_qubit, two_qubit) = gate_phase_fidelity(params, &stats);
-    FidelityBreakdown { one_qubit, two_qubit, ..FidelityBreakdown::default() }
+    FidelityBreakdown {
+        one_qubit,
+        two_qubit,
+        ..FidelityBreakdown::default()
+    }
 }
 
 fn powi_clamped(base: f64, exp: usize) -> f64 {
@@ -215,7 +219,10 @@ mod tests {
             one_qubit_time_s: 0.0,
             two_qubit_time_s: 10e-6,
         };
-        let slow = GatePhaseStats { two_qubit_time_s: 100e-6, ..fast };
+        let slow = GatePhaseStats {
+            two_qubit_time_s: 100e-6,
+            ..fast
+        };
         let (_, f_fast) = gate_phase_fidelity(&p, &fast);
         let (_, f_slow) = gate_phase_fidelity(&p, &slow);
         assert!(f_slow < f_fast);
@@ -231,7 +238,10 @@ mod tests {
 
     #[test]
     fn neg_log_orders_match_magnitudes() {
-        let b = FidelityBreakdown { two_qubit: 0.5, ..FidelityBreakdown::default() };
+        let b = FidelityBreakdown {
+            two_qubit: 0.5,
+            ..FidelityBreakdown::default()
+        };
         let comps = b.neg_log_components();
         let two_q = comps.iter().find(|(n, _)| *n == "2Q Gate").unwrap().1;
         assert!((two_q - 0.5_f64.ln().abs()).abs() < 1e-12);

@@ -57,7 +57,10 @@ impl MovementProfile {
             duration_s > 0.0 && duration_s.is_finite(),
             "duration must be positive, got {duration_s}"
         );
-        MovementProfile { distance_m, duration_s }
+        MovementProfile {
+            distance_m,
+            duration_s,
+        }
     }
 
     /// Total distance in metres.
@@ -165,9 +168,7 @@ mod tests {
         let m = hop();
         let n = 10_000;
         let dt = m.duration_s() / n as f64;
-        let integral: f64 = (0..n)
-            .map(|i| m.velocity((i as f64 + 0.5) * dt) * dt)
-            .sum();
+        let integral: f64 = (0..n).map(|i| m.velocity((i as f64 + 0.5) * dt) * dt).sum();
         assert!((integral - m.distance_m()).abs() / m.distance_m() < 1e-6);
     }
 

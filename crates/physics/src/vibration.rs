@@ -116,8 +116,7 @@ impl<'p> MovementLedger<'p> {
             self.total_distance_m += dist;
             self.num_atom_moves += 1;
         }
-        self.ln_decoherence -=
-            active_qubits as f64 * duration_s / self.params.coherence_time_s;
+        self.ln_decoherence -= active_qubits as f64 * duration_s / self.params.coherence_time_s;
     }
 
     /// Records a two-qubit gate's heating penalty.

@@ -3,9 +3,7 @@
 //! integrate consistently.
 
 use proptest::prelude::*;
-use raa_physics::{
-    delta_n_vib, loss_probability, HardwareParams, MovementLedger, MovementProfile,
-};
+use raa_physics::{delta_n_vib, loss_probability, HardwareParams, MovementLedger, MovementProfile};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -32,7 +32,10 @@ impl fmt::Display for SabreError {
             ),
             SabreError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
             SabreError::Disconnected => {
-                write!(f, "coupling graph cannot connect the qubits required by the circuit")
+                write!(
+                    f,
+                    "coupling graph cannot connect the qubits required by the circuit"
+                )
             }
         }
     }
@@ -46,7 +49,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SabreError::TooManyQubits { logical: 5, physical: 3 }.to_string().contains('5'));
+        assert!(SabreError::TooManyQubits {
+            logical: 5,
+            physical: 3
+        }
+        .to_string()
+        .contains('5'));
         assert!(SabreError::Disconnected.to_string().contains("coupling"));
     }
 

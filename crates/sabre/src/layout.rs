@@ -30,7 +30,12 @@ pub struct LayoutConfig {
 
 impl Default for LayoutConfig {
     fn default() -> Self {
-        LayoutConfig { passes: 3, trials: 4, seed: 0, routing: SabreConfig::default() }
+        LayoutConfig {
+            passes: 3,
+            trials: 4,
+            seed: 0,
+            routing: SabreConfig::default(),
+        }
     }
 }
 
@@ -60,7 +65,10 @@ pub fn layout_and_route(
     let n_log = circuit.num_qubits();
     let n_phys = graph.num_qubits();
     if n_log > n_phys {
-        return Err(SabreError::TooManyQubits { logical: n_log, physical: n_phys });
+        return Err(SabreError::TooManyQubits {
+            logical: n_log,
+            physical: n_phys,
+        });
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let rev = reversed(circuit);
@@ -80,7 +88,10 @@ pub fn layout_and_route(
             layout = back.final_layout;
         }
         let routed = route(circuit, graph, &layout, &config.routing)?;
-        if best.as_ref().map_or(true, |b| routed.swaps_inserted < b.swaps_inserted) {
+        if best
+            .as_ref()
+            .is_none_or(|b| routed.swaps_inserted < b.swaps_inserted)
+        {
             best = Some(routed);
         }
     }

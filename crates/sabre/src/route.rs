@@ -83,7 +83,10 @@ impl Layout {
                 next += 1;
             }
         }
-        Layout { log_to_phys, phys_to_log }
+        Layout {
+            log_to_phys,
+            phys_to_log,
+        }
     }
 
     #[inline]
@@ -121,7 +124,10 @@ pub fn route(
     let n_log = circuit.num_qubits();
     let n_phys = graph.num_qubits();
     if n_log > n_phys {
-        return Err(SabreError::TooManyQubits { logical: n_log, physical: n_phys });
+        return Err(SabreError::TooManyQubits {
+            logical: n_log,
+            physical: n_phys,
+        });
     }
     validate_layout(initial_layout, n_log, n_phys)?;
 
@@ -197,7 +203,7 @@ pub fn route(
                         &decay,
                         config,
                     );
-                    if best.map_or(true, |(s, c)| score < s || (score == s && cand < c)) {
+                    if best.is_none_or(|(s, c)| score < s || (score == s && cand < c)) {
                         best = Some((score, cand));
                     }
                 }
@@ -297,7 +303,11 @@ fn extended_set(circuit: &Circuit, sched: &DagSchedule, cap: usize) -> Vec<GateI
 fn validate_layout(layout: &[u32], n_log: usize, n_phys: usize) -> Result<(), SabreError> {
     if layout.len() != n_log {
         return Err(SabreError::InvalidLayout {
-            reason: format!("layout has {} entries for {} logical qubits", layout.len(), n_log),
+            reason: format!(
+                "layout has {} entries for {} logical qubits",
+                layout.len(),
+                n_log
+            ),
         });
     }
     let mut used = vec![false; n_phys];
@@ -347,7 +357,10 @@ pub fn verify_routing(
         // Find the matching original gate in the front layer.
         let logical = g.map_qubits(|p| Qubit(layout.phys_to_log[p.index()]));
         let front = sched.front().to_vec();
-        let matched = front.iter().copied().find(|&idx| original.gates()[idx] == logical);
+        let matched = front
+            .iter()
+            .copied()
+            .find(|&idx| original.gates()[idx] == logical);
         let Some(idx) = matched else {
             return Err(format!("gate {g} (logical {logical}) is not executable"));
         };
@@ -491,7 +504,7 @@ mod tests {
         let r = route(&c, &g, &trivial_layout(3), &SabreConfig::default()).unwrap();
         // After routing, logical 0 and 2 must be adjacent; the layout must
         // be a permutation.
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for &p in &r.final_layout {
             assert!(!seen[p as usize]);
             seen[p as usize] = true;

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("-- square array size (two AODs) --");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>10}", "arrays", "2Q", "depth", "move (mm)", "fidelity");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>10}",
+        "arrays", "2Q", "depth", "move (mm)", "fidelity"
+    );
     for side in [5, 6, 8, 10, 12] {
         let hw = RaaConfig::square(side, 2)?;
         if hw.total_capacity() < circuit.num_qubits() {
@@ -37,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n-- number of AOD arrays (8x8 each) --");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>10}", "AODs", "2Q", "depth", "swaps", "fidelity");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>10}",
+        "AODs", "2Q", "depth", "swaps", "fidelity"
+    );
     for aods in 1..=4 {
         let hw = RaaConfig::new(ArrayDims::new(8, 8), vec![ArrayDims::new(8, 8); aods])?;
         let out = compile(&circuit, &AtomiqueConfig::for_hardware(hw))?;

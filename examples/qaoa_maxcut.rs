@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.num_qubits(),
         circuit.two_qubit_count()
     );
-    println!("{:<20} {:>8} {:>8} {:>10}", "architecture", "2Q", "depth", "fidelity");
+    println!(
+        "{:<20} {:>8} {:>8} {:>10}",
+        "architecture", "2Q", "depth", "fidelity"
+    );
 
     for arch in FixedArchitecture::ALL {
         let r = compile_fixed(&circuit, arch, 0)?;

@@ -9,7 +9,11 @@ use raa_benchmarks::ghz;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 12-qubit GHZ state: H + a CX chain.
     let circuit = ghz(12);
-    println!("input: {} qubits, {} two-qubit gates", circuit.num_qubits(), circuit.two_qubit_count());
+    println!(
+        "input: {} qubits, {} two-qubit gates",
+        circuit.num_qubits(),
+        circuit.two_qubit_count()
+    );
 
     // The paper's default machine: 10×10 SLM plus two 10×10 AODs.
     let config = AtomiqueConfig::default();
@@ -20,8 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  depth (2Q stages): {}", program.stats.depth);
     println!("  SWAPs inserted  : {}", program.stats.swaps_inserted);
     println!("  movement stages : {}", program.stats.num_move_stages);
-    println!("  total move dist : {:.3} mm", program.stats.total_move_distance_mm);
-    println!("  execution time  : {:.2} ms", program.stats.execution_time_s * 1e3);
+    println!(
+        "  total move dist : {:.3} mm",
+        program.stats.total_move_distance_mm
+    );
+    println!(
+        "  execution time  : {:.2} ms",
+        program.stats.execution_time_s * 1e3
+    );
     println!("  est. fidelity   : {:.4}", program.total_fidelity());
 
     println!("\nfidelity breakdown (-log F):");
@@ -33,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, stage) in program.stages.iter().take(8).enumerate() {
         match stage.kind {
             StageKind::OneQubit => {
-                println!("  {i}: Raman layer, {} one-qubit gates", stage.one_qubit_gates.len())
+                println!(
+                    "  {i}: Raman layer, {} one-qubit gates",
+                    stage.one_qubit_gates.len()
+                )
             }
             StageKind::Movement => println!(
                 "  {i}: move {} rows/cols, Rydberg pulse fires {} gates",

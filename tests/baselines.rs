@@ -16,7 +16,10 @@ use raa_physics::HardwareParams;
 fn atomique_beats_fixed_arrays_on_nonlocal_circuits() {
     let c = qsim_random(20, 0.5, 10, 3);
     let ours = compile(&c, &AtomiqueConfig::default()).unwrap();
-    for arch in [FixedArchitecture::FaaRectangular, FixedArchitecture::FaaTriangular] {
+    for arch in [
+        FixedArchitecture::FaaRectangular,
+        FixedArchitecture::FaaTriangular,
+    ] {
         let base = compile_fixed(&c, arch, 0).unwrap();
         assert!(
             ours.stats.two_qubit_gates <= base.two_qubit_gates,

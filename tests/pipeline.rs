@@ -12,8 +12,8 @@ fn every_benchmark_compiles_on_atomique() {
     let cfg = AtomiqueConfig::default();
     for b in small_suite() {
         let out = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let logical = raa_circuit::optimize(&b.circuit)
-            .decompose_to(raa_circuit::NativeGateSet::Cz);
+        let logical =
+            raa_circuit::optimize(&b.circuit).decompose_to(raa_circuit::NativeGateSet::Cz);
         assert_eq!(
             out.stats.two_qubit_gates,
             logical.two_qubit_count() + 3 * out.stats.swaps_inserted,

@@ -124,4 +124,57 @@ proptest! {
             prop_assert!(out.stats.total_move_distance_mm > 0.0);
         }
     }
+
+    /// Every compiled program lowers to an instruction stream that the
+    /// independent oracle accepts (C1/C2/C3 legality + exactly-once
+    /// DAG-consistent replay), and both codecs round-trip the stream
+    /// bit-identically.
+    #[test]
+    fn isa_oracle_and_codecs(c in circuits()) {
+        let cfg = AtomiqueConfig {
+            emit_isa: true,
+            verify_isa: true,
+            ..AtomiqueConfig::default()
+        };
+        // verify_isa makes compile itself fail on an illegal/unfaithful
+        // stream.
+        let out = compile(&c, &cfg).unwrap();
+        let isa = out.isa.as_ref().expect("emit_isa attaches the stream");
+        let report = raa_isa::replay_verify(isa)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(report.two_qubit_gates, out.stats.two_qubit_gates);
+        prop_assert_eq!(report.one_qubit_gates, out.stats.one_qubit_gates);
+
+        let json = raa_isa::codec::to_json(isa).unwrap();
+        let from_json = raa_isa::codec::from_json(&json).unwrap();
+        prop_assert_eq!(&from_json, isa);
+        prop_assert_eq!(raa_isa::codec::to_json(&from_json).unwrap(), json);
+
+        let bytes = raa_isa::codec::to_bytes(isa);
+        let from_bytes = raa_isa::codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&from_bytes, isa);
+        prop_assert_eq!(raa_isa::codec::to_bytes(&from_bytes), bytes);
+    }
+
+    /// Baseline schedules lower through the same ISA and pass the same
+    /// oracle as the Atomique pipeline.
+    #[test]
+    fn baseline_lowerings_pass_the_oracle(c in circuits()) {
+        let tan = raa_baselines::tan_iterp(&c, &raa_physics::HardwareParams::neutral_atom());
+        let isa = raa_baselines::lower_tan(&c, &tan, "tan-iterp", "prop")
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        raa_isa::check_legality(&isa).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let report = raa_isa::replay_verify(&isa)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(report.two_qubit_gates, tan.two_qubit_gates);
+
+        let native = c.decompose_to(NativeGateSet::Cz);
+        let geyser = raa_baselines::geyser_pulses(&native);
+        let isa = raa_baselines::lower_geyser(&native, &geyser, "prop")
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        raa_isa::check_legality(&isa).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let report = raa_isa::replay_verify(&isa)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(report.two_qubit_gates, native.two_qubit_count());
+    }
 }

@@ -1,0 +1,133 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! This workspace builds fully offline; the benches only need
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a simple
+//! best-of-N wall-clock measurement printed to stdout — adequate for the
+//! relative comparisons the workspace benches make, without upstream's
+//! statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// A driver with the default sample size (10).
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its best/mean sample times.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up plus the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let best = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        println!(
+            "bench {id:<40} best {:>12} mean {:>12}",
+            fmt_time(best),
+            fmt_time(mean)
+        );
+        self
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        "n/a".into()
+    } else if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Times closures for one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and records it as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed().as_secs_f64());
+        drop(out);
+    }
+}
+
+/// Groups benchmark functions under one name, with optional config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples, one iter each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_ranges() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with("s"));
+    }
+}

@@ -1,0 +1,6 @@
+//! The conventional `use proptest::prelude::*;` import surface.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    TestCaseError, TestRng,
+};

@@ -1,0 +1,160 @@
+//! The [`Strategy`] trait and its combinators/primitive impls.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.next_index(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + rng.next_index(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.next_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float!(f32, f64);
+
+/// Marker trait documenting that tuples of strategies are strategies.
+pub trait TupleStrategy {}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> TupleStrategy for ($($s,)+) {}
+
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A / 0);
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let (a, b, f) = (0u8..4, 2usize..=6, -1.0f64..1.0).generate(&mut rng);
+            assert!(a < 4);
+            assert!((2..=6).contains(&b));
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (1usize..5).prop_flat_map(|n| (0..n).prop_map(move |k| (n, k)));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut rng);
+            assert!(k < n);
+        }
+        assert_eq!(Just(9u8).generate(&mut rng), 9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Meta-test: the proptest! harness must actually run bodies and fail
+//! on violated properties.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn passing_property_runs(x in 0u32..100) {
+        prop_assert!(x < 100);
+    }
+}
+
+#[test]
+fn failing_property_panics() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn inner(x in 0u32..100) {
+            prop_assert!(x < 5, "x was {}", x);
+        }
+    }
+    let result = std::panic::catch_unwind(inner);
+    assert!(result.is_err(), "violated property must panic");
+}
+
+#[test]
+fn rejects_are_skipped_not_failed() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn inner(x in 0u32..100) {
+            if x % 2 == 0 {
+                return Err(TestCaseError::reject("even"));
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+    inner();
+}

@@ -1,0 +1,211 @@
+//! Vendored, dependency-free subset of the `rand` 0.9 API.
+//!
+//! This workspace builds fully offline, so the pieces of `rand` it uses
+//! are reimplemented here: a deterministic [`rngs::StdRng`]
+//! (xoshiro256++ seeded by SplitMix64), the [`RngExt`] extension trait
+//! (`random`, `random_range`), [`SeedableRng::seed_from_u64`], and the
+//! slice helpers [`seq::SliceRandom::shuffle`] /
+//! [`seq::IndexedRandom::choose`].
+//!
+//! The implementation is *not* the upstream algorithms — streams differ
+//! from crates.io `rand` — but it is deterministic in the seed, which is
+//! all the workspace relies on.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `state`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator via [`RngExt::random`].
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Sized {
+    /// Draws from `[start, end)` (`[start, end]` when `inclusive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (end as i128 - start as i128) + i128::from(inclusive);
+                assert!(span > 0, "empty range");
+                let v = rng.next_u64() as u128 % span as u128;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(start < end, "empty range");
+                let f: $t = StandardSample::sample(rng);
+                start + f * (end - start)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges samplable via [`RngExt::random_range`]. The element type is a
+/// trait parameter and the impls are blanket impls over
+/// [`SampleUniform`] (mirroring upstream `rand`), so the expected output
+/// type drives integer-literal inference at call sites.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample of `T` (full integer range, `[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.random_range(0..=4);
+            assert!(w <= 4);
+            let f: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
