@@ -212,7 +212,7 @@ impl CouplingGraph {
     /// This is Atomique's coarse coupling model (paper Sec. I/III): qubits
     /// in different arrays can always interact via movement; qubits in the
     /// same array never can. Partition of qubit `q` is recoverable with
-    /// [`CouplingGraph::multipartite_part`]-style arithmetic by the caller.
+    /// prefix-sum arithmetic over `part_sizes` by the caller.
     pub fn complete_multipartite(part_sizes: &[usize]) -> Self {
         let n: usize = part_sizes.iter().sum();
         let mut part_of = Vec::with_capacity(n);

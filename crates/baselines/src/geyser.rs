@@ -38,7 +38,8 @@ const BLOCK_2Q_CAP: usize = 2;
 ///
 /// Blocks are grown over the dependency frontier: a block absorbs
 /// frontier gates that overlap its support, keeping the support ≤ 3
-/// qubits and the entangling content within [`BLOCK_2Q_CAP`].
+/// qubits and the entangling content within the two-gate block cap
+/// (`BLOCK_2Q_CAP`).
 pub fn geyser_pulses(circuit: &Circuit) -> GeyserResult {
     let mut sched = DagSchedule::new(circuit);
     let mut blocks = 0usize;

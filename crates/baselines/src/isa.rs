@@ -8,7 +8,11 @@
 //! one-qubit gate as a Raman layer. The resulting streams are verified
 //! by the *same* oracle as Atomique's movement streams
 //! (`raa_isa::check_legality` + `raa_isa::replay_verify`), so all
-//! backends share one notion of correctness.
+//! backends share one notion of correctness — and optimized by the same
+//! pipeline (`raa_isa::optimize`). Transfer-based streams carry no
+//! moves or parks, so the optimizer is typically an (verified) identity
+//! on them; it exists on this path so every backend's numbers go
+//! through identical machinery.
 
 use raa_circuit::{Circuit, GateIdx, Layering};
 use raa_isa::{lower_gate_schedule, IsaProgram, LowerError, ProgramHeader};
@@ -144,6 +148,31 @@ mod tests {
         let report = replay_verify(&isa).unwrap();
         assert_eq!(report.two_qubit_gates, c.two_qubit_count());
         assert_eq!(report.one_qubit_gates, c.one_qubit_count());
+    }
+
+    #[test]
+    fn optimizer_never_inflates_baseline_streams() {
+        use raa_isa::{optimize, OptLevel};
+        let c = random_circuit(10, 40, 5);
+        let tan = tan_iterp(&c, &HardwareParams::neutral_atom());
+        let fixed = compile_fixed(&c, FixedArchitecture::FaaRectangular, 0).unwrap();
+        let geyser = geyser_pulses(&c);
+        for isa in [
+            lower_tan(&c, &tan, "tan-iterp", "rand-10").unwrap(),
+            lower_fixed(&fixed, "rand-10").unwrap(),
+            lower_geyser(&c, &geyser, "rand-10").unwrap(),
+        ] {
+            for level in [OptLevel::Basic, OptLevel::Aggressive] {
+                let (out, report) = optimize(&isa, level);
+                assert!(!report.skipped_unverified);
+                assert!(out.instrs.len() <= isa.instrs.len());
+                // Transfer-based lowerings are already minimal: the
+                // optimizer is an identity on them.
+                assert_eq!(out, isa);
+                check_legality(&out).unwrap();
+                replay_verify(&out).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! ISA-level statistics across backends: every small-suite benchmark is
 //! compiled by Atomique, Tan-IterP, the rectangular FAA baseline, and
 //! Geyser; each result is lowered to the shared instruction stream,
-//! verified by the shared oracle, and measured.
+//! verified by the shared oracle, optimized by the ISA pass pipeline,
+//! re-verified, and measured.
 //!
-//! Run with `cargo run --release -p raa-bench --bin isa_stats`.
+//! Run with `cargo run --release -p raa-bench --bin isa_stats [-- -O{0,1,2}]`.
+//! The default is `-O2` (aggressive); `-O0` prints raw streams only.
 
-use atomique::{compile, emit_isa, AtomiqueConfig};
+use atomique::{compile, emit_isa, AtomiqueConfig, OptLevel};
 use raa_baselines::{
     compile_fixed, geyser_pulses, lower_fixed, lower_geyser, lower_tan, tan_iterp,
     FixedArchitecture,
 };
-use raa_bench::harness::{isa_row, row, section, ISA_COLUMNS};
+use raa_bench::harness::{
+    isa_opt_row, isa_row, row, saved_pct, section, ISA_COLUMNS, ISA_OPT_COLUMNS,
+};
 use raa_benchmarks::small_suite;
 use raa_circuit::NativeGateSet;
-use raa_isa::{check_legality, replay_verify, IsaProgram};
+use raa_isa::{check_legality, optimize, replay_verify, IsaProgram};
 use raa_physics::HardwareParams;
 
 fn verified(name: &str, backend: &str, program: IsaProgram) -> IsaProgram {
@@ -23,45 +27,96 @@ fn verified(name: &str, backend: &str, program: IsaProgram) -> IsaProgram {
     program
 }
 
+/// Parses the `-O` argument; unknown `-O…` values abort rather than
+/// silently falling back, and bare positional values are ignored.
+fn opt_level_from_args() -> OptLevel {
+    let mut level = OptLevel::Aggressive;
+    for arg in std::env::args().skip(1).filter(|a| a.starts_with("-O")) {
+        match OptLevel::parse_flag(&arg) {
+            Some(l) => level = l,
+            None => {
+                eprintln!("unknown optimization flag `{arg}` (use -O0, -O1 or -O2)");
+                std::process::exit(2);
+            }
+        }
+    }
+    level
+}
+
 fn main() {
+    let level = opt_level_from_args();
     let cfg = AtomiqueConfig::default();
     let params = HardwareParams::neutral_atom();
+
+    let columns: &[&str] = if level == OptLevel::None {
+        &ISA_COLUMNS
+    } else {
+        &ISA_OPT_COLUMNS
+    };
+    let mut total_before = 0usize;
+    let mut total_after = 0usize;
 
     for b in small_suite() {
         section(b.name);
         row(
             "",
-            &ISA_COLUMNS
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>(),
+            &columns.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
         );
 
         let ours = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let isa = verified(b.name, "atomique", emit_isa(&ours, &cfg.hardware, b.name));
-        row("atomique", &isa_row(&isa));
+        let atomique = verified(b.name, "atomique", emit_isa(&ours, &cfg.hardware, b.name));
 
         let tan = tan_iterp(&b.circuit, &params);
-        let isa = verified(
+        let tan = verified(
             b.name,
             "tan-iterp",
             lower_tan(&b.circuit, &tan, "tan-iterp", b.name).unwrap(),
         );
-        row("tan-iterp", &isa_row(&isa));
 
         let fixed = compile_fixed(&b.circuit, FixedArchitecture::FaaRectangular, 0)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let isa = verified(b.name, "faa-rect", lower_fixed(&fixed, b.name).unwrap());
-        row("faa-rect", &isa_row(&isa));
+        let fixed = verified(b.name, "faa-rect", lower_fixed(&fixed, b.name).unwrap());
 
         let native = b.circuit.decompose_to(NativeGateSet::Cz);
         let geyser = geyser_pulses(&native);
-        let isa = verified(
+        let geyser = verified(
             b.name,
             "geyser",
             lower_geyser(&native, &geyser, b.name).unwrap(),
         );
-        row("geyser", &isa_row(&isa));
+
+        for (backend, program) in [
+            ("atomique", atomique),
+            ("tan-iterp", tan),
+            ("faa-rect", fixed),
+            ("geyser", geyser),
+        ] {
+            if level == OptLevel::None {
+                row(backend, &isa_row(&program));
+            } else {
+                // The optimizer's harness re-runs the oracle after every
+                // accepted pass, so the output needs no second pass here.
+                let (optimized, report) = optimize(&program, level);
+                assert!(
+                    !report.skipped_unverified,
+                    "{} on {backend}: optimizer refused a verified stream",
+                    b.name
+                );
+                total_before += program.instrs.len();
+                total_after += optimized.instrs.len();
+                row(backend, &isa_opt_row(&program, &optimized));
+            }
+        }
     }
-    println!("\nAll streams verified by the shared oracle (legality + replay).");
+    if level == OptLevel::None {
+        println!("\nAll streams verified by the shared oracle (legality + replay).");
+    } else {
+        println!(
+            "\nAll raw and optimized streams verified by the shared oracle (legality + replay)."
+        );
+        println!(
+            "Optimizer ({level:?}): {total_before} instructions -> {total_after} ({:.1}% saved)",
+            saved_pct(total_before as f64, total_after as f64)
+        );
+    }
 }

@@ -125,6 +125,42 @@ pub fn isa_row(program: &raa_isa::IsaProgram) -> Vec<String> {
     ]
 }
 
+/// Column labels matching [`isa_opt_row`].
+pub const ISA_OPT_COLUMNS: [&str; 6] = [
+    "instrs",
+    "instrs-opt",
+    "Δinstr%",
+    "travel(mm)",
+    "travel-opt",
+    "Δtravel%",
+];
+
+/// Percentage saved going from `before` to `after` (0 when `before` is
+/// zero).
+pub fn saved_pct(before: f64, after: f64) -> f64 {
+    if before <= 0.0 {
+        0.0
+    } else {
+        (before - after) / before * 100.0
+    }
+}
+
+/// Optimizer before/after deltas of one stream, formatted for [`row`]:
+/// instruction count and line travel of the unoptimized and optimized
+/// streams, plus the percentage saved by each.
+pub fn isa_opt_row(before: &raa_isa::IsaProgram, after: &raa_isa::IsaProgram) -> Vec<String> {
+    let b = raa_isa::IsaStats::of(before);
+    let a = raa_isa::IsaStats::of(after);
+    vec![
+        b.instructions.to_string(),
+        a.instructions.to_string(),
+        fmt(saved_pct(b.instructions as f64, a.instructions as f64)),
+        fmt(b.line_travel_um / 1000.0),
+        fmt(a.line_travel_um / 1000.0),
+        fmt(saved_pct(b.line_travel_um, a.line_travel_um)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +180,21 @@ mod tests {
         assert_eq!(fmt(1234.0), "1234");
         assert_eq!(fmt(3.25), "3.2");
         assert_eq!(fmt(0.123), "0.123");
+    }
+
+    #[test]
+    fn isa_opt_row_reports_savings() {
+        use atomique::{compile, emit_isa, OptLevel};
+        let c = raa_benchmarks::ghz(8);
+        let cfg = AtomiqueConfig::default();
+        let out = compile(&c, &cfg).unwrap();
+        let before = emit_isa(&out, &cfg.hardware, "ghz-8");
+        let (after, _) = raa_isa::optimize(&before, OptLevel::Aggressive);
+        let cells = isa_opt_row(&before, &after);
+        assert_eq!(cells.len(), ISA_OPT_COLUMNS.len());
+        let b: usize = cells[0].parse().unwrap();
+        let a: usize = cells[1].parse().unwrap();
+        assert!(a <= b);
     }
 
     #[test]

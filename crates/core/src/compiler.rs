@@ -127,9 +127,18 @@ pub fn compile(
         isa: None,
     };
 
-    // 6. Opt-in ISA lowering and independent verification.
+    // 6. Opt-in ISA lowering, optimization and independent verification.
     if config.emit_isa || config.verify_isa {
-        let isa = crate::lower::emit_isa(&out, &config.hardware, "");
+        let mut isa = crate::lower::emit_isa(&out, &config.hardware, "");
+        // Optimize only when the stream is attached (emit_isa): with
+        // verify_isa alone the optimized result would be discarded and
+        // the fixpoint run would be pure wasted compile time.
+        if config.emit_isa && config.opt_level != raa_isa::OptLevel::None {
+            // The optimizer is verified internally (every pass re-runs
+            // the oracle and unsafe rewrites are refused), so this can
+            // only shrink the stream, never corrupt it.
+            isa = raa_isa::optimize(&isa, config.opt_level).0;
+        }
         if config.verify_isa {
             raa_isa::check_legality(&isa).map_err(CompileError::IsaLegality)?;
             raa_isa::replay_verify(&isa).map_err(CompileError::IsaReplay)?;
@@ -281,6 +290,30 @@ mod tests {
         assert_eq!(a.stats.two_qubit_gates, b.stats.two_qubit_gates);
         assert_eq!(a.stats.depth, b.stats.depth);
         assert!((a.total_fidelity() - b.total_fidelity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt_level_shrinks_the_attached_stream() {
+        let c = random_circuit(14, 60, 7);
+        let base = AtomiqueConfig {
+            emit_isa: true,
+            verify_isa: true,
+            ..AtomiqueConfig::default()
+        };
+        let opt = AtomiqueConfig {
+            opt_level: raa_isa::OptLevel::Aggressive,
+            ..base.clone()
+        };
+        let plain = compile(&c, &base).unwrap().isa.unwrap();
+        let optimized = compile(&c, &opt).unwrap().isa.unwrap();
+        let before = raa_isa::IsaStats::of(&plain);
+        let after = raa_isa::IsaStats::of(&optimized);
+        assert!(after.instructions < before.instructions);
+        assert!(after.line_travel_tracks <= before.line_travel_tracks + 1e-9);
+        // verify_isa already ran the oracle on the optimized stream
+        // inside compile; gate content is intact.
+        assert_eq!(after.two_qubit_gates, before.two_qubit_gates);
+        assert_eq!(after.one_qubit_gates, before.one_qubit_gates);
     }
 
     #[test]

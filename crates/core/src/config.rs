@@ -2,6 +2,7 @@
 //! constraint-relaxation toggles of paper Fig. 22.
 
 use raa_arch::RaaConfig;
+use raa_isa::OptLevel;
 use raa_physics::HardwareParams;
 use raa_sabre::SabreConfig;
 
@@ -102,6 +103,14 @@ pub struct AtomiqueConfig {
     /// either check does. Implies lowering; the stream is attached only
     /// when [`AtomiqueConfig::emit_isa`] is also set.
     pub verify_isa: bool,
+    /// ISA optimization level applied to the lowered stream
+    /// (`raa_isa::opt`): move coalescing, retract/approach fusion, park
+    /// elision and dead-move elimination, each rewrite re-verified by
+    /// the stream oracle before acceptance. Applied (and then verified,
+    /// when [`AtomiqueConfig::verify_isa`] is also set) only when
+    /// [`AtomiqueConfig::emit_isa`] attaches the stream; default
+    /// [`OptLevel::None`].
+    pub opt_level: OptLevel,
 }
 
 impl Default for AtomiqueConfig {
@@ -118,6 +127,7 @@ impl Default for AtomiqueConfig {
             seed: 0,
             emit_isa: false,
             verify_isa: false,
+            opt_level: OptLevel::None,
         }
     }
 }
@@ -152,6 +162,7 @@ mod tests {
         assert_eq!(c.atom_mapper, AtomMapperKind::LoadBalance);
         assert_eq!(c.router_mode, RouterMode::Parallel);
         assert_eq!(c.relaxation, Relaxation::NONE);
+        assert_eq!(c.opt_level, OptLevel::None);
         assert_eq!(c.hardware.total_capacity(), 300);
     }
 

@@ -56,6 +56,7 @@ pub use config::{ArrayMapperKind, AtomMapperKind, AtomiqueConfig, Relaxation, Ro
 pub use error::CompileError;
 pub use lower::emit_isa;
 pub use program::{CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind};
+pub use raa_isa::{OptLevel, OptReport};
 pub use render::{render_schedule, summarize};
 pub use router::{route_movements, RoutedProgram};
 pub use transpile::{transpile, TranspiledCircuit};

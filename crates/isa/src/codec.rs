@@ -23,6 +23,22 @@ use crate::program::{Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION}
 /// # Errors
 ///
 /// [`EncodeError::NonFiniteNumber`] if any float field is NaN/infinite.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// use raa_isa::{codec, lower_gate_schedule, ProgramHeader};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// let program = lower_gate_schedule(&c, &[vec![0]], ProgramHeader::new("doc", "json"))?;
+///
+/// let json = codec::to_json(&program)?;
+/// assert!(json.starts_with("{\"format\":\"raa-isa\""));
+/// assert_eq!(codec::from_json(&json)?, program); // lossless round-trip
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn to_json(program: &IsaProgram) -> Result<String, EncodeError> {
     let mut w = JsonWriter {
         out: String::with_capacity(4096),
@@ -852,6 +868,22 @@ const MAGIC: &[u8; 8] = b"RAA-ISA\0";
 
 /// Encodes `program` in the compact binary format. Infallible: floats
 /// are stored as raw IEEE-754 bits.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// use raa_isa::{codec, lower_gate_schedule, ProgramHeader};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// let program = lower_gate_schedule(&c, &[vec![0]], ProgramHeader::new("doc", "bin"))?;
+///
+/// let bytes = codec::to_bytes(&program);
+/// assert_eq!(&bytes[..8], b"RAA-ISA\0"); // magic
+/// assert_eq!(codec::from_bytes(&bytes)?, program); // lossless round-trip
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn to_bytes(program: &IsaProgram) -> Vec<u8> {
     let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(MAGIC);

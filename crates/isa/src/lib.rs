@@ -24,6 +24,10 @@
 //!   compilers (Tan, fixed-topology, Geyser), which realize two-qubit
 //!   gates by atom re-grabs ([`Instr::Transfer`]) rather than pure
 //!   movement;
+//! * [`opt`] — a verified optimizer: peephole/dataflow passes (move
+//!   coalescing, retract/approach fusion, park elision, dead-move
+//!   elimination) that shave instruction count and line travel, with
+//!   every rewrite re-checked against the oracle before acceptance;
 //! * [`disassemble`] / [`IsaStats`] — a human-readable listing and
 //!   stream-level statistics (instruction counts, move distance,
 //!   encoded sizes).
@@ -58,9 +62,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
+pub mod opt;
 
 mod check;
 mod error;
@@ -72,6 +77,7 @@ mod stats;
 pub use check::check_legality;
 pub use error::{DecodeError, EncodeError, LegalityError, LowerError, ReplayError};
 pub use lower::lower_gate_schedule;
+pub use opt::{optimize, OptLevel, OptReport};
 pub use program::{disassemble, Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION};
 pub use replay::{replay_verify, ReplayReport};
 pub use stats::IsaStats;

@@ -31,6 +31,28 @@ use crate::program::{Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION}
 ///
 /// [`LowerError`] if `stages` is not a valid execution order of the
 /// circuit's two-qubit gates.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// use raa_isa::{check_legality, lower_gate_schedule, replay_verify, Instr, ProgramHeader};
+///
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::h(Qubit(0)));
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// c.push(Gate::cz(Qubit(1), Qubit(2)));
+///
+/// // Gate indices 1 and 2 executed in two stages.
+/// let program = lower_gate_schedule(&c, &[vec![1], vec![2]], ProgramHeader::new("doc", "chain"))?;
+/// assert_eq!(
+///     program.instrs.iter().filter(|i| matches!(i, Instr::Transfer { .. })).count(),
+///     2
+/// );
+/// check_legality(&program)?;
+/// assert_eq!(replay_verify(&program)?.two_qubit_gates, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn lower_gate_schedule(
     reference: &Circuit,
     stages: &[Vec<GateIdx>],

@@ -1,0 +1,164 @@
+//! Dead-move elimination: moves whose displacement is never observed
+//! are deleted.
+//!
+//! Two dataflow cases, both decided against replayed positions (the
+//! same machine model as the legality checker), never against `from`
+//! fields:
+//!
+//! 1. **Zero move** — the target equals the line's current position and
+//!    the AOD is already in the field: the instruction changes no
+//!    state.
+//! 2. **Killed by park** — the next instruction to touch the line
+//!    before any observation (pulse, transfer, cooling swap, or end of
+//!    stream) is a [`Instr::Park`], which re-homes every line: the
+//!    displacement is overwritten unread. The parked flag needs no
+//!    special care here because the park resets it for every AOD
+//!    anyway, and nothing observes the field in between.
+//!
+//! A move overwritten by a later move of the *same line* is left alone:
+//! that shape belongs to [mod@super::coalesce], which fuses the pair
+//! while keeping the travel accounting of the surviving instruction
+//! honest.
+
+use crate::program::Instr;
+
+use super::{move_key, move_to, Tracker};
+
+/// Runs the pass; `None` if every move is live.
+pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+    let (mut tracker, start) = Tracker::from_init(instrs)?;
+    let mut removed = vec![false; instrs.len()];
+    let mut dead = 0usize;
+
+    for i in start..instrs.len() {
+        if let Some(key @ (aod, is_row, line)) = move_key(&instrs[i]) {
+            let current = tracker.line(aod, is_row, line)?;
+            let to = move_to(&instrs[i])?;
+            let zero = to == current && !tracker.is_parked(aod)?;
+            if zero || killed_by_park(instrs, &removed, i, key) {
+                removed[i] = true;
+                dead += 1;
+                continue; // not applied: the tracker mirrors the output
+            }
+        }
+        tracker.apply(&instrs[i])?;
+    }
+
+    if dead == 0 {
+        return None;
+    }
+    let kept: Vec<Instr> = instrs
+        .iter()
+        .zip(removed)
+        .filter(|(_, r)| !r)
+        .map(|(instr, _)| instr.clone())
+        .collect();
+    Some((kept, dead))
+}
+
+/// `true` if the move at `i` is overwritten by a `Park` before anything
+/// observes positions.
+fn killed_by_park(instrs: &[Instr], removed: &[bool], i: usize, key: (u8, bool, u16)) -> bool {
+    for (j, instr) in instrs.iter().enumerate().skip(i + 1) {
+        if removed[j] {
+            continue;
+        }
+        match instr {
+            Instr::Park { .. } => return true,
+            Instr::RydbergPulse { .. } | Instr::Transfer { .. } | Instr::Cool { .. } => {
+                return false
+            }
+            _ if move_key(instr) == Some(key) => return false, // coalesce's job
+            _ => {}
+        }
+    }
+    false // end of stream observes positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init() -> Vec<Instr> {
+        vec![
+            Instr::InitSlm { rows: 4, cols: 4 },
+            Instr::InitAod {
+                aod: 0,
+                rows: 1,
+                cols: 1,
+                fx: 0.4,
+                fy: 0.6,
+            },
+        ]
+    }
+
+    fn mrow(from: f64, to: f64) -> Instr {
+        Instr::MoveRow {
+            aod: 0,
+            row: 0,
+            from,
+            to,
+            retract: false,
+        }
+    }
+
+    #[test]
+    fn zero_move_is_removed() {
+        let mut instrs = init();
+        instrs.push(mrow(0.6, 0.6)); // home row moved to where it sits
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn displacement_undone_by_park_is_removed() {
+        let mut instrs = init();
+        instrs.extend([
+            mrow(0.6, 0.3),
+            Instr::RamanLayer { gates: vec![] },
+            Instr::Park { kept: vec![0] },
+        ]);
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert!(!out.iter().any(|i| move_key(i).is_some()));
+    }
+
+    #[test]
+    fn must_not_fire_when_a_pulse_observes_the_move() {
+        let mut instrs = init();
+        instrs.extend([
+            mrow(0.6, 0.05),
+            Instr::RydbergPulse { pairs: vec![] },
+            Instr::Park { kept: vec![0] },
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_fire_at_end_of_stream() {
+        // End-of-stream legality observes positions: a trailing real
+        // move is live.
+        let mut instrs = init();
+        instrs.push(mrow(0.6, 0.3));
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_remove_a_zero_move_that_unparks() {
+        let mut instrs = init();
+        instrs.extend([
+            Instr::Park { kept: vec![] },
+            mrow(0.6, 0.6), // zero displacement, but it brings AOD0 back
+            Instr::RydbergPulse { pairs: vec![] },
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn leaves_same_line_overwrites_to_coalescing() {
+        let mut instrs = init();
+        instrs.extend([mrow(0.6, 0.3), mrow(0.3, 0.05)]);
+        assert!(run(&instrs).is_none());
+    }
+}

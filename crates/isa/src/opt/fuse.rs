@@ -1,0 +1,175 @@
+//! Retract/approach fusion: a retraction that the next approach of the
+//! same line exactly undoes is cancelled — both moves are deleted.
+//!
+//! The router retracts gate atoms out of the blockade radius after
+//! every pulse and approaches again for the next one. When two
+//! consecutive pulses drive the same pair at the same position, the
+//! intervening retract/approach round trip is pure wasted travel: the
+//! line ends exactly where it started, and nothing observes it in
+//! between. The pass deletes such a pair when
+//!
+//! * the first move is flagged `retract` and the second is not,
+//! * the second move returns the line to its position *before* the
+//!   retraction (tracked by replay, not trusted from `from` fields),
+//! * no barrier (pulse, transfer, park, cooling swap) sits between
+//!   them, and
+//! * the AOD is in the field at the retraction (deleting a move of a
+//!   parked AOD would leave it parked, changing which atoms later
+//!   pulses observe).
+//!
+//! Travel strictly decreases by twice the retraction distance.
+
+use crate::program::Instr;
+
+use super::{is_barrier, move_key, move_retract, move_to, Tracker};
+
+/// Runs the pass; `None` if no cancellable pair exists.
+pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+    let (mut tracker, start) = Tracker::from_init(instrs)?;
+    let mut removed = vec![false; instrs.len()];
+    let mut cancelled = 0usize;
+
+    for i in start..instrs.len() {
+        if !removed[i] {
+            if let Some(key @ (aod, is_row, line)) = move_key(&instrs[i]) {
+                if move_retract(&instrs[i])? && !tracker.is_parked(aod)? {
+                    let before = tracker.line(aod, is_row, line)?;
+                    let mut j = i + 1;
+                    while j < instrs.len() {
+                        if removed[j] {
+                            j += 1;
+                            continue;
+                        }
+                        if is_barrier(&instrs[j]) {
+                            break;
+                        }
+                        if move_key(&instrs[j]) == Some(key) {
+                            if !move_retract(&instrs[j])? && move_to(&instrs[j])? == before {
+                                removed[i] = true;
+                                removed[j] = true;
+                                cancelled += 1;
+                            }
+                            break; // the first same-line move decides
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        if !removed[i] {
+            tracker.apply(&instrs[i])?;
+        }
+    }
+
+    if cancelled == 0 {
+        return None;
+    }
+    let kept: Vec<Instr> = instrs
+        .iter()
+        .zip(removed)
+        .filter(|(_, r)| !r)
+        .map(|(instr, _)| instr.clone())
+        .collect();
+    Some((kept, cancelled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init() -> Vec<Instr> {
+        vec![
+            Instr::InitSlm { rows: 4, cols: 4 },
+            Instr::InitAod {
+                aod: 0,
+                rows: 1,
+                cols: 1,
+                fx: 0.4,
+                fy: 0.6,
+            },
+        ]
+    }
+
+    fn mrow(from: f64, to: f64, retract: bool) -> Instr {
+        Instr::MoveRow {
+            aod: 0,
+            row: 0,
+            from,
+            to,
+            retract,
+        }
+    }
+
+    #[test]
+    fn round_trip_retraction_is_cancelled() {
+        let mut instrs = init();
+        instrs.extend([
+            mrow(0.6, 0.05, false),
+            Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            },
+            mrow(0.05, 0.6, true),  // retract home...
+            mrow(0.6, 0.05, false), // ...and come straight back
+            Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            },
+            mrow(0.05, 0.6, true),
+        ]);
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out.len(), instrs.len() - 2);
+        // The surviving stream: approach, pulse, pulse, retract.
+        assert!(matches!(out[3], Instr::RydbergPulse { .. }));
+        assert!(matches!(out[4], Instr::RydbergPulse { .. }));
+    }
+
+    #[test]
+    fn must_not_fire_when_the_approach_targets_a_new_offset() {
+        let mut instrs = init();
+        instrs.extend([
+            mrow(0.6, 0.05, false),
+            Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            },
+            mrow(0.05, 0.6, true),
+            mrow(0.6, 0.10, false), // different target: travel is real
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_fire_across_a_pulse() {
+        let mut instrs = init();
+        instrs.extend([
+            mrow(0.6, 0.05, false),
+            Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            },
+            mrow(0.05, 0.6, true),
+            Instr::RydbergPulse { pairs: vec![] },
+            mrow(0.6, 0.05, false),
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_fire_on_plain_approach_pairs() {
+        // Neither move is a retraction: this is coalescing's territory.
+        let mut instrs = init();
+        instrs.extend([mrow(0.6, 0.3, false), mrow(0.3, 0.6, false)]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_fire_on_a_parked_aod() {
+        // The moves of a parked AOD also unpark it; deleting them would
+        // leave the array out of the field.
+        let mut instrs = init();
+        instrs.extend([
+            Instr::Park { kept: vec![] },
+            mrow(0.6, 0.3, true),
+            mrow(0.3, 0.6, false),
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+}

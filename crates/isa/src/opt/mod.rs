@@ -1,0 +1,645 @@
+//! ISA-level optimization passes over [`IsaProgram`] instruction streams.
+//!
+//! The instruction stream is a stable IR: the legality checker
+//! ([`check_legality`]) and the replay verifier ([`replay_verify`])
+//! define its observable semantics *purely from the stream*, so
+//! rewrites can be validated with no reference to any compiler's
+//! internal state. Movement time dominates both duration and fidelity
+//! on reconfigurable arrays (Atomique, ISCA 2024), and post-schedule
+//! rewriting of move sequences recovers parallelism the scheduler left
+//! behind (Arctic, 2024) — these passes shave instruction count and
+//! line travel without touching a single gate.
+//!
+//! # Passes
+//!
+//! | Pass | Level | Rewrite |
+//! |---|---|---|
+//! | [mod@coalesce] | `Basic` | fuses consecutive moves of one AOD line into one instruction |
+//! | [mod@dead] | `Basic` | drops moves whose displacement is never observed |
+//! | [mod@fuse] | `Aggressive` | cancels a retraction undone by the next approach |
+//! | [mod@park] | `Aggressive` | elides park–unpark pairs and redundant unparks |
+//!
+//! Every pass runs under a harness that refuses unsafe rewrites: after
+//! each pass the candidate stream must (1) keep the exact sequence of
+//! observable gate events (pulses, Raman layers, transfers, cooling
+//! swaps), (2) still pass [`check_legality`], and (3) still pass
+//! [`replay_verify`]. A candidate failing any of the three is discarded
+//! and the input kept, so a buggy pass can cost performance but never
+//! correctness.
+//!
+//! # How to write a safe pass
+//!
+//! A pass is a function `fn(&[Instr]) -> Option<(Vec<Instr>, usize)>`
+//! returning the rewritten stream and a rewrite count, or `None` when
+//! it finds nothing (or encounters a stream it does not understand —
+//! returning `None` is always safe). To stay inside the oracle's notion
+//! of equivalence, obey three rules:
+//!
+//! 1. **Never reorder, drop or duplicate a gate event.** Rydberg
+//!    pulses, Raman layers, transfers and cooling swaps are the
+//!    program; the harness compares their exact sequence before and
+//!    after.
+//! 2. **Positions are only observable at pulses and at end of stream.**
+//!    Between those points atom trajectories are free: moves may be
+//!    fused, re-timed or deleted as long as every line holds the same
+//!    value at each pulse and at the end. [`Instr::Park`] both writes
+//!    positions (re-home) and parks arrays, so treat it as a barrier
+//!    unless the pass models it explicitly.
+//! 3. **Track the parked flag.** Moves and [`Instr::Unpark`] bring an
+//!    AOD into the interaction field; deleting them may leave atoms
+//!    parked at a later pulse, which changes which proximity checks
+//!    apply. The (crate-private) `Tracker` used by the built-in passes
+//!    replays positions and parked flags exactly like the legality
+//!    checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use raa_circuit::{Circuit, Gate, Qubit};
+//! use raa_isa::{optimize, Instr, IsaProgram, OptLevel, ProgramHeader, SiteSpec, FORMAT_VERSION};
+//!
+//! // One CZ, with the approach split into two row moves.
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::cz(Qubit(0), Qubit(1)));
+//! let program = IsaProgram {
+//!     version: FORMAT_VERSION,
+//!     header: ProgramHeader::new("example", "opt-doc"),
+//!     slot_of_qubit: vec![0, 1],
+//!     sites: vec![
+//!         SiteSpec { array: 0, row: 0, col: 0 },
+//!         SiteSpec { array: 1, row: 0, col: 0 },
+//!     ],
+//!     reference: c,
+//!     instrs: vec![
+//!         Instr::InitSlm { rows: 4, cols: 4 },
+//!         Instr::InitAod { aod: 0, rows: 1, cols: 1, fx: 0.4, fy: 0.6 },
+//!         Instr::MoveRow { aod: 0, row: 0, from: 0.6, to: 0.3, retract: false },
+//!         Instr::MoveRow { aod: 0, row: 0, from: 0.3, to: 0.05, retract: false },
+//!         Instr::MoveCol { aod: 0, col: 0, from: 0.4, to: 0.08, retract: false },
+//!         Instr::RydbergPulse { pairs: vec![(0, 1)] },
+//!         Instr::MoveRow { aod: 0, row: 0, from: 0.05, to: 0.6, retract: true },
+//!         Instr::MoveCol { aod: 0, col: 0, from: 0.08, to: 0.4, retract: true },
+//!     ],
+//! };
+//!
+//! let (optimized, report) = optimize(&program, OptLevel::Aggressive);
+//! assert_eq!(report.instructions_before, 8);
+//! assert_eq!(report.instructions_after, 7); // split approach coalesced
+//! assert!(report.line_travel_after <= report.line_travel_before);
+//! raa_isa::check_legality(&optimized)?;
+//! raa_isa::replay_verify(&optimized)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod coalesce;
+pub mod dead;
+pub mod fuse;
+pub mod park;
+
+use crate::check::check_legality;
+use crate::program::{Instr, IsaProgram};
+use crate::replay::replay_verify;
+use crate::stats::IsaStats;
+
+/// How hard [`optimize`] works on a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// `-O0`: no rewriting; [`optimize`] returns a verbatim copy.
+    #[default]
+    None,
+    /// `-O1`: local move cleanups only — [mod@coalesce] and [mod@dead].
+    Basic,
+    /// `-O2`: all passes ([mod@fuse], [mod@coalesce], [mod@park],
+    /// [mod@dead]), iterated to a fixpoint.
+    Aggressive,
+}
+
+impl OptLevel {
+    /// Parses a `-O` flag value: `0`/`none`, `1`/`basic`,
+    /// `2`/`aggressive` (an optional leading `-O` is accepted).
+    pub fn parse_flag(flag: &str) -> Option<OptLevel> {
+        let v = flag.strip_prefix("-O").unwrap_or(flag);
+        match v {
+            "0" | "none" => Some(OptLevel::None),
+            "1" | "basic" => Some(OptLevel::Basic),
+            "2" | "aggressive" => Some(OptLevel::Aggressive),
+            _ => None,
+        }
+    }
+
+    /// The pass pipeline of this level, in execution order.
+    fn passes(self) -> &'static [PassKind] {
+        match self {
+            OptLevel::None => &[],
+            OptLevel::Basic => &[PassKind::Coalesce, PassKind::DeadMove],
+            OptLevel::Aggressive => &[
+                PassKind::CancelRetract,
+                PassKind::Coalesce,
+                PassKind::ElidePark,
+                PassKind::DeadMove,
+            ],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PassKind {
+    CancelRetract,
+    Coalesce,
+    ElidePark,
+    DeadMove,
+}
+
+impl PassKind {
+    fn name(self) -> &'static str {
+        match self {
+            PassKind::CancelRetract => "cancel-retract",
+            PassKind::Coalesce => "coalesce-moves",
+            PassKind::ElidePark => "elide-parks",
+            PassKind::DeadMove => "dead-moves",
+        }
+    }
+
+    fn run(self, instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+        match self {
+            PassKind::CancelRetract => fuse::run(instrs),
+            PassKind::Coalesce => coalesce::run(instrs),
+            PassKind::ElidePark => park::run(instrs),
+            PassKind::DeadMove => dead::run(instrs),
+        }
+    }
+}
+
+/// What [`optimize`] did to a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptReport {
+    /// The level the optimizer ran at.
+    pub level: OptLevel,
+    /// Fixpoint iterations executed (0 at [`OptLevel::None`]).
+    pub iterations: usize,
+    /// Instruction count of the input stream.
+    pub instructions_before: usize,
+    /// Instruction count of the optimized stream.
+    pub instructions_after: usize,
+    /// Summed line travel of the input stream, in track units.
+    pub line_travel_before: f64,
+    /// Summed line travel of the optimized stream, in track units.
+    pub line_travel_after: f64,
+    /// Moves fused by [mod@coalesce].
+    pub coalesced_moves: usize,
+    /// Retract/approach pairs cancelled by [mod@fuse].
+    pub cancelled_retractions: usize,
+    /// Park/unpark instructions elided by [mod@park].
+    pub elided_parks: usize,
+    /// Moves deleted by [mod@dead].
+    pub dead_moves: usize,
+    /// Passes the safety harness refused (a refusal means a pass
+    /// produced a stream that failed the oracle or grew it; the input
+    /// was kept and the pass disabled for the rest of the run, so
+    /// refusals cost performance, never correctness).
+    pub rejected_rewrites: usize,
+    /// `true` if the *input* already failed the oracle, in which case
+    /// the optimizer returned it untouched.
+    pub skipped_unverified: bool,
+}
+
+impl OptReport {
+    /// Instructions removed by optimization.
+    pub fn instructions_saved(&self) -> usize {
+        self.instructions_before - self.instructions_after
+    }
+
+    /// Line travel removed by optimization, in track units.
+    pub fn line_travel_saved(&self) -> f64 {
+        self.line_travel_before - self.line_travel_after
+    }
+}
+
+/// Upper bound on fixpoint iterations; every accepted rewrite strictly
+/// shrinks the stream, so this is never reached in practice.
+const MAX_ITERATIONS: usize = 64;
+
+/// Optimizes `program` at `level`, returning the rewritten program and
+/// a report of what changed.
+///
+/// Safety is enforced, not assumed: the input must pass
+/// [`check_legality`] + [`replay_verify`] (otherwise it is returned
+/// untouched with [`OptReport::skipped_unverified`] set), and after
+/// every pass the candidate stream must keep the exact observable gate
+/// sequence and still pass both oracle halves, or the candidate is
+/// discarded. The result therefore never has more instructions or more
+/// line travel than the input, and passes the oracle whenever the input
+/// does.
+///
+/// # Examples
+///
+/// ```
+/// use raa_circuit::{Circuit, Gate, Qubit};
+/// use raa_isa::{lower_gate_schedule, optimize, OptLevel, ProgramHeader};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(Qubit(0)));
+/// c.push(Gate::cz(Qubit(0), Qubit(1)));
+/// let program = lower_gate_schedule(&c, &[vec![1]], ProgramHeader::new("example", "doc"))?;
+///
+/// // Transfer-based streams are already minimal: optimization is a no-op.
+/// let (optimized, report) = optimize(&program, OptLevel::Aggressive);
+/// assert_eq!(optimized, program);
+/// assert_eq!(report.instructions_saved(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize(program: &IsaProgram, level: OptLevel) -> (IsaProgram, OptReport) {
+    let before = IsaStats::of(program);
+    let mut report = OptReport {
+        level,
+        instructions_before: before.instructions,
+        instructions_after: before.instructions,
+        line_travel_before: before.line_travel_tracks,
+        line_travel_after: before.line_travel_tracks,
+        ..OptReport::default()
+    };
+    if level == OptLevel::None {
+        return (program.clone(), report);
+    }
+    if check_legality(program).is_err() || replay_verify(program).is_err() {
+        report.skipped_unverified = true;
+        return (program.clone(), report);
+    }
+
+    let reference_trace = gate_trace(&program.instrs);
+    let mut current = program.clone();
+    // A pass whose candidate is refused is disabled for the rest of the
+    // run: re-running it would deterministically rebuild (and re-pay the
+    // oracle cost of) the same unsafe rewrite every iteration.
+    let mut disabled = [false; 4];
+    while report.iterations < MAX_ITERATIONS {
+        report.iterations += 1;
+        let mut changed = false;
+        for &pass in level.passes() {
+            if disabled[pass as usize] {
+                continue;
+            }
+            let Some((instrs, rewrites)) = pass.run(&current.instrs) else {
+                continue;
+            };
+            debug_assert!(rewrites > 0, "{}: rewrite without count", pass.name());
+            let candidate = IsaProgram {
+                instrs,
+                ..current.clone()
+            };
+            // The acceptance check enforces the documented guarantees
+            // directly, so a buggy pass cannot break them: exact gate
+            // sequence, oracle-clean, and never more instructions or
+            // line travel than before the pass.
+            if candidate.instrs.len() < current.instrs.len()
+                && IsaStats::of(&candidate).line_travel_tracks
+                    <= IsaStats::of(&current).line_travel_tracks + 1e-12
+                && gate_trace(&candidate.instrs) == reference_trace
+                && check_legality(&candidate).is_ok()
+                && replay_verify(&candidate).is_ok()
+            {
+                match pass {
+                    PassKind::CancelRetract => report.cancelled_retractions += rewrites,
+                    PassKind::Coalesce => report.coalesced_moves += rewrites,
+                    PassKind::ElidePark => report.elided_parks += rewrites,
+                    PassKind::DeadMove => report.dead_moves += rewrites,
+                }
+                current = candidate;
+                changed = true;
+            } else {
+                report.rejected_rewrites += 1;
+                disabled[pass as usize] = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let after = IsaStats::of(&current);
+    report.instructions_after = after.instructions;
+    report.line_travel_after = after.line_travel_tracks;
+    (current, report)
+}
+
+/// The observable gate events of a stream, in order: pulses, Raman
+/// layers, transfers and cooling swaps. Optimization must preserve this
+/// sequence exactly.
+fn gate_trace(instrs: &[Instr]) -> Vec<&Instr> {
+    instrs
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::RydbergPulse { .. }
+                    | Instr::RamanLayer { .. }
+                    | Instr::Transfer { .. }
+                    | Instr::Cool { .. }
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Shared pass infrastructure
+// ---------------------------------------------------------------------
+
+/// An instruction that observes or overwrites line positions (or
+/// executes a gate): no move-motion rewrite may look past one.
+pub(crate) fn is_barrier(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::RydbergPulse { .. }
+            | Instr::Transfer { .. }
+            | Instr::Park { .. }
+            | Instr::Cool { .. }
+    )
+}
+
+/// The line a move instruction writes: `(aod, is_row, line)`.
+pub(crate) fn move_key(instr: &Instr) -> Option<(u8, bool, u16)> {
+    match instr {
+        Instr::MoveRow { aod, row, .. } => Some((*aod, true, *row)),
+        Instr::MoveCol { aod, col, .. } => Some((*aod, false, *col)),
+        _ => None,
+    }
+}
+
+/// A move's target track position.
+pub(crate) fn move_to(instr: &Instr) -> Option<f64> {
+    match instr {
+        Instr::MoveRow { to, .. } | Instr::MoveCol { to, .. } => Some(*to),
+        _ => None,
+    }
+}
+
+/// A move's retraction flag.
+pub(crate) fn move_retract(instr: &Instr) -> Option<bool> {
+    match instr {
+        Instr::MoveRow { retract, .. } | Instr::MoveCol { retract, .. } => Some(*retract),
+        _ => None,
+    }
+}
+
+struct AodTrack {
+    rows: Vec<f64>,
+    cols: Vec<f64>,
+    home_rows: Vec<f64>,
+    home_cols: Vec<f64>,
+    parked: bool,
+}
+
+/// Replays line positions and parked flags through a stream, exactly
+/// like the legality checker's machine model. Passes use it to reason
+/// about the *output* stream: apply only the instructions they keep.
+///
+/// All accessors return `Option` so a pass can abort (`None` = rewrite
+/// nothing) on a stream it does not understand, rather than panic.
+pub(crate) struct Tracker {
+    aods: Vec<AodTrack>,
+}
+
+impl Tracker {
+    /// Builds a tracker from the stream's init prefix; returns the
+    /// tracker and the index of the first non-init instruction.
+    pub(crate) fn from_init(instrs: &[Instr]) -> Option<(Tracker, usize)> {
+        let mut aods = Vec::new();
+        let mut saw_slm = false;
+        let mut pc = 0;
+        while pc < instrs.len() {
+            match instrs[pc] {
+                Instr::InitSlm { .. } => {
+                    if saw_slm {
+                        return None;
+                    }
+                    saw_slm = true;
+                }
+                Instr::InitAod {
+                    aod,
+                    rows,
+                    cols,
+                    fx,
+                    fy,
+                } => {
+                    if aod as usize != aods.len() || !(fx.is_finite() && fy.is_finite()) {
+                        return None;
+                    }
+                    let home_rows: Vec<f64> = (0..rows).map(|r| r as f64 + fy).collect();
+                    let home_cols: Vec<f64> = (0..cols).map(|c| c as f64 + fx).collect();
+                    aods.push(AodTrack {
+                        rows: home_rows.clone(),
+                        cols: home_cols.clone(),
+                        home_rows,
+                        home_cols,
+                        parked: false,
+                    });
+                }
+                _ => break,
+            }
+            pc += 1;
+        }
+        if !saw_slm {
+            return None;
+        }
+        Some((Tracker { aods }, pc))
+    }
+
+    /// Applies one instruction's state effect.
+    pub(crate) fn apply(&mut self, instr: &Instr) -> Option<()> {
+        match instr {
+            Instr::InitSlm { .. } | Instr::InitAod { .. } => return None,
+            Instr::MoveRow { aod, row, to, .. } => {
+                let aod = self.aods.get_mut(*aod as usize)?;
+                *aod.rows.get_mut(*row as usize)? = *to;
+                aod.parked = false;
+            }
+            Instr::MoveCol { aod, col, to, .. } => {
+                let aod = self.aods.get_mut(*aod as usize)?;
+                *aod.cols.get_mut(*col as usize)? = *to;
+                aod.parked = false;
+            }
+            Instr::Unpark { aod } => self.aods.get_mut(*aod as usize)?.parked = false,
+            Instr::Park { kept } => {
+                for (k, aod) in self.aods.iter_mut().enumerate() {
+                    aod.rows.clone_from(&aod.home_rows);
+                    aod.cols.clone_from(&aod.home_cols);
+                    aod.parked = !kept.contains(&(k as u8));
+                }
+            }
+            Instr::RydbergPulse { .. }
+            | Instr::RamanLayer { .. }
+            | Instr::Transfer { .. }
+            | Instr::Cool { .. } => {}
+        }
+        Some(())
+    }
+
+    /// Current track position of one AOD line.
+    pub(crate) fn line(&self, aod: u8, is_row: bool, line: u16) -> Option<f64> {
+        let aod = self.aods.get(aod as usize)?;
+        let lines = if is_row { &aod.rows } else { &aod.cols };
+        lines.get(line as usize).copied()
+    }
+
+    /// Whether one AOD is currently parked out of the field.
+    pub(crate) fn is_parked(&self, aod: u8) -> Option<bool> {
+        Some(self.aods.get(aod as usize)?.parked)
+    }
+
+    /// Whether every declared AOD is unparked and at its home positions.
+    pub(crate) fn all_home_in_field(&self) -> bool {
+        self.aods
+            .iter()
+            .all(|a| !a.parked && a.rows == a.home_rows && a.cols == a.home_cols)
+    }
+
+    /// Number of declared AODs.
+    pub(crate) fn num_aods(&self) -> usize {
+        self.aods.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgramHeader, SiteSpec, FORMAT_VERSION};
+    use raa_circuit::{Circuit, Gate, Qubit};
+
+    /// Two slots: s0 on SLM[0,0], s1 on AOD0[0,0]; `stages` CZ pulses,
+    /// each approached with `split`-segment moves and retracted home.
+    pub(crate) fn movement_program(stages: usize, split: usize) -> IsaProgram {
+        let mut c = Circuit::new(2);
+        for _ in 0..stages {
+            c.push(Gate::cz(Qubit(0), Qubit(1)));
+        }
+        let mut instrs = vec![
+            Instr::InitSlm { rows: 4, cols: 4 },
+            Instr::InitAod {
+                aod: 0,
+                rows: 1,
+                cols: 1,
+                fx: 0.4,
+                fy: 0.6,
+            },
+        ];
+        for _ in 0..stages {
+            let mut at = 0.6;
+            for s in 0..split {
+                let to = if s + 1 == split {
+                    0.05
+                } else {
+                    at - (at - 0.05) / 2.0
+                };
+                instrs.push(Instr::MoveRow {
+                    aod: 0,
+                    row: 0,
+                    from: at,
+                    to,
+                    retract: false,
+                });
+                at = to;
+            }
+            instrs.push(Instr::MoveCol {
+                aod: 0,
+                col: 0,
+                from: 0.4,
+                to: 0.08,
+                retract: false,
+            });
+            instrs.push(Instr::RydbergPulse {
+                pairs: vec![(0, 1)],
+            });
+            instrs.push(Instr::MoveRow {
+                aod: 0,
+                row: 0,
+                from: 0.05,
+                to: 0.6,
+                retract: true,
+            });
+            instrs.push(Instr::MoveCol {
+                aod: 0,
+                col: 0,
+                from: 0.08,
+                to: 0.4,
+                retract: true,
+            });
+        }
+        IsaProgram {
+            version: FORMAT_VERSION,
+            header: ProgramHeader::new("test", "opt"),
+            slot_of_qubit: vec![0, 1],
+            sites: vec![
+                SiteSpec {
+                    array: 0,
+                    row: 0,
+                    col: 0,
+                },
+                SiteSpec {
+                    array: 1,
+                    row: 0,
+                    col: 0,
+                },
+            ],
+            reference: c,
+            instrs,
+        }
+    }
+
+    #[test]
+    fn none_level_copies_verbatim() {
+        let p = movement_program(2, 3);
+        let (out, report) = optimize(&p, OptLevel::None);
+        assert_eq!(out, p);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.instructions_saved(), 0);
+    }
+
+    #[test]
+    fn aggressive_reaches_a_fixpoint_and_shrinks() {
+        let p = movement_program(3, 4);
+        check_legality(&p).unwrap();
+        let (out, report) = optimize(&p, OptLevel::Aggressive);
+        assert!(report.instructions_after < report.instructions_before);
+        assert!(report.line_travel_after <= report.line_travel_before + 1e-12);
+        check_legality(&out).unwrap();
+        replay_verify(&out).unwrap();
+        // Idempotence: a second run finds nothing.
+        let (again, r2) = optimize(&out, OptLevel::Aggressive);
+        assert_eq!(again, out);
+        assert_eq!(r2.instructions_saved(), 0);
+    }
+
+    #[test]
+    fn optimization_preserves_the_gate_trace() {
+        let p = movement_program(4, 2);
+        let (out, _) = optimize(&p, OptLevel::Aggressive);
+        assert_eq!(gate_trace(&out.instrs), gate_trace(&p.instrs));
+    }
+
+    #[test]
+    fn unverified_input_is_returned_untouched() {
+        let mut p = movement_program(1, 1);
+        p.instrs.truncate(5); // pulse with no retraction: illegal
+        let (out, report) = optimize(&p, OptLevel::Aggressive);
+        assert_eq!(out, p);
+        assert!(report.skipped_unverified);
+        assert_eq!(report.instructions_saved(), 0);
+    }
+
+    #[test]
+    fn basic_is_a_subset_of_aggressive() {
+        let p = movement_program(3, 3);
+        let (basic, _) = optimize(&p, OptLevel::Basic);
+        let (aggressive, _) = optimize(&p, OptLevel::Aggressive);
+        assert!(aggressive.instrs.len() <= basic.instrs.len());
+        assert!(basic.instrs.len() <= p.instrs.len());
+    }
+
+    #[test]
+    fn parse_flag_accepts_both_spellings() {
+        assert_eq!(OptLevel::parse_flag("-O2"), Some(OptLevel::Aggressive));
+        assert_eq!(OptLevel::parse_flag("0"), Some(OptLevel::None));
+        assert_eq!(OptLevel::parse_flag("basic"), Some(OptLevel::Basic));
+        assert_eq!(OptLevel::parse_flag("-O9"), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Park/unpark elision: parking that the stream immediately undoes, or
+//! that does nothing, is removed.
+//!
+//! Three rewrites, all tracked against the same machine model the
+//! legality checker uses:
+//!
+//! 1. **Redundant unpark** — [`Instr::Unpark`] of an AOD that is
+//!    already in the field is a pure no-op and is deleted.
+//! 2. **Park–unpark folding** — `Park { kept }` followed by
+//!    `Unpark { k }` with no pulse (or other barrier) between parks `k`
+//!    for an unobserved interval only; the unpark is deleted and `k` is
+//!    folded into `kept`. Keeping `k` in the field during the interval
+//!    is unobservable (nothing pulses) and strictly *adds* atoms to
+//!    every later proximity check, so the rewrite can never mask a
+//!    violation — at worst the harness rejects it.
+//! 3. **No-op park** — a `Park` that keeps every declared AOD while all
+//!    AODs are already at home and in the field changes no state and is
+//!    deleted.
+//!
+//! Moves of a parked AOD also unpark it, so folding skips any AOD that
+//! moves inside the park–unpark window (rewrite 1 catches its unpark on
+//! a later iteration instead).
+
+use crate::program::Instr;
+
+use super::Tracker;
+
+/// Runs the pass; `None` if no elision applies.
+pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+    let (mut tracker, start) = Tracker::from_init(instrs)?;
+    let mut out: Vec<Instr> = instrs.to_vec();
+    let mut removed = vec![false; out.len()];
+    let mut elided = 0usize;
+
+    for i in start..out.len() {
+        if removed[i] {
+            continue;
+        }
+        match &out[i] {
+            Instr::Unpark { aod } if !tracker.is_parked(*aod)? => {
+                removed[i] = true;
+                elided += 1;
+                continue;
+            }
+            Instr::Park { kept } => {
+                let keeps_all = (0..tracker.num_aods()).all(|k| kept.contains(&(k as u8)));
+                if keeps_all && tracker.all_home_in_field() {
+                    removed[i] = true;
+                    elided += 1;
+                    continue;
+                }
+                let mut kept_new = kept.clone();
+                let mut moved: Vec<u8> = Vec::new();
+                let mut j = i + 1;
+                while j < out.len() {
+                    if removed[j] {
+                        j += 1;
+                        continue;
+                    }
+                    match &out[j] {
+                        Instr::RydbergPulse { .. }
+                        | Instr::Transfer { .. }
+                        | Instr::Cool { .. }
+                        | Instr::Park { .. } => break,
+                        Instr::MoveRow { aod, .. } | Instr::MoveCol { aod, .. } => {
+                            moved.push(*aod);
+                        }
+                        Instr::Unpark { aod: k } if !kept_new.contains(k) && !moved.contains(k) => {
+                            kept_new.push(*k);
+                            removed[j] = true;
+                            elided += 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if kept_new.len() != kept.len() {
+                    kept_new.sort_unstable();
+                    out[i] = Instr::Park { kept: kept_new };
+                }
+            }
+            _ => {}
+        }
+        tracker.apply(&out[i])?;
+    }
+
+    if elided == 0 {
+        return None;
+    }
+    let kept: Vec<Instr> = out
+        .into_iter()
+        .zip(removed)
+        .filter_map(|(instr, r)| (!r).then_some(instr))
+        .collect();
+    Some((kept, elided))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init2() -> Vec<Instr> {
+        vec![
+            Instr::InitSlm { rows: 4, cols: 4 },
+            Instr::InitAod {
+                aod: 0,
+                rows: 1,
+                cols: 1,
+                fx: 0.4,
+                fy: 0.6,
+            },
+            Instr::InitAod {
+                aod: 1,
+                rows: 1,
+                cols: 1,
+                fx: 0.25,
+                fy: 0.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn redundant_unpark_is_removed() {
+        let mut instrs = init2();
+        instrs.push(Instr::Unpark { aod: 0 }); // never parked
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn park_unpark_pair_folds_into_kept() {
+        let mut instrs = init2();
+        instrs.extend([
+            Instr::MoveRow {
+                aod: 0,
+                row: 0,
+                from: 0.6,
+                to: 0.3,
+                retract: false,
+            },
+            Instr::Park { kept: vec![0] },
+            Instr::RamanLayer { gates: vec![] },
+            Instr::Unpark { aod: 1 },
+        ]);
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out.len(), instrs.len() - 1);
+        assert_eq!(out[4], Instr::Park { kept: vec![0, 1] });
+    }
+
+    #[test]
+    fn noop_park_is_removed() {
+        let mut instrs = init2();
+        instrs.push(Instr::Park { kept: vec![0, 1] }); // everything home, in field
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn must_not_fire_across_a_pulse() {
+        let mut instrs = init2();
+        instrs.extend([
+            Instr::MoveRow {
+                aod: 1,
+                row: 0,
+                from: 0.25,
+                to: 0.3,
+                retract: false,
+            },
+            Instr::Park { kept: vec![0] },
+            Instr::RydbergPulse { pairs: vec![] },
+            Instr::Unpark { aod: 1 },
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_remove_a_park_that_parks_something() {
+        let mut instrs = init2();
+        // AOD1 moved off home: Park { kept: [0, 1] } re-homes it, so the
+        // park is not a no-op even though it parks nothing.
+        instrs.extend([
+            Instr::MoveRow {
+                aod: 1,
+                row: 0,
+                from: 0.25,
+                to: 0.35,
+                retract: false,
+            },
+            Instr::Park { kept: vec![0, 1] },
+        ]);
+        assert!(run(&instrs).is_none());
+    }
+
+    #[test]
+    fn must_not_fold_an_aod_that_moves_inside_the_window() {
+        let mut instrs = init2();
+        instrs.extend([
+            Instr::MoveRow {
+                aod: 0,
+                row: 0,
+                from: 0.6,
+                to: 0.3,
+                retract: false,
+            },
+            Instr::Park { kept: vec![0] },
+            Instr::MoveRow {
+                aod: 1,
+                row: 0,
+                from: 0.25,
+                to: 0.3,
+                retract: false,
+            },
+            Instr::Unpark { aod: 1 },
+        ]);
+        // The move already unparked AOD1, so its unpark is redundant —
+        // removed by rewrite 1, not folded into the park.
+        let (out, n) = run(&instrs).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out[4], Instr::Park { kept: vec![0] });
+        assert!(!out.iter().any(|i| matches!(i, Instr::Unpark { .. })));
+    }
+}

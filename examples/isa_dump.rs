@@ -1,13 +1,27 @@
 //! Compile a small circuit and print its hardware instruction stream —
-//! the serializable program an RAA control system would consume.
+//! the serializable program an RAA control system would consume — plus
+//! what the ISA optimizer saves on it.
 //!
-//! Run with `cargo run --release --example isa_dump`.
+//! Run with `cargo run --release --example isa_dump [-- -O{0,1,2}]`
+//! (default `-O2`; see `docs/ISA.md` for the instruction set).
 
-use atomique::{compile, emit_isa, AtomiqueConfig};
+use atomique::{compile, emit_isa, AtomiqueConfig, OptLevel};
 use raa_benchmarks::qaoa_regular;
-use raa_isa::{check_legality, codec, disassemble, replay_verify, IsaStats};
+use raa_isa::{check_legality, codec, disassemble, optimize, replay_verify, IsaStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut level = OptLevel::Aggressive;
+    for arg in std::env::args().skip(1).filter(|a| a.starts_with("-O")) {
+        match OptLevel::parse_flag(&arg) {
+            Some(l) => level = l,
+            None => {
+                return Err(
+                    format!("unknown optimization flag `{arg}` (use -O0, -O1 or -O2)").into(),
+                )
+            }
+        }
+    }
+
     // A 10-qubit 3-regular QAOA instance.
     let circuit = qaoa_regular(10, 3, 7);
     let config = AtomiqueConfig {
@@ -19,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // display name (the stream attached by compile carries an empty one).
     let program = compile(&circuit, &config)?;
     assert!(program.isa.is_some(), "emit_isa attaches the stream");
-    let isa = emit_isa(&program, &config.hardware, "qaoa-regu3-10");
+    let raw = emit_isa(&program, &config.hardware, "qaoa-regu3-10");
+    let (isa, report) = optimize(&raw, level);
 
     println!("{}", disassemble(&isa));
 
@@ -38,6 +53,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.line_travel_um / 1000.0
     );
     println!("max parallel pulse: {}", stats.max_parallel_pulse);
+
+    if level != OptLevel::None {
+        println!("--- optimizer ({level:?}) ---");
+        println!(
+            "instructions      : {} -> {} ({} saved)",
+            report.instructions_before,
+            report.instructions_after,
+            report.instructions_saved()
+        );
+        println!(
+            "line travel       : {:.1} -> {:.1} tracks ({:.1} saved)",
+            report.line_travel_before,
+            report.line_travel_after,
+            report.line_travel_saved()
+        );
+        println!(
+            "passes            : {} coalesced, {} retractions cancelled, {} parks elided, {} dead moves",
+            report.coalesced_moves,
+            report.cancelled_retractions,
+            report.elided_parks,
+            report.dead_moves
+        );
+    }
 
     let json = codec::to_json(&isa)?;
     let bytes = codec::to_bytes(&isa);

@@ -8,7 +8,7 @@ pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
