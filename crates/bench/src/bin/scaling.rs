@@ -1,0 +1,99 @@
+//! Router-scaling study (ROADMAP "Router performance", paper Fig. 20's
+//! compilation-scalability regime): sparse QSim and 3-regular QAOA
+//! workloads from 64 to 1024 qubits, compiled with the spatial-grid
+//! proximity index and with the exhaustive-scan oracle, reporting stage
+//! counts and wall-clock compile times.
+//!
+//! Run with `cargo run --release -p raa-bench --bin scaling
+//! [-- --oracle-max=N]`. The exhaustive oracle is O(atoms²) per stage,
+//! so it is only run up to `--oracle-max` qubits (default 1024 — pass a
+//! smaller value for a quick look). Whenever both modes run, the
+//! schedules are asserted stage-identical.
+//!
+//! Measured numbers are recorded in EXPERIMENTS.md ("Router scaling").
+
+use std::time::Instant;
+
+use atomique::{compile, AtomiqueConfig, CompiledProgram, ProximityIndex, StageKind};
+use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
+use raa_benchmarks::scaling_pair;
+
+fn oracle_max_from_args() -> usize {
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--oracle-max=") {
+            match v.parse() {
+                Ok(n) => return n,
+                Err(_) => {
+                    eprintln!("invalid --oracle-max value `{v}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    1024
+}
+
+/// The two compiles must agree stage for stage — kind, gates and moves.
+fn assert_stage_identical(name: &str, grid: &CompiledProgram, scan: &CompiledProgram) {
+    assert_eq!(
+        grid.stages.len(),
+        scan.stages.len(),
+        "{name}: stage counts differ"
+    );
+    for (i, (g, s)) in grid.stages.iter().zip(scan.stages.iter()).enumerate() {
+        assert_eq!(g.kind, s.kind, "{name}: stage {i} kind differs");
+        assert_eq!(g.gate_pairs, s.gate_pairs, "{name}: stage {i} gates differ");
+        assert_eq!(
+            g.moves.len(),
+            s.moves.len(),
+            "{name}: stage {i} move counts differ"
+        );
+    }
+}
+
+fn main() {
+    let oracle_max = oracle_max_from_args();
+    section("Router scaling: spatial grid vs exhaustive scan");
+    println!("(oracle runs up to {oracle_max} qubits; schedules asserted identical)");
+
+    for n in [64, 128, 256, 512, 1024] {
+        let pair = scaling_pair("QSim", "QAOA-regu3", n);
+        for b in &pair {
+            section(&format!("{}-{n}", b.name));
+            row(
+                "",
+                &SCALING_COLUMNS
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>(),
+            );
+            let cfg = AtomiqueConfig {
+                verify_isa: true,
+                ..AtomiqueConfig::scaled_to(n)
+            };
+            let t0 = Instant::now();
+            let grid = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}-{n}: {e}", b.name));
+            let grid_s = t0.elapsed().as_secs_f64();
+
+            let scan_s = (n <= oracle_max).then(|| {
+                let cfg = AtomiqueConfig {
+                    proximity_index: ProximityIndex::Exhaustive,
+                    ..cfg.clone()
+                };
+                let t0 = Instant::now();
+                let scan =
+                    compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}-{n}: {e}", b.name));
+                let s = t0.elapsed().as_secs_f64();
+                assert_stage_identical(b.name, &grid, &scan);
+                s
+            });
+            row(b.name, &scaling_row(&grid, grid_s, scan_s));
+            let resets = grid
+                .stages
+                .iter()
+                .filter(|s| s.kind == StageKind::Reset)
+                .count();
+            println!("  (ISA legality + replay verified; {resets} reset stages)");
+        }
+    }
+}

@@ -161,6 +161,33 @@ pub fn isa_opt_row(before: &raa_isa::IsaProgram, after: &raa_isa::IsaProgram) ->
     ]
 }
 
+/// Column labels matching [`scaling_row`].
+pub const SCALING_COLUMNS: [&str; 7] = [
+    "qubits",
+    "2q-gates",
+    "stages",
+    "transfers",
+    "grid(s)",
+    "scan(s)",
+    "speedup",
+];
+
+/// One row of the router-scaling study (`isa_stats`-style): circuit
+/// size, routed stage count, and wall-clock compile time with the
+/// spatial-grid index vs. the exhaustive-scan oracle (`scan_s` is `None`
+/// when the oracle run was skipped).
+pub fn scaling_row(out: &CompiledProgram, grid_s: f64, scan_s: Option<f64>) -> Vec<String> {
+    vec![
+        out.stats.num_qubits.to_string(),
+        out.stats.two_qubit_gates.to_string(),
+        out.stats.depth.to_string(),
+        out.stats.transfers.to_string(),
+        format!("{grid_s:.2}"),
+        scan_s.map_or_else(|| "-".into(), |s| format!("{s:.2}")),
+        scan_s.map_or_else(|| "-".into(), |s| format!("{:.1}x", s / grid_s.max(1e-9))),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,5 +42,6 @@ pub use generic::{adder, bv, ghz, grover, hhl, mermin_bell, phase_code, qft, qv,
 pub use qaoa::{qaoa_random, qaoa_regular, random_regular_graph};
 pub use qsim::{append_pauli_rotation, h2, lih, qsim_random, Pauli};
 pub use suite::{
-    large_suite, relaxation_suite, small_suite, topology_suite, Benchmark, BenchmarkKind,
+    large_suite, relaxation_suite, scaling_pair, scaling_suite, small_suite, topology_suite,
+    Benchmark, BenchmarkKind,
 };

@@ -222,6 +222,38 @@ pub fn topology_suite() -> Vec<Benchmark> {
     ]
 }
 
+/// One scaling workload pair at `n` qubits: sparse trotterized QSim
+/// (expected Pauli weight 16, ten strings) and 3-regular QAOA. Shared by
+/// [`scaling_suite`] and the router-scaling bench, which also evaluates
+/// sizes below 256.
+pub fn scaling_pair(name_qsim: &'static str, name_qaoa: &'static str, n: usize) -> [Benchmark; 2] {
+    [
+        Benchmark {
+            name: name_qsim,
+            kind: BenchmarkKind::QSim,
+            circuit: qsim_random(n, 16.0 / n as f64, 10, SUITE_SEED),
+        },
+        Benchmark {
+            name: name_qaoa,
+            kind: BenchmarkKind::Qaoa,
+            circuit: qaoa_regular(n, 3, SUITE_SEED),
+        },
+    ]
+}
+
+/// Generated large-array scaling workloads (the paper's Fig. 20
+/// compilation-scalability regime): QSim and QAOA instances at 256, 512
+/// and 1024 qubits. Interaction structure is kept sparse (weight-16
+/// Pauli strings, degree-3 cost graphs) so gate count grows linearly
+/// with qubit count, isolating the router's scaling behavior.
+pub fn scaling_suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    out.extend(scaling_pair("QSim-256", "QAOA-regu3-256", 256));
+    out.extend(scaling_pair("QSim-512", "QAOA-regu3-512", 512));
+    out.extend(scaling_pair("QSim-1024", "QAOA-regu3-1024", 1024));
+    out
+}
+
 /// The workloads of the constraint-relaxation study (Fig. 22).
 pub fn relaxation_suite() -> Vec<Benchmark> {
     use BenchmarkKind::*;
@@ -283,12 +315,32 @@ mod tests {
     }
 
     #[test]
+    fn scaling_suite_reaches_1024_qubits() {
+        let s = scaling_suite();
+        assert_eq!(s.len(), 6);
+        let big = s.iter().find(|b| b.name == "QSim-1024").unwrap();
+        assert_eq!(big.stats().num_qubits, 1024);
+        // Sparse by construction: gate count is linear in qubit count.
+        for b in &s {
+            let st = b.stats();
+            assert!(
+                st.two_qubit_gates <= 2 * st.num_qubits,
+                "{}: {} 2Q gates for {} qubits",
+                b.name,
+                st.two_qubit_gates,
+                st.num_qubits
+            );
+        }
+    }
+
+    #[test]
     fn names_are_unique_per_suite() {
         for suite in [
             large_suite(),
             small_suite(),
             topology_suite(),
             relaxation_suite(),
+            scaling_suite(),
         ] {
             let mut names: Vec<_> = suite.iter().map(|b| b.name).collect();
             names.sort_unstable();

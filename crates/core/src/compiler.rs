@@ -69,6 +69,7 @@ pub fn compile(
         &config.params,
         config.relaxation,
         config.router_mode,
+        config.proximity_index,
     )?;
 
     // 5. Fidelity estimation (Sec. V-A).

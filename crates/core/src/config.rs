@@ -39,6 +39,25 @@ pub enum RouterMode {
     Serial,
 }
 
+/// How the router's constraint checks enumerate proximity candidates.
+///
+/// Both modes produce bit-identical schedules and ISA streams (proven by
+/// `tests/router_differential.rs`): the grid only restricts which atoms a
+/// check *looks at* — to those that can possibly be within range — never
+/// the accept/reject predicates themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProximityIndex {
+    /// Spatial-hash neighbor index ([`SpatialGrid`](crate::SpatialGrid)),
+    /// maintained incrementally as lines move: O(neighbors) per check.
+    /// The default — required for interactive compile times on
+    /// 1000+-atom machines (paper Fig. 20 extrapolations).
+    #[default]
+    Grid,
+    /// The original exhaustive all-atoms scan: O(atoms) per check. Kept
+    /// as the oracle the differential router tests compare against.
+    Exhaustive,
+}
+
 /// Constraint-relaxation toggles (paper Fig. 22). All `false` = the real
 /// hardware; each flag disables one router check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +106,10 @@ pub struct AtomiqueConfig {
     pub atom_mapper: AtomMapperKind,
     /// Router scheduling mode.
     pub router_mode: RouterMode,
+    /// Proximity-candidate enumeration used by the router's constraint
+    /// checks; [`ProximityIndex::Grid`] unless you are running the
+    /// differential oracle.
+    pub proximity_index: ProximityIndex,
     /// SABRE tunables for intra-array SWAP insertion.
     pub sabre: SabreConfig,
     /// Seed for the random atom mapper (ablation only).
@@ -123,6 +146,7 @@ impl Default for AtomiqueConfig {
             array_mapper: ArrayMapperKind::default(),
             atom_mapper: AtomMapperKind::default(),
             router_mode: RouterMode::default(),
+            proximity_index: ProximityIndex::default(),
             sabre: SabreConfig::default(),
             seed: 0,
             emit_isa: false,
@@ -139,6 +163,26 @@ impl AtomiqueConfig {
             hardware,
             ..AtomiqueConfig::default()
         }
+    }
+
+    /// Configuration for a square machine sized to hold `num_qubits`
+    /// qubits at the paper's 1:3 qubit-to-trap occupancy: side
+    /// `⌈√num_qubits⌉` (at least the default 10), one SLM plus two AODs.
+    /// This is the machine the Fig. 20-style 256/512/1024-atom scaling
+    /// workloads compile on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atomique::AtomiqueConfig;
+    /// let cfg = AtomiqueConfig::scaled_to(1024);
+    /// assert_eq!(cfg.hardware.total_capacity(), 3 * 32 * 32);
+    /// assert_eq!(AtomiqueConfig::scaled_to(50).hardware.total_capacity(), 300);
+    /// ```
+    pub fn scaled_to(num_qubits: usize) -> Self {
+        let side = ((num_qubits as f64).sqrt().ceil() as usize).max(10);
+        let hardware = RaaConfig::square(side, 2).expect("square machine is always valid");
+        AtomiqueConfig::for_hardware(hardware)
     }
 
     /// The Fig. 21 "all baselines" configuration: dense array mapper,
@@ -161,6 +205,7 @@ mod tests {
         assert_eq!(c.array_mapper, ArrayMapperKind::MaxKCut);
         assert_eq!(c.atom_mapper, AtomMapperKind::LoadBalance);
         assert_eq!(c.router_mode, RouterMode::Parallel);
+        assert_eq!(c.proximity_index, ProximityIndex::Grid);
         assert_eq!(c.relaxation, Relaxation::NONE);
         assert_eq!(c.opt_level, OptLevel::None);
         assert_eq!(c.hardware.total_capacity(), 300);

@@ -46,18 +46,22 @@ mod lower;
 mod program;
 mod render;
 mod router;
+mod spatial;
 mod transpile;
 mod validate;
 
 pub use array_mapper::{map_to_arrays, ArrayMapping};
 pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
 pub use compiler::compile;
-pub use config::{ArrayMapperKind, AtomMapperKind, AtomiqueConfig, Relaxation, RouterMode};
+pub use config::{
+    ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation, RouterMode,
+};
 pub use error::CompileError;
 pub use lower::emit_isa;
 pub use program::{CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind};
 pub use raa_isa::{OptLevel, OptReport};
 pub use render::{render_schedule, summarize};
 pub use router::{route_movements, RoutedProgram};
+pub use spatial::SpatialGrid;
 pub use transpile::{transpile, TranspiledCircuit};
 pub use validate::{validate_program, ValidationError};

@@ -38,9 +38,10 @@ use raa_circuit::{DagSchedule, Gate, GateIdx};
 use raa_physics::{HardwareParams, MovementLedger};
 
 use crate::atom_mapper::AtomMapping;
-use crate::config::{Relaxation, RouterMode};
+use crate::config::{ProximityIndex, Relaxation, RouterMode};
 use crate::error::CompileError;
 use crate::program::{LineMove, RouterStats, Stage};
+use crate::spatial::SpatialGrid;
 use crate::transpile::TranspiledCircuit;
 
 /// Rydberg radius in track units (`r_b = d/6`).
@@ -88,6 +89,8 @@ pub struct RoutedProgram {
 struct RouterState<'a> {
     hw: &'a RaaConfig,
     relax: Relaxation,
+    /// Which proximity-candidate enumeration the constraint checks use.
+    index: ProximityIndex,
     /// Committed line positions, indexed `[aod][line]`.
     cur_row: Vec<Vec<f64>>,
     cur_col: Vec<Vec<f64>>,
@@ -100,6 +103,10 @@ struct RouterState<'a> {
     atoms_on_line: HashMap<LineKey, Vec<u32>>,
     /// Atoms per AOD array (for parking/cooling).
     atoms_in_aod: Vec<Vec<u32>>,
+    /// Spatial index over every slot's *effective* position, kept in sync
+    /// with `eff_row`/`eff_col` by the axis-mutation helpers. Cell size is
+    /// [`BAND_R`], the largest radius any constraint check queries.
+    grid: SpatialGrid,
 }
 
 /// Tentative stage plan with an undo journal.
@@ -137,6 +144,37 @@ impl Plan {
 /// Minimum separation between two lines of one AOD (C3): one Rydberg
 /// radius plus slack.
 const LINE_GAP: f64 = INTERACT_R + 0.01;
+
+/// First candidate of the fallback retraction scan: just beyond the
+/// blockade radius — the smallest displacement that can separate a
+/// pulsed pair.
+const RETRACT_MIN: f64 = INTERACT_R + 0.01;
+/// Step of the fallback retraction scan: a sixth of the blockade radius
+/// (≈0.028 tracks, denser sampling than the legacy hard-coded
+/// 0.03-track ladder, though on a different lattice). Any clear
+/// interval wider than one step is guaranteed to contain a candidate;
+/// narrower slivers between two blockers can fall between samples —
+/// the reset fallback covers those.
+const RETRACT_STEP: f64 = INTERACT_R / 6.0;
+/// Last candidate of the fallback retraction scan: one trap pitch plus
+/// the safety band. A line displaced farther than that sits beyond the
+/// adjacent track's safety band, where re-homing the array (the reset
+/// fallback) is always the cheaper recovery.
+const RETRACT_MAX: f64 = 1.0 + BAND_R;
+
+/// Fallback retraction scan, outward in |amount|: `±(RETRACT_MIN +
+/// i·RETRACT_STEP)` up to [`RETRACT_MAX`]. All three bounds are derived
+/// from the hardware geometry ([`INTERACT_R`]/[`BAND_R`]) rather than
+/// hard-coded; the previous fixed 28-step ladder capped at ±1.02 tracks
+/// and missed clear slots that only exist beyond one trap pitch (see the
+/// `fallback_ladder_separates_beyond_legacy_cap` regression test).
+fn fallback_amounts() -> impl Iterator<Item = f64> {
+    let steps = ((RETRACT_MAX - RETRACT_MIN) / RETRACT_STEP).floor() as usize;
+    (0..=steps).flat_map(|i| {
+        let a = RETRACT_MIN + i as f64 * RETRACT_STEP;
+        [a, -a]
+    })
+}
 
 /// Repositions the untargeted lines of one axis around the pinned targets.
 ///
@@ -241,8 +279,23 @@ fn solve_axis(
     Ok(out)
 }
 
+/// One hypothetical retraction position being tested for clearance:
+/// `atom` (at `site`, on line `key`) moved to `p`.
+#[derive(Clone, Copy)]
+struct RetractionProbe {
+    key: LineKey,
+    site: TrapSite,
+    p: (f64, f64),
+    atom: u32,
+}
+
 impl<'a> RouterState<'a> {
-    fn new(hw: &'a RaaConfig, mapping: &AtomMapping, relax: Relaxation) -> Self {
+    fn new(
+        hw: &'a RaaConfig,
+        mapping: &AtomMapping,
+        relax: Relaxation,
+        index: ProximityIndex,
+    ) -> Self {
         let num_aods = hw.num_aods();
         let mut cur_row = Vec::with_capacity(num_aods);
         let mut cur_col = Vec::with_capacity(num_aods);
@@ -269,9 +322,10 @@ impl<'a> RouterState<'a> {
                 atoms_in_aod[k as usize].push(slot as u32);
             }
         }
-        RouterState {
+        let mut state = RouterState {
             hw,
             relax,
+            index,
             eff_row: cur_row.clone(),
             eff_col: cur_col.clone(),
             cur_row,
@@ -280,7 +334,13 @@ impl<'a> RouterState<'a> {
             site_of_slot: mapping.site_of_slot.clone(),
             atoms_on_line,
             atoms_in_aod,
+            grid: SpatialGrid::new(BAND_R),
+        };
+        for slot in 0..state.site_of_slot.len() as u32 {
+            let p = state.pos(slot);
+            state.grid.insert(slot, p);
         }
+        state
     }
 
     /// Effective position (track units) of a slot under the current plan.
@@ -312,6 +372,78 @@ impl<'a> RouterState<'a> {
         }
         let k = site.array.aod_number();
         self.parked[k] && !plan.unparked.contains(&(k as u8))
+    }
+
+    /// Refreshes the spatial index for every atom on line `key` (and
+    /// collects them into `dirty`, when given) after the line's effective
+    /// position changed.
+    fn sync_line_grid(&mut self, key: LineKey, mut dirty: Option<&mut HashSet<u32>>) {
+        let Some(atoms) = self.atoms_on_line.get(&key) else {
+            return;
+        };
+        let grid = &mut self.grid;
+        let (eff_row, eff_col) = (&self.eff_row, &self.eff_col);
+        let sites = &self.site_of_slot;
+        for &atom in atoms {
+            let site = sites[atom as usize];
+            let k = site.array.aod_number();
+            grid.update(
+                atom,
+                (eff_row[k][site.row as usize], eff_col[k][site.col as usize]),
+            );
+            if let Some(d) = dirty.as_deref_mut() {
+                d.insert(atom);
+            }
+        }
+    }
+
+    /// Replaces one axis's effective positions, keeping the spatial index
+    /// in sync for every atom whose line actually moved (optionally
+    /// collecting those atoms into `dirty`).
+    fn set_eff_axis(
+        &mut self,
+        k: u8,
+        axis: Axis,
+        new_vals: Vec<f64>,
+        mut dirty: Option<&mut HashSet<u32>>,
+    ) {
+        let old = match axis {
+            Axis::Row => &self.eff_row[k as usize],
+            Axis::Col => &self.eff_col[k as usize],
+        };
+        let changed: Vec<u16> = old
+            .iter()
+            .zip(new_vals.iter())
+            .enumerate()
+            .filter(|&(_, (&o, &n))| (o - n).abs() > 1e-12)
+            .map(|(i, _)| i as u16)
+            .collect();
+        match axis {
+            Axis::Row => self.eff_row[k as usize] = new_vals,
+            Axis::Col => self.eff_col[k as usize] = new_vals,
+        }
+        for i in changed {
+            self.sync_line_grid((k, axis, i), dirty.as_deref_mut());
+        }
+    }
+
+    /// Refreshes the spatial index for every atom of AOD `k` (used by the
+    /// whole-array re-homing of [`RouterState::reset`]).
+    fn resync_aod_grid(&mut self, k: usize) {
+        let grid = &mut self.grid;
+        let (eff_row, eff_col) = (&self.eff_row, &self.eff_col);
+        let sites = &self.site_of_slot;
+        for &atom in &self.atoms_in_aod[k] {
+            let site = sites[atom as usize];
+            let kk = site.array.aod_number();
+            grid.update(
+                atom,
+                (
+                    eff_row[kk][site.row as usize],
+                    eff_col[kk][site.col as usize],
+                ),
+            );
+        }
     }
 
     /// Records an explicit target; `false` on conflict with an existing
@@ -348,10 +480,7 @@ impl<'a> RouterState<'a> {
         }
         while plan.axis_journal.len() > cp.1 {
             let ((k, axis), snapshot) = plan.axis_journal.pop().expect("journal nonempty");
-            match axis {
-                Axis::Row => self.eff_row[k as usize] = snapshot,
-                Axis::Col => self.eff_col[k as usize] = snapshot,
-            }
+            self.set_eff_axis(k, axis, snapshot, None);
         }
         plan.gates.truncate(cp.2);
         // Unparks are only kept if an accepted gate still needs them.
@@ -458,19 +587,10 @@ impl<'a> RouterState<'a> {
                     return Err(rej);
                 }
             };
-            // Collect atoms whose line actually moved.
-            for (i, (&old, &new)) in cur.iter().zip(solved.iter()).enumerate() {
-                if (old - new).abs() > 1e-12 {
-                    if let Some(atoms) = self.atoms_on_line.get(&(k, axis, i as u16)) {
-                        dirty.extend(atoms.iter().copied());
-                    }
-                }
-            }
             plan.axis_journal.push(((k, axis), cur));
-            match axis {
-                Axis::Row => self.eff_row[k as usize] = solved,
-                Axis::Col => self.eff_col[k as usize] = solved,
-            }
+            // Assign, syncing the spatial index and collecting the atoms
+            // whose line actually moved into the dirty set.
+            self.set_eff_axis(k, axis, solved, Some(&mut dirty));
         }
         // Atoms of newly unparked arrays are dirty too.
         for &k in &plan.unparked {
@@ -498,37 +618,71 @@ impl<'a> RouterState<'a> {
 
     /// C1 over the dirty set: exact interaction set plus participant
     /// safety bands.
+    ///
+    /// The per-pair predicate is [`RouterState::addressing_pair_ok`];
+    /// this function only chooses which candidate atoms `y` to test
+    /// against each dirty atom. The grid enumeration is a superset of
+    /// every atom within [`BAND_R`] (the largest radius the predicate
+    /// compares against), so both modes accept and reject identically.
     fn check_addressing(&self, plan: &Plan, dirty: &HashSet<u32>) -> Result<(), Reject> {
-        let n = self.site_of_slot.len() as u32;
+        let mut buf: Vec<u32> = Vec::new();
         for &x in dirty {
             if self.is_parked_slot(x, plan) {
                 continue;
             }
             let px = self.pos(x);
-            let x_part = plan.participants.contains(&x);
-            for y in 0..n {
-                if y == x || self.is_parked_slot(y, plan) {
-                    continue;
+            match self.index {
+                ProximityIndex::Exhaustive => {
+                    for y in 0..self.site_of_slot.len() as u32 {
+                        self.addressing_pair_ok(plan, dirty, x, px, y)?;
+                    }
                 }
-                // Avoid double-checking dirty pairs.
-                if dirty.contains(&y) && y < x {
-                    continue;
-                }
-                let d = dist(px, self.pos(y));
-                if plan.desired.contains(&norm_pair(x, y)) {
-                    continue; // validated separately
-                }
-                if d <= INTERACT_R {
-                    return Err(Reject::Addressing); // unwanted gate
-                }
-                let y_part = plan.participants.contains(&y);
-                let y_slm = self.site_of_slot[y as usize].array.is_slm();
-                let x_slm = self.site_of_slot[x as usize].array.is_slm();
-                let band_applies = (x_part && (y_part || y_slm)) || (y_part && x_slm);
-                if band_applies && d < BAND_R {
-                    return Err(Reject::Addressing);
+                ProximityIndex::Grid => {
+                    buf.clear();
+                    self.grid.candidates_into(px, BAND_R, &mut buf);
+                    for &y in &buf {
+                        self.addressing_pair_ok(plan, dirty, x, px, y)?;
+                    }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The C1 predicate for one ordered pair of the dirty scan: `Ok` when
+    /// `y` is skippable or clear of `x`, `Err` on an unwanted interaction
+    /// or a safety-band violation. Pairs farther apart than [`BAND_R`]
+    /// always pass, which is what makes the grid enumeration above exact.
+    #[inline]
+    fn addressing_pair_ok(
+        &self,
+        plan: &Plan,
+        dirty: &HashSet<u32>,
+        x: u32,
+        px: (f64, f64),
+        y: u32,
+    ) -> Result<(), Reject> {
+        if y == x || self.is_parked_slot(y, plan) {
+            return Ok(());
+        }
+        // Avoid double-checking dirty pairs.
+        if dirty.contains(&y) && y < x {
+            return Ok(());
+        }
+        let d = dist(px, self.pos(y));
+        if plan.desired.contains(&norm_pair(x, y)) {
+            return Ok(()); // validated separately
+        }
+        if d <= INTERACT_R {
+            return Err(Reject::Addressing); // unwanted gate
+        }
+        let x_part = plan.participants.contains(&x);
+        let y_part = plan.participants.contains(&y);
+        let y_slm = self.site_of_slot[y as usize].array.is_slm();
+        let x_slm = self.site_of_slot[x as usize].array.is_slm();
+        let band_applies = (x_part && (y_part || y_slm)) || (y_part && x_slm);
+        if band_applies && d < BAND_R {
+            return Err(Reject::Addressing);
         }
         Ok(())
     }
@@ -615,13 +769,6 @@ impl<'a> RouterState<'a> {
         /// Preferred retraction offsets; a finer ± scan follows when all
         /// of these are blocked by neighboring lines or resting atoms.
         const AMOUNTS: [f64; 8] = [0.3, -0.3, 0.45, -0.45, 0.2, -0.2, 0.6, -0.6];
-        /// Fallback scan: ±(0.18 + i·0.03) for i in 0..28 (up to ±1.02).
-        fn fallback_amounts() -> impl Iterator<Item = f64> {
-            (0..28).flat_map(|i| {
-                let a = 0.18 + i as f64 * 0.03;
-                [a, -a]
-            })
-        }
         let mut lines: Vec<LineKey> = Vec::new();
         for &(_, a, b) in &plan.gates {
             let sa = self.site_of_slot[a as usize];
@@ -685,6 +832,7 @@ impl<'a> RouterState<'a> {
                     self.eff_col[k as usize][i] = new;
                 }
             }
+            self.sync_line_grid(key, None);
             moves.push(LineMove {
                 aod: k,
                 axis_row: axis == Axis::Row,
@@ -726,39 +874,70 @@ impl<'a> RouterState<'a> {
         let Some(atoms) = self.atoms_on_line.get(&key) else {
             return true;
         };
-        let n = self.site_of_slot.len() as u32;
+        let mut buf: Vec<u32> = Vec::new();
         for &atom in atoms {
             let site = self.site_of_slot[atom as usize];
             let p = match axis {
                 Axis::Row => (new_pos, self.eff_col[k as usize][site.col as usize]),
                 Axis::Col => (self.eff_row[k as usize][site.row as usize], new_pos),
             };
-            for y in 0..n {
-                if y == atom || self.is_parked_slot(y, plan) {
-                    continue;
-                }
-                let ysite = self.site_of_slot[y as usize];
-                if !ysite.array.is_slm() {
-                    let yk = ysite.array.aod_number() as u8;
-                    if pending.contains(&(yk, Axis::Row, ysite.row))
-                        || pending.contains(&(yk, Axis::Col, ysite.col))
-                    {
-                        continue;
-                    }
-                    // Atoms sharing the retracting line move with it.
-                    if yk == k
-                        && ((axis == Axis::Row && ysite.row == site.row)
-                            || (axis == Axis::Col && ysite.col == site.col))
-                    {
-                        continue;
+            let probe = RetractionProbe { key, site, p, atom };
+            match self.index {
+                ProximityIndex::Exhaustive => {
+                    for y in 0..self.site_of_slot.len() as u32 {
+                        if self.retraction_blocked_by(&probe, plan, pending, y) {
+                            return false;
+                        }
                     }
                 }
-                if dist(p, self.pos(y)) <= INTERACT_R + 1e-9 {
-                    return false;
+                ProximityIndex::Grid => {
+                    buf.clear();
+                    self.grid.candidates_into(p, INTERACT_R + 1e-9, &mut buf);
+                    for &y in &buf {
+                        if self.retraction_blocked_by(&probe, plan, pending, y) {
+                            return false;
+                        }
+                    }
                 }
             }
         }
         true
+    }
+
+    /// Whether active atom `y` blocks the retraction candidate `probe`.
+    /// Atoms farther than `INTERACT_R + 1e-9` from the probed position
+    /// never block, so enumerating only the grid candidates within that
+    /// radius is exact.
+    #[inline]
+    fn retraction_blocked_by(
+        &self,
+        probe: &RetractionProbe,
+        plan: &Plan,
+        pending: &HashSet<LineKey>,
+        y: u32,
+    ) -> bool {
+        let RetractionProbe { key, site, p, atom } = *probe;
+        let (k, axis, _) = key;
+        if y == atom || self.is_parked_slot(y, plan) {
+            return false;
+        }
+        let ysite = self.site_of_slot[y as usize];
+        if !ysite.array.is_slm() {
+            let yk = ysite.array.aod_number() as u8;
+            if pending.contains(&(yk, Axis::Row, ysite.row))
+                || pending.contains(&(yk, Axis::Col, ysite.col))
+            {
+                return false;
+            }
+            // Atoms sharing the retracting line move with it.
+            if yk == k
+                && ((axis == Axis::Row && ysite.row == site.row)
+                    || (axis == Axis::Col && ysite.col == site.col))
+            {
+                return false;
+            }
+        }
+        dist(p, self.pos(y)) <= INTERACT_R + 1e-9
     }
 
     /// Parks every AOD array except those in `keep`, and homes the kept
@@ -796,6 +975,9 @@ impl<'a> RouterState<'a> {
             } else {
                 !self.parked[k]
             };
+            if displaced {
+                self.resync_aod_grid(k);
+            }
             if displaced || park_transition {
                 for &atom in &self.atoms_in_aod[k] {
                     moved.push((atom, PARK_TRAVEL * spacing * 1e-6));
@@ -827,6 +1009,15 @@ fn norm_pair(a: u32, b: u32) -> (u32, u32) {
 
 /// Runs the movement router over a transpiled circuit.
 ///
+/// `index` selects how the constraint checks enumerate proximity
+/// candidates: [`ProximityIndex::Grid`] (the default in
+/// [`AtomiqueConfig`](crate::AtomiqueConfig)) maintains a spatial-hash
+/// index and queries only neighboring cells;
+/// [`ProximityIndex::Exhaustive`] is the original all-atoms scan, kept as
+/// the oracle for the differential router tests. Both produce identical
+/// schedules — the grid only restricts candidate enumeration, never the
+/// accept/reject predicates.
+///
 /// # Errors
 ///
 /// Never fails for valid inputs: a gate that cannot be scheduled even from
@@ -841,10 +1032,11 @@ pub fn route_movements(
     params: &HardwareParams,
     relax: Relaxation,
     mode: RouterMode,
+    index: ProximityIndex,
 ) -> Result<RoutedProgram, CompileError> {
     let circuit = &transpiled.circuit;
     let num_qubits = circuit.num_qubits();
-    let mut state = RouterState::new(hw, mapping, relax);
+    let mut state = RouterState::new(hw, mapping, relax, index);
     let mut sched = DagSchedule::new(circuit);
     let mut ledger = MovementLedger::new(params);
     let mut stages: Vec<Stage> = Vec::new();
@@ -1029,6 +1221,7 @@ mod tests {
     use crate::config::AtomMapperKind;
     use crate::program::StageKind;
     use crate::transpile::transpile;
+    use raa_arch::ArrayDims;
     use raa_circuit::Circuit;
     use raa_circuit::Qubit;
     use raa_sabre::SabreConfig;
@@ -1054,6 +1247,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            ProximityIndex::Grid,
         )
         .unwrap()
     }
@@ -1095,8 +1289,16 @@ mod tests {
         }
         let (t, am, hw) = setup(&c, vec![0, 0, 0, 0, 1, 1, 1, 1]);
         let params = HardwareParams::neutral_atom();
-        let out =
-            route_movements(&t, &am, &hw, &params, Relaxation::NONE, RouterMode::Serial).unwrap();
+        let out = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            Relaxation::NONE,
+            RouterMode::Serial,
+            ProximityIndex::Grid,
+        )
+        .unwrap();
         assert_eq!(out.stats.two_qubit_gates, 4);
         assert_eq!(out.stats.two_qubit_stages, 4);
     }
@@ -1167,6 +1369,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            ProximityIndex::Grid,
         )
         .unwrap();
         assert_eq!(out.stats.two_qubit_gates, 2);
@@ -1207,6 +1410,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            ProximityIndex::Grid,
         )
         .unwrap();
         // Both gates still execute (correctness), but not in one stage.
@@ -1238,6 +1442,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            ProximityIndex::Grid,
         )
         .unwrap();
         let relaxed = Relaxation {
@@ -1245,7 +1450,16 @@ mod tests {
             allow_order_violation: true,
             allow_overlap: true,
         };
-        let free = route_movements(&t, &am, &hw, &params, relaxed, RouterMode::Parallel).unwrap();
+        let free = route_movements(
+            &t,
+            &am,
+            &hw,
+            &params,
+            relaxed,
+            RouterMode::Parallel,
+            ProximityIndex::Grid,
+        )
+        .unwrap();
         assert_eq!(strict.stats.two_qubit_gates, free.stats.two_qubit_gates);
         assert!(free.stats.two_qubit_stages <= strict.stats.two_qubit_stages);
     }
@@ -1265,6 +1479,105 @@ mod tests {
         ] {
             assert!(f > 0.0 && f <= 1.0, "factor {f} out of range");
         }
+    }
+
+    /// Regression test for the fallback retraction ladder's range
+    /// (previously a hard-coded 28-step scan capped at ±1.02 tracks).
+    ///
+    /// Construction: one SLM–AOD0 gate pair just pulsed at (5.05, 5.08),
+    /// with a dense curtain of AOD1 atoms positioned so that *every*
+    /// retraction offset of the movable atom's row up to ±1.167 tracks
+    /// lands within the blockade radius of some curtain atom (a column
+    /// of blockers exactly aligned with the atom's x, at 0.3-track row
+    /// pitch — tighter than 2·r_b, so the blocked windows overlap into a
+    /// continuous band). The first clear slot is at +1.177 tracks —
+    /// beyond the legacy ±1.02 cap, but within the geometry-derived
+    /// [`RETRACT_MAX`]. The old ladder left the pair un-separated
+    /// (forcing a whole-machine reset stage); the derived ladder must
+    /// find the slot, in both proximity-index modes identically.
+    #[test]
+    fn fallback_ladder_separates_beyond_legacy_cap() {
+        const LEGACY_CAP: f64 = 1.02;
+        let hw = RaaConfig::new(
+            ArrayDims::new(10, 10),
+            vec![ArrayDims::new(1, 1), ArrayDims::new(8, 21)],
+        )
+        .unwrap();
+        let mut sites = vec![
+            TrapSite::new(ArrayIndex::SLM, 5, 5),
+            TrapSite::new(ArrayIndex::aod(0), 0, 0),
+        ];
+        for r in 0..8u16 {
+            for c in 0..21u16 {
+                sites.push(TrapSite::new(ArrayIndex::aod(1), r, c));
+            }
+        }
+        let am = AtomMapping {
+            site_of_slot: sites,
+        };
+        let mut results = Vec::new();
+        for index in [ProximityIndex::Grid, ProximityIndex::Exhaustive] {
+            let mut state = RouterState::new(&hw, &am, Relaxation::NONE, index);
+            // The movable atom sits at the gate position next to its SLM
+            // partner (5, 5).
+            state.cur_row[0][0] = 5.0 + DELTA_ROW;
+            state.eff_row[0][0] = 5.0 + DELTA_ROW;
+            state.cur_col[0][0] = 5.0 + DELTA_COL;
+            state.eff_col[0][0] = 5.0 + DELTA_COL;
+            // The curtain: AOD1 rows at 0.3-track pitch around the gate
+            // row (top blocker at +1.0 ends the blocked band at +1.167),
+            // one column exactly aligned with the movable atom's x and
+            // the rest at 0.145-track pitch filling ±1.45.
+            let row_offsets = [-1.05, -0.75, -0.45, -0.15, 0.15, 0.45, 0.75, 1.00];
+            for (r, o) in row_offsets.iter().enumerate() {
+                state.cur_row[1][r] = 5.0 + DELTA_ROW + o;
+                state.eff_row[1][r] = 5.0 + DELTA_ROW + o;
+            }
+            for j in 0..21 {
+                let x = 5.0 + DELTA_COL - 1.45 + 0.145 * j as f64;
+                state.cur_col[1][j] = x;
+                state.eff_col[1][j] = x;
+            }
+            state.resync_aod_grid(0);
+            state.resync_aod_grid(1);
+
+            let mut plan = Plan::default();
+            plan.gates.push((0, 0, 1));
+            plan.desired.insert(norm_pair(0, 1));
+            plan.participants.insert(0);
+            plan.participants.insert(1);
+
+            let mut row_delta = HashMap::new();
+            let mut col_delta = HashMap::new();
+            let (moves, separated) = state.apply_retraction(&plan, &mut row_delta, &mut col_delta);
+            assert!(separated, "{index:?}: pulsed pair failed to separate");
+            let row_move = moves
+                .iter()
+                .find(|m| m.aod == 0 && m.axis_row)
+                .expect("movable atom's row retracted");
+            let amount = row_move.to_track - row_move.from_track;
+            assert!(
+                amount.abs() > LEGACY_CAP,
+                "{index:?}: clear slot at {amount:+.3} is within the legacy \
+                 ±{LEGACY_CAP} cap — curtain no longer blocks it"
+            );
+            assert!(
+                amount.abs() <= RETRACT_MAX + 1e-9,
+                "{index:?}: retraction {amount:+.3} beyond derived max"
+            );
+            let d = dist(state.pos(0), state.pos(1));
+            assert!(d > INTERACT_R, "{index:?}: pair still at {d:.3}");
+            results.push(
+                moves
+                    .iter()
+                    .map(|m| (m.aod, m.axis_row, m.line, m.to_track.to_bits()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(
+            results[0], results[1],
+            "grid and exhaustive modes retracted differently"
+        );
     }
 
     #[test]
@@ -1295,6 +1608,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            ProximityIndex::Grid,
         )
         .unwrap();
         assert_eq!(

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use raa_arch::{ArrayIndex, RaaConfig, TrapSite};
 
 use crate::program::{CompiledProgram, StageKind};
+use crate::spatial::SpatialGrid;
 
 /// Rydberg radius in track units (matches the router).
 const INTERACT_R: f64 = 1.0 / 6.0;
@@ -129,6 +130,30 @@ pub fn validate_program(
         }
     };
 
+    // Spatial index over every slot's position, maintained as the replay
+    // applies moves: the separation checks below query neighbors within
+    // the Rydberg radius instead of scanning all atom pairs (the grid's
+    // exactness at radius ≤ its cell size is property-tested in
+    // `crates/core/tests/spatial_properties.rs`).
+    let mut atoms_on_line: HashMap<(usize, bool, u16), Vec<u32>> = HashMap::new();
+    for (slot, site) in site_of_slot.iter().enumerate() {
+        if !site.array.is_slm() {
+            let k = site.array.aod_number();
+            atoms_on_line
+                .entry((k, true, site.row))
+                .or_default()
+                .push(slot as u32);
+            atoms_on_line
+                .entry((k, false, site.col))
+                .or_default()
+                .push(slot as u32);
+        }
+    }
+    let mut grid = SpatialGrid::new(2.5 * INTERACT_R);
+    for (slot, &site) in site_of_slot.iter().enumerate() {
+        grid.insert(slot as u32, pos(site, &row_pos, &col_pos));
+    }
+
     for (i, stage) in program.stages.iter().enumerate() {
         match stage.kind {
             StageKind::OneQubit | StageKind::Cooling | StageKind::TransferAssisted => continue,
@@ -142,6 +167,11 @@ pub fn validate_program(
                     row_pos[k] = (0..dims.rows).map(|r| r as f64 + fy).collect();
                     col_pos[k] = (0..dims.cols).map(|c| c as f64 + fx).collect();
                     parked[k] = !stage.kept_aods.contains(&(k as u8));
+                }
+                for (slot, site) in site_of_slot.iter().enumerate() {
+                    if !site.array.is_slm() {
+                        grid.update(slot as u32, pos(*site, &row_pos, &col_pos));
+                    }
                 }
                 continue;
             }
@@ -167,6 +197,11 @@ pub fn validate_program(
             };
             *slot = mv.to_track;
             parked[k] = false;
+            if let Some(atoms) = atoms_on_line.get(&(k, mv.axis_row, mv.line)) {
+                for &atom in atoms {
+                    grid.update(atom, pos(site_of_slot[atom as usize], &row_pos, &col_pos));
+                }
+            }
         }
         // C2: strict ordering.
         for k in 0..num_aods {
@@ -195,29 +230,20 @@ pub fn validate_program(
                 });
             }
         }
-        let active: Vec<u32> = (0..site_of_slot.len() as u32)
-            .filter(|&s| {
-                let site = site_of_slot[s as usize];
-                site.array.is_slm() || !parked[site.array.aod_number()]
-            })
-            .collect();
-        for (xi, &x) in active.iter().enumerate() {
-            let px = pos(site_of_slot[x as usize], &row_pos, &col_pos);
-            for &y in &active[xi + 1..] {
-                let key = (x.min(y), x.max(y));
-                if desired.contains_key(&key) {
-                    continue;
-                }
-                let py = pos(site_of_slot[y as usize], &row_pos, &col_pos);
-                let d = dist(px, py);
-                if d <= INTERACT_R {
-                    return Err(ValidationError::UnwantedInteraction {
-                        stage: i,
-                        pair: key,
-                        distance: d,
-                    });
-                }
-            }
+        if let Some((pair, distance)) = first_unwanted(
+            &grid,
+            site_of_slot,
+            &parked,
+            &desired,
+            &pos,
+            &row_pos,
+            &col_pos,
+        ) {
+            return Err(ValidationError::UnwantedInteraction {
+                stage: i,
+                pair,
+                distance,
+            });
         }
         // Apply the post-pulse retraction. Whether it fully separated the
         // pulsed pairs is checked where it physically matters: at the
@@ -236,31 +262,80 @@ pub fn validate_program(
                 return Err(ValidationError::UnknownLine { stage: i });
             };
             *slot = mv.to_track;
+            if let Some(atoms) = atoms_on_line.get(&(k, mv.axis_row, mv.line)) {
+                for &atom in atoms {
+                    grid.update(atom, pos(site_of_slot[atom as usize], &row_pos, &col_pos));
+                }
+            }
         }
     }
     // End of schedule: no in-field pair may remain within the radius (a
     // further pulse would re-fire on it).
-    let active: Vec<u32> = (0..site_of_slot.len() as u32)
-        .filter(|&s| {
-            let site = site_of_slot[s as usize];
-            site.array.is_slm() || !parked[site.array.aod_number()]
-        })
-        .collect();
-    for (xi, &x) in active.iter().enumerate() {
-        let px = pos(site_of_slot[x as usize], &row_pos, &col_pos);
-        for &y in &active[xi + 1..] {
-            let py = pos(site_of_slot[y as usize], &row_pos, &col_pos);
+    let no_desired = HashMap::new();
+    if let Some((pair, distance)) = first_unwanted(
+        &grid,
+        site_of_slot,
+        &parked,
+        &no_desired,
+        &pos,
+        &row_pos,
+        &col_pos,
+    ) {
+        return Err(ValidationError::UnwantedInteraction {
+            stage: program.stages.len(),
+            pair,
+            distance,
+        });
+    }
+    Ok(())
+}
+
+/// Scans every active (non-parked) atom's Rydberg-radius neighborhood
+/// for a pair not in `desired`; returns the first such pair in
+/// ascending `(x, y)` order, with its distance. Replaces the all-pairs
+/// scan: the grid enumeration visits only atoms that can possibly be
+/// within the radius, reusing one candidate buffer across the whole
+/// sweep (the candidates are sorted so the reported pair stays
+/// deterministic).
+fn first_unwanted(
+    grid: &SpatialGrid,
+    site_of_slot: &[TrapSite],
+    parked: &[bool],
+    desired: &HashMap<(u32, u32), ()>,
+    pos: &impl Fn(TrapSite, &[Vec<f64>], &[Vec<f64>]) -> (f64, f64),
+    row_pos: &[Vec<f64>],
+    col_pos: &[Vec<f64>],
+) -> Option<((u32, u32), f64)> {
+    let active = |s: u32| {
+        let site = site_of_slot[s as usize];
+        site.array.is_slm() || !parked[site.array.aod_number()]
+    };
+    let mut buf: Vec<u32> = Vec::new();
+    for x in 0..site_of_slot.len() as u32 {
+        if !active(x) {
+            continue;
+        }
+        let px = pos(site_of_slot[x as usize], row_pos, col_pos);
+        buf.clear();
+        grid.candidates_into(px, INTERACT_R, &mut buf);
+        buf.sort_unstable();
+        for &y in &buf {
+            // Report each pair once (y > x) and skip inactive atoms.
+            if y <= x || !active(y) {
+                continue;
+            }
+            let key = (x, y);
+            if desired.contains_key(&key) {
+                continue;
+            }
+            let py = pos(site_of_slot[y as usize], row_pos, col_pos);
             let d = dist(px, py);
             if d <= INTERACT_R {
-                return Err(ValidationError::UnwantedInteraction {
-                    stage: program.stages.len(),
-                    pair: (x.min(y), x.max(y)),
-                    distance: d,
-                });
+                return Some((key, d));
             }
         }
     }
-    Ok(())
+    None
 }
 
 fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {

@@ -1,0 +1,151 @@
+//! Property tests of [`SpatialGrid`]: under arbitrary interleavings of
+//! inserts, moves and removals, a neighbor query must return *exactly*
+//! the ids the brute-force distance scan returns, and the candidate
+//! enumeration must be a superset of it. This is the exactness argument
+//! the router's grid mode rests on (the differential router test then
+//! proves the end-to-end consequence: identical schedules).
+
+use std::collections::HashMap;
+
+use atomique::SpatialGrid;
+use proptest::prelude::*;
+
+/// One scripted operation against the grid and the brute-force mirror.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32, (f64, f64)),
+    Update(u32, (f64, f64)),
+    Remove(u32),
+    Query((f64, f64), f64),
+}
+
+/// Coordinates span negative and positive territory across many cells
+/// (the router's track coordinates run roughly −3..32 and retractions go
+/// below line homes).
+fn point() -> impl Strategy<Value = (f64, f64)> {
+    (-4.0f64..36.0, -4.0f64..36.0)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..4, 0u32..24, point(), 0.0f64..2.0).prop_map(|(kind, id, p, r)| match kind {
+        0 => Op::Insert(id, p),
+        1 => Op::Update(id, p),
+        2 => Op::Remove(id),
+        _ => Op::Query(p, r),
+    })
+}
+
+/// Brute force: every mirrored id within distance `r` of `p`, sorted.
+fn brute_force(mirror: &HashMap<u32, (f64, f64)>, p: (f64, f64), r: f64) -> Vec<u32> {
+    let mut out: Vec<u32> = mirror
+        .iter()
+        .filter(|(_, q)| {
+            let (dx, dy) = (q.0 - p.0, q.1 - p.1);
+            dx * dx + dy * dy <= r * r
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Applies `ops`, checking every query against brute force. The cell
+/// size is exercised both below and above the query radii.
+fn check_script(cell: f64, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut grid = SpatialGrid::new(cell);
+    let mut mirror: HashMap<u32, (f64, f64)> = HashMap::new();
+    for &op in ops {
+        match op {
+            Op::Insert(id, p) => {
+                grid.insert(id, p);
+                mirror.insert(id, p);
+            }
+            Op::Update(id, p) => {
+                grid.update(id, p);
+                mirror.insert(id, p);
+            }
+            Op::Remove(id) => {
+                grid.remove(id);
+                mirror.remove(&id);
+            }
+            Op::Query(p, r) => {
+                let expect = brute_force(&mirror, p, r);
+                let got = grid.neighbors_within(p, r);
+                prop_assert!(
+                    got == expect,
+                    "cell {cell} query at {p:?} r {r}: got {got:?}, expected {expect:?}"
+                );
+                let mut cand = Vec::new();
+                grid.candidates_into(p, r, &mut cand);
+                for id in &expect {
+                    prop_assert!(
+                        cand.contains(id),
+                        "candidate superset missing {} (cell {}, r {})",
+                        id,
+                        cell,
+                        r
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(grid.len(), mirror.len());
+    }
+    // Final sweep: positions agree id by id.
+    for (&id, &p) in &mirror {
+        prop_assert_eq!(grid.position(id), Some(p));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queries_match_brute_force_under_mutation(
+        ops in proptest::collection::vec(op(), 1..120),
+        cell_choice in 0usize..3,
+    ) {
+        // 5/12 is the router's BAND_R cell size; the others bracket it so
+        // queries span both fewer and more cells than the radius.
+        let cell = [5.0 / 12.0, 0.11, 1.7][cell_choice];
+        check_script(cell, &ops)?;
+    }
+
+    #[test]
+    fn dense_clusters_stay_exact(
+        ids_and_offsets in proptest::collection::vec((0u32..12, -0.2f64..0.2, -0.2f64..0.2), 4..40),
+        r in 0.0f64..0.5,
+    ) {
+        // Many atoms crammed around one point — the regime the router's
+        // addressing check queries (everything within one or two cells).
+        let mut grid = SpatialGrid::new(5.0 / 12.0);
+        let mut mirror = HashMap::new();
+        for &(id, dx, dy) in &ids_and_offsets {
+            let p = (10.0 + dx, 10.0 + dy);
+            grid.update(id, p);
+            mirror.insert(id, p);
+        }
+        prop_assert_eq!(
+            grid.neighbors_within((10.0, 10.0), r),
+            brute_force(&mirror, (10.0, 10.0), r)
+        );
+    }
+
+    #[test]
+    fn cell_boundary_points_are_found(
+        k in -8i64..8,
+        r in 0.01f64..1.0,
+    ) {
+        // A point exactly on a cell boundary (a multiple of the cell
+        // size) must be found by queries approaching from either side,
+        // and never from beyond the radius. Distances stay off the exact
+        // radius (0.9·r / 1.5·r) so the assertions are float-robust.
+        let cell = 5.0 / 12.0;
+        let x = k as f64 * cell;
+        let mut grid = SpatialGrid::new(cell);
+        grid.insert(0, (x, 0.0));
+        prop_assert_eq!(grid.neighbors_within((x - 0.9 * r, 0.0), r), vec![0u32]);
+        prop_assert_eq!(grid.neighbors_within((x + 0.9 * r, 0.0), r), vec![0u32]);
+        prop_assert!(grid.neighbors_within((x + 1.5 * r, 0.0), r).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Large-array scale smoke tests (ROADMAP "Router performance", paper
+//! Fig. 20's 1000+-qubit extrapolations): generated 512- and 1024-atom
+//! workloads must compile through the full pipeline, pass the
+//! independent stage validator and the ISA legality + replay oracle, and
+//! stay within generous *stage-count* bounds — deliberately wall-clock
+//! free, so the tests guard scalability without becoming timing-flaky.
+//!
+//! The 1024-atom test is ignored in debug builds (the tier-1 `cargo
+//! test -q` run) and exercised by CI's `cargo test -q --release --test
+//! scale` step.
+
+use atomique::{compile, validate_program, AtomiqueConfig};
+use raa_benchmarks::{scaling_pair, Benchmark};
+
+fn compile_and_verify(b: &Benchmark, qubits: usize) -> atomique::CompiledProgram {
+    let cfg = AtomiqueConfig {
+        emit_isa: true,
+        verify_isa: true,
+        ..AtomiqueConfig::scaled_to(qubits)
+    };
+    let out = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
+        .unwrap_or_else(|e| panic!("{}: validator: {e}", b.name));
+    assert!(out.isa.is_some(), "{}: stream not attached", b.name);
+    out
+}
+
+/// Stage-count sanity: every two-qubit stage executes at least one gate,
+/// and fallbacks (resets, transfers) stay a bounded multiple of the
+/// useful work. The factor is generous — the point is catching
+/// super-linear blowups (a stage-per-gate router that stops finding
+/// parallelism, or a reset storm), not pinning exact schedules.
+fn assert_stage_bounds(b: &Benchmark, out: &atomique::CompiledProgram) {
+    let gates = out.stats.two_qubit_gates;
+    assert!(gates > 0, "{}: no two-qubit gates routed", b.name);
+    assert!(
+        out.stats.depth <= gates,
+        "{}: {} stages for {} gates",
+        b.name,
+        out.stats.depth,
+        gates
+    );
+    assert!(
+        out.stages.len() <= 4 * gates + out.stats.one_qubit_gates + 16,
+        "{}: {} total stages for {} 2Q / {} 1Q gates",
+        b.name,
+        out.stages.len(),
+        gates,
+        out.stats.one_qubit_gates
+    );
+    assert!(
+        out.stats.transfers <= gates,
+        "{}: {} transfers for {} gates",
+        b.name,
+        out.stats.transfers,
+        gates
+    );
+}
+
+/// 512 atoms route, validate and verify in every build profile.
+#[test]
+fn routes_512_atom_workloads() {
+    for b in scaling_pair("QSim-512", "QAOA-regu3-512", 512) {
+        let out = compile_and_verify(&b, 512);
+        assert_eq!(out.stats.num_qubits, 512, "{}", b.name);
+        assert_stage_bounds(&b, &out);
+    }
+}
+
+/// The full 1024-atom scaling workloads compile through
+/// `atomique::compile` with ISA legality + replay passing — the
+/// acceptance bar for Fig. 20-scale machines. Release builds only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug; CI runs it via cargo test --release"
+)]
+fn compiles_1024_atom_workloads_through_the_isa_oracle() {
+    for b in scaling_pair("QSim-1024", "QAOA-regu3-1024", 1024) {
+        let out = compile_and_verify(&b, 1024);
+        assert_eq!(out.stats.num_qubits, 1024, "{}", b.name);
+        assert_stage_bounds(&b, &out);
+    }
+}
