@@ -1,22 +1,34 @@
-//! Router-scaling study (ROADMAP "Router performance", paper Fig. 20's
-//! compilation-scalability regime): sparse QSim and 3-regular QAOA
-//! workloads from 64 to 1024 qubits, compiled with the spatial-grid
-//! proximity index and with the exhaustive-scan oracle, reporting stage
-//! counts and wall-clock compile times.
+//! Compiler + verifier scaling study (ROADMAP "Router performance" and
+//! the PR 4 verifier work, paper Fig. 20's compilation-scalability
+//! regime): sparse QSim and 3-regular QAOA workloads from 64 to 1024
+//! qubits, compiled at `-O2` with ISA verification, reporting
+//!
+//! * a per-stage wall-clock breakdown
+//!   (transpile / map / route / lower / opt / verify),
+//! * router compile time with the spatial-grid proximity index vs the
+//!   exhaustive-scan oracle (schedules asserted stage-identical),
+//! * ISA legality checking under `CheckMode::Grid` vs
+//!   `CheckMode::Exhaustive` (verdicts asserted identical), and
+//! * the `-O2` optimizer under the incremental re-verify harness vs the
+//!   full-oracle harness (outputs asserted identical).
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
-//! [-- --oracle-max=N]`. The exhaustive oracle is O(atoms²) per stage,
-//! so it is only run up to `--oracle-max` qubits (default 1024 — pass a
-//! smaller value for a quick look). Whenever both modes run, the
-//! schedules are asserted stage-identical.
+//! [-- --oracle-max=N]`. The exhaustive paths are O(atoms²) per
+//! stage/pulse, so they only run up to `--oracle-max` qubits (default
+//! 1024 — pass a smaller value for a quick look).
 //!
-//! Measured numbers are recorded in EXPERIMENTS.md ("Router scaling").
+//! The whole study is also emitted as `BENCH_scaling.json` in the
+//! working directory, so the perf trajectory stays machine-readable
+//! from PR 4 onward. Measured numbers are recorded in EXPERIMENTS.md
+//! ("Router scaling" and "Verifier scaling").
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use atomique::{compile, AtomiqueConfig, CompiledProgram, ProximityIndex, StageKind};
+use atomique::{compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, StageKind};
 use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
+use raa_isa::{check_legality_mode, optimize_with, CheckMode, IsaStats, VerifyStrategy};
 
 fn oracle_max_from_args() -> usize {
     for arg in std::env::args().skip(1) {
@@ -51,11 +63,91 @@ fn assert_stage_identical(name: &str, grid: &CompiledProgram, scan: &CompiledPro
     }
 }
 
+/// One workload's measurements, mirrored into `BENCH_scaling.json`.
+struct Measurement {
+    name: String,
+    qubits: usize,
+    timings: atomique::StageTimings,
+    /// End-to-end compile wall clock with the grid proximity index
+    /// (`compile.total_s` = `router.grid_compile_s` in the JSON; the
+    /// pure router stage is `timings.route_s`).
+    compile_total_s: f64,
+    /// End-to-end compile wall clock with the exhaustive index.
+    router_scan_s: Option<f64>,
+    isa_instrs: usize,
+    isa_pulses: usize,
+    verify_grid_s: f64,
+    verify_exhaustive_s: Option<f64>,
+    opt_incremental_s: f64,
+    opt_full_s: Option<f64>,
+    opt_incremental_reverifies: usize,
+    opt_full_fallbacks: usize,
+}
+
+fn json_f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn json_opt_f(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), json_f)
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let t = &m.timings;
+        let _ = write!(
+            out,
+            concat!(
+                "    {{\"name\": \"{}\", \"qubits\": {},\n",
+                "     \"compile\": {{\"total_s\": {}, \"transpile_s\": {}, \"map_s\": {}, ",
+                "\"route_s\": {}, \"lower_s\": {}, \"opt_s\": {}, \"verify_s\": {}}},\n",
+                "     \"router\": {{\"grid_compile_s\": {}, \"scan_compile_s\": {}}},\n",
+                "     \"isa\": {{\"instrs\": {}, \"pulses\": {}}},\n",
+                "     \"verifier\": {{\"grid_s\": {}, \"exhaustive_s\": {}}},\n",
+                "     \"opt_harness\": {{\"incremental_s\": {}, \"full_s\": {}, ",
+                "\"incremental_reverifies\": {}, \"full_fallbacks\": {}}}}}"
+            ),
+            m.name,
+            m.qubits,
+            json_f(m.compile_total_s),
+            json_f(t.transpile_s),
+            json_f(t.map_s),
+            json_f(t.route_s),
+            json_f(t.lower_s),
+            json_f(t.opt_s),
+            json_f(t.verify_s),
+            json_f(m.compile_total_s),
+            json_opt_f(m.router_scan_s),
+            m.isa_instrs,
+            m.isa_pulses,
+            json_f(m.verify_grid_s),
+            json_opt_f(m.verify_exhaustive_s),
+            json_f(m.opt_incremental_s),
+            json_opt_f(m.opt_full_s),
+            m.opt_incremental_reverifies,
+            m.opt_full_fallbacks,
+        );
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scaling.json", &out).expect("write BENCH_scaling.json");
+    println!(
+        "\nwrote BENCH_scaling.json ({} workloads)",
+        measurements.len()
+    );
+}
+
 fn main() {
     let oracle_max = oracle_max_from_args();
-    section("Router scaling: spatial grid vs exhaustive scan");
-    println!("(oracle runs up to {oracle_max} qubits; schedules asserted identical)");
+    section("Compiler + verifier scaling: grid vs exhaustive, incremental vs full");
+    println!("(exhaustive oracles run up to {oracle_max} qubits; results asserted identical)");
 
+    let mut measurements = Vec::new();
     for n in [64, 128, 256, 512, 1024] {
         let pair = scaling_pair("QSim", "QAOA-regu3", n);
         for b in &pair {
@@ -67,8 +159,12 @@ fn main() {
                     .map(|c| c.to_string())
                     .collect::<Vec<_>>(),
             );
+            // The headline configuration: -O2 with the stream attached
+            // and independently verified.
             let cfg = AtomiqueConfig {
+                emit_isa: true,
                 verify_isa: true,
+                opt_level: OptLevel::Aggressive,
                 ..AtomiqueConfig::scaled_to(n)
             };
             let t0 = Instant::now();
@@ -94,6 +190,82 @@ fn main() {
                 .filter(|s| s.kind == StageKind::Reset)
                 .count();
             println!("  (ISA legality + replay verified; {resets} reset stages)");
+
+            let t = grid.timings;
+            println!(
+                "  stage breakdown: transpile {:.2}s  map {:.2}s  route {:.2}s  \
+                 lower {:.2}s  opt {:.2}s  verify {:.2}s",
+                t.transpile_s, t.map_s, t.route_s, t.lower_s, t.opt_s, t.verify_s
+            );
+
+            // --- Verifier scaling: the raw (unoptimized) stream checked
+            // under both modes, and -O2 re-run under both harnesses.
+            let raw = atomique::emit_isa(&grid, &cfg.hardware, b.name);
+            let stats = IsaStats::of(&raw);
+
+            let t0 = Instant::now();
+            check_legality_mode(&raw, CheckMode::Grid)
+                .unwrap_or_else(|e| panic!("{}-{n}: grid check: {e}", b.name));
+            let verify_grid_s = t0.elapsed().as_secs_f64();
+            let verify_exhaustive_s = (n <= oracle_max).then(|| {
+                let t0 = Instant::now();
+                check_legality_mode(&raw, CheckMode::Exhaustive)
+                    .unwrap_or_else(|e| panic!("{}-{n}: exhaustive check: {e}", b.name));
+                t0.elapsed().as_secs_f64()
+            });
+
+            let t0 = Instant::now();
+            let (opt_inc, inc_report) =
+                optimize_with(&raw, OptLevel::Aggressive, VerifyStrategy::Incremental);
+            let opt_incremental_s = t0.elapsed().as_secs_f64();
+            let opt_full_s = (n <= oracle_max).then(|| {
+                let t0 = Instant::now();
+                let (opt_full, full_report) =
+                    optimize_with(&raw, OptLevel::Aggressive, VerifyStrategy::Full);
+                let s = t0.elapsed().as_secs_f64();
+                assert_eq!(
+                    opt_inc, opt_full,
+                    "{}-{n}: harness strategies disagree",
+                    b.name
+                );
+                assert_eq!(
+                    inc_report.rejected_rewrites, full_report.rejected_rewrites,
+                    "{}-{n}: harness strategies rejected different rewrites",
+                    b.name
+                );
+                s
+            });
+            println!(
+                "  isa verify ({} instrs, {} pulses): grid {:.2}s, exhaustive {}",
+                stats.instructions,
+                stats.pulses,
+                verify_grid_s,
+                verify_exhaustive_s.map_or_else(|| "-".into(), |s| format!("{s:.2}s")),
+            );
+            println!(
+                "  -O2 harness: incremental {:.2}s ({} windowed, {} fallbacks), full {}",
+                opt_incremental_s,
+                inc_report.incremental_reverifies,
+                inc_report.full_reverifies,
+                opt_full_s.map_or_else(|| "-".into(), |s| format!("{s:.2}s")),
+            );
+
+            measurements.push(Measurement {
+                name: b.name.to_string(),
+                qubits: n,
+                timings: t,
+                compile_total_s: grid_s,
+                router_scan_s: scan_s,
+                isa_instrs: stats.instructions,
+                isa_pulses: stats.pulses,
+                verify_grid_s,
+                verify_exhaustive_s,
+                opt_incremental_s,
+                opt_full_s,
+                opt_incremental_reverifies: inc_report.incremental_reverifies,
+                opt_full_fallbacks: inc_report.full_reverifies,
+            });
         }
     }
+    write_json(&measurements);
 }

@@ -41,27 +41,37 @@ pub fn compile(
     config: &AtomiqueConfig,
 ) -> Result<CompiledProgram, CompileError> {
     let start = Instant::now();
+    let mut timings = crate::program::StageTimings::default();
 
     // 0. Peephole optimization (the paper preprocesses with Qiskit
     // Optimization Level 3; see raa_circuit::optimize).
+    let t = Instant::now();
     let circuit = &raa_circuit::optimize(circuit);
+    timings.transpile_s += t.elapsed().as_secs_f64();
 
     // 1. Qubit-array mapper (Alg. 1).
+    let t = Instant::now();
     let array_mapping =
         map_to_arrays(circuit, &config.hardware, config.array_mapper, config.gamma)?;
+    timings.map_s += t.elapsed().as_secs_f64();
 
     // 2. SWAP insertion on the complete multipartite graph (Fig. 5).
+    let t = Instant::now();
     let transpiled = transpile(circuit, &array_mapping, &config.sabre)?;
+    timings.transpile_s += t.elapsed().as_secs_f64();
 
     // 3. Qubit-atom mapper (Figs. 6–7).
+    let t = Instant::now();
     let atom_mapping = map_to_atoms(
         &transpiled,
         &config.hardware,
         config.atom_mapper,
         config.seed,
     )?;
+    timings.map_s += t.elapsed().as_secs_f64();
 
     // 4. High-parallelism router (Figs. 8–11).
+    let t = Instant::now();
     let routed = route_movements(
         &transpiled,
         &atom_mapping,
@@ -71,6 +81,7 @@ pub fn compile(
         config.router_mode,
         config.proximity_index,
     )?;
+    timings.route_s = t.elapsed().as_secs_f64();
 
     // 5. Fidelity estimation (Sec. V-A).
     let r = &routed.stats;
@@ -126,11 +137,14 @@ pub fn compile(
         stats,
         fidelity,
         isa: None,
+        timings: crate::program::StageTimings::default(),
     };
 
     // 6. Opt-in ISA lowering, optimization and independent verification.
     if config.emit_isa || config.verify_isa {
+        let t = Instant::now();
         let mut isa = crate::lower::emit_isa(&out, &config.hardware, "");
+        timings.lower_s = t.elapsed().as_secs_f64();
         // Optimize only when the stream is attached (emit_isa): with
         // verify_isa alone the optimized result would be discarded and
         // the fixpoint run would be pure wasted compile time.
@@ -138,16 +152,22 @@ pub fn compile(
             // The optimizer is verified internally (every pass re-runs
             // the oracle and unsafe rewrites are refused), so this can
             // only shrink the stream, never corrupt it.
+            let t = Instant::now();
             isa = raa_isa::optimize(&isa, config.opt_level).0;
+            timings.opt_s = t.elapsed().as_secs_f64();
         }
         if config.verify_isa {
+            let t = Instant::now();
             raa_isa::check_legality(&isa).map_err(CompileError::IsaLegality)?;
             raa_isa::replay_verify(&isa).map_err(CompileError::IsaReplay)?;
+            timings.verify_s = t.elapsed().as_secs_f64();
         }
         if config.emit_isa {
             out.isa = Some(isa);
         }
     }
+    out.stats.compile_time_s = start.elapsed().as_secs_f64();
+    out.timings = timings;
     Ok(out)
 }
 

@@ -46,7 +46,6 @@ mod lower;
 mod program;
 mod render;
 mod router;
-mod spatial;
 mod transpile;
 mod validate;
 
@@ -58,10 +57,14 @@ pub use config::{
 };
 pub use error::CompileError;
 pub use lower::emit_isa;
-pub use program::{CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind};
+pub use program::{
+    CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind, StageTimings,
+};
 pub use raa_isa::{OptLevel, OptReport};
 pub use render::{render_schedule, summarize};
 pub use router::{route_movements, RoutedProgram};
-pub use spatial::SpatialGrid;
+// Re-exported so downstream users of `atomique::SpatialGrid` (the home
+// of the index before it was extracted into its own crate) keep working.
+pub use raa_spatial::SpatialGrid;
 pub use transpile::{transpile, TranspiledCircuit};
 pub use validate::{validate_program, ValidationError};

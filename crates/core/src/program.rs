@@ -156,6 +156,27 @@ pub struct RouterStats {
     pub max_n_vib: f64,
 }
 
+/// Wall-clock breakdown of one [`compile`](crate::compile) call,
+/// seconds per pipeline stage. Sums to slightly less than
+/// [`CompileStats::compile_time_s`] (glue code is unattributed).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Peephole optimization + multipartite SABRE SWAP insertion.
+    pub transpile_s: f64,
+    /// Qubit-array mapping (MAX k-Cut) + qubit-atom mapping.
+    pub map_s: f64,
+    /// The high-parallelism movement router.
+    pub route_s: f64,
+    /// Lowering the routed schedule to the `raa-isa` stream
+    /// (0 unless `emit_isa`/`verify_isa` is set).
+    pub lower_s: f64,
+    /// ISA optimization (0 unless `opt_level` > `None` with `emit_isa`).
+    pub opt_s: f64,
+    /// The independent ISA oracle — `check_legality` + `replay_verify`
+    /// (0 unless `verify_isa` is set).
+    pub verify_s: f64,
+}
+
 /// Everything [`compile`](crate::compile) returns.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -176,6 +197,8 @@ pub struct CompiledProgram {
     /// The lowered instruction stream, when requested via
     /// [`AtomiqueConfig::emit_isa`](crate::AtomiqueConfig).
     pub isa: Option<raa_isa::IsaProgram>,
+    /// Per-stage wall-clock breakdown of this compile.
+    pub timings: StageTimings,
 }
 
 impl CompiledProgram {

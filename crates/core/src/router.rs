@@ -41,8 +41,8 @@ use crate::atom_mapper::AtomMapping;
 use crate::config::{ProximityIndex, Relaxation, RouterMode};
 use crate::error::CompileError;
 use crate::program::{LineMove, RouterStats, Stage};
-use crate::spatial::SpatialGrid;
 use crate::transpile::TranspiledCircuit;
+use raa_spatial::SpatialGrid;
 
 /// Rydberg radius in track units (`r_b = d/6`).
 const INTERACT_R: f64 = 1.0 / 6.0;

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use raa_arch::{ArrayIndex, RaaConfig, TrapSite};
 
 use crate::program::{CompiledProgram, StageKind};
-use crate::spatial::SpatialGrid;
+use raa_spatial::SpatialGrid;
 
 /// Rydberg radius in track units (matches the router).
 const INTERACT_R: f64 = 1.0 / 6.0;

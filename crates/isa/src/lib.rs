@@ -74,10 +74,10 @@ mod program;
 mod replay;
 mod stats;
 
-pub use check::check_legality;
+pub use check::{check_legality, check_legality_mode, CheckMode};
 pub use error::{DecodeError, EncodeError, LegalityError, LowerError, ReplayError};
 pub use lower::lower_gate_schedule;
-pub use opt::{optimize, OptLevel, OptReport};
+pub use opt::{optimize, optimize_with, OptLevel, OptReport, VerifyStrategy};
 pub use program::{disassemble, Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION};
 pub use replay::{replay_verify, ReplayReport};
 pub use stats::IsaStats;

@@ -17,10 +17,10 @@
 
 use crate::program::Instr;
 
-use super::{is_barrier, move_key, move_retract, move_to};
+use super::{is_barrier, move_key, move_retract, move_to, PassEdit};
 
 /// Runs the pass; `None` if no fusion applies.
-pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
     let mut out: Vec<Instr> = instrs.to_vec();
     let mut removed = vec![false; out.len()];
     let mut fused = 0usize;
@@ -55,12 +55,11 @@ pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
     if fused == 0 {
         return None;
     }
-    let kept: Vec<Instr> = out
-        .into_iter()
-        .zip(removed)
-        .filter_map(|(instr, r)| (!r).then_some(instr))
-        .collect();
-    Some((kept, fused))
+    Some(PassEdit {
+        out,
+        removed,
+        rewrites: fused,
+    })
 }
 
 /// Rewrites a move's target and retraction flag in place (the `from`
@@ -92,7 +91,7 @@ mod tests {
     #[test]
     fn adjacent_same_line_moves_fuse() {
         let instrs = vec![mrow(0.6, 0.3, false), mrow(0.3, 0.05, false)];
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out, vec![mrow(0.6, 0.05, false)]);
     }
@@ -112,7 +111,7 @@ mod tests {
             Instr::Unpark { aod: 1 },
             mrow(0.3, 0.05, false),
         ];
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), 4);
         assert_eq!(out[0], mrow(0.6, 0.05, false));
@@ -125,7 +124,7 @@ mod tests {
             mrow(0.5, 0.4, true),
             mrow(0.4, 0.3, true),
         ];
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 2);
         assert_eq!(out, vec![mrow(0.6, 0.3, true)]);
     }
@@ -133,7 +132,7 @@ mod tests {
     #[test]
     fn retract_flag_survives_only_pure_retraction_chains() {
         let instrs = vec![mrow(0.05, 0.6, true), mrow(0.6, 0.1, false)];
-        let (out, _) = run(&instrs).unwrap();
+        let (out, _) = run(&instrs).unwrap().into_parts();
         assert_eq!(out, vec![mrow(0.05, 0.1, false)]);
     }
 

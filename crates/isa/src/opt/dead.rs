@@ -22,10 +22,10 @@
 
 use crate::program::Instr;
 
-use super::{move_key, move_to, Tracker};
+use super::{move_key, move_to, PassEdit, Tracker};
 
 /// Runs the pass; `None` if every move is live.
-pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
     let (mut tracker, start) = Tracker::from_init(instrs)?;
     let mut removed = vec![false; instrs.len()];
     let mut dead = 0usize;
@@ -47,13 +47,11 @@ pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
     if dead == 0 {
         return None;
     }
-    let kept: Vec<Instr> = instrs
-        .iter()
-        .zip(removed)
-        .filter(|(_, r)| !r)
-        .map(|(instr, _)| instr.clone())
-        .collect();
-    Some((kept, dead))
+    Some(PassEdit {
+        out: instrs.to_vec(),
+        removed,
+        rewrites: dead,
+    })
 }
 
 /// `true` if the move at `i` is overwritten by a `Park` before anything
@@ -106,7 +104,7 @@ mod tests {
     fn zero_move_is_removed() {
         let mut instrs = init();
         instrs.push(mrow(0.6, 0.6)); // home row moved to where it sits
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), 2);
     }
@@ -119,7 +117,7 @@ mod tests {
             Instr::RamanLayer { gates: vec![] },
             Instr::Park { kept: vec![0] },
         ]);
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert!(!out.iter().any(|i| move_key(i).is_some()));
     }

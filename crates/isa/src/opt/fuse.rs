@@ -21,10 +21,10 @@
 
 use crate::program::Instr;
 
-use super::{is_barrier, move_key, move_retract, move_to, Tracker};
+use super::{is_barrier, move_key, move_retract, move_to, PassEdit, Tracker};
 
 /// Runs the pass; `None` if no cancellable pair exists.
-pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
     let (mut tracker, start) = Tracker::from_init(instrs)?;
     let mut removed = vec![false; instrs.len()];
     let mut cancelled = 0usize;
@@ -64,13 +64,11 @@ pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
     if cancelled == 0 {
         return None;
     }
-    let kept: Vec<Instr> = instrs
-        .iter()
-        .zip(removed)
-        .filter(|(_, r)| !r)
-        .map(|(instr, _)| instr.clone())
-        .collect();
-    Some((kept, cancelled))
+    Some(PassEdit {
+        out: instrs.to_vec(),
+        removed,
+        rewrites: cancelled,
+    })
 }
 
 #[cfg(test)]
@@ -115,7 +113,7 @@ mod tests {
             },
             mrow(0.05, 0.6, true),
         ]);
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), instrs.len() - 2);
         // The surviving stream: approach, pulse, pulse, retract.

@@ -27,13 +27,36 @@
 //! and the input kept, so a buggy pass can cost performance but never
 //! correctness.
 //!
+//! # Incremental re-verification
+//!
+//! Re-running the full oracle on the whole stream for every candidate
+//! makes `-O2` superlinear in stream length. Passes therefore return an
+//! *edit map* (a same-length rewritten copy plus deletion flags — passes
+//! only modify in place or delete, never insert), and the default
+//! [`VerifyStrategy::Incremental`] harness exploits it: it replays the
+//! already-verified input and the candidate in lockstep, runs the
+//! geometric pulse checks only while the two machine states diverge
+//! (from the first edit until line positions and parked flags converge
+//! again), runs the end-of-stream check only if the divergence reaches
+//! the end, and proves index-by-index that no gate event was touched —
+//! which pins the [`replay_verify`] verdict to the input's without
+//! re-running it. Whenever the edit map cannot bound a candidate's
+//! effect the harness falls back to [`VerifyStrategy::Full`], the
+//! original whole-stream oracle, so every accepted rewrite is exactly as
+//! safe as before — only cheaper to prove.
+//! `tests/verify_differential.rs` checks that both strategies accept
+//! identical rewrites across the benchmark suites.
+//!
 //! # How to write a safe pass
 //!
-//! A pass is a function `fn(&[Instr]) -> Option<(Vec<Instr>, usize)>`
-//! returning the rewritten stream and a rewrite count, or `None` when
-//! it finds nothing (or encounters a stream it does not understand —
-//! returning `None` is always safe). To stay inside the oracle's notion
-//! of equivalence, obey three rules:
+//! A pass is a function `fn(&[Instr]) -> Option<PassEdit>` returning an
+//! edit map — a same-length copy of the input with entries modified in
+//! place, a deletion flag per entry, and a rewrite count — or `None`
+//! when it finds nothing (or encounters a stream it does not understand
+//! — returning `None` is always safe). Passes must never *insert*
+//! instructions; the index-preserving edit-map shape is what lets the
+//! harness re-verify only where the candidate diverges. To stay inside
+//! the oracle's notion of equivalence, obey three rules:
 //!
 //! 1. **Never reorder, drop or duplicate a gate event.** Rydberg
 //!    pulses, Raman layers, transfers and cooling swaps are the
@@ -96,7 +119,7 @@ pub mod dead;
 pub mod fuse;
 pub mod park;
 
-use crate::check::check_legality;
+use crate::check::{check_legality, init_machine, CheckMode};
 use crate::program::{Instr, IsaProgram};
 use crate::replay::replay_verify;
 use crate::stats::IsaStats;
@@ -160,13 +183,66 @@ impl PassKind {
         }
     }
 
-    fn run(self, instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+    fn run(self, instrs: &[Instr]) -> Option<PassEdit> {
         match self {
             PassKind::CancelRetract => fuse::run(instrs),
             PassKind::Coalesce => coalesce::run(instrs),
             PassKind::ElidePark => park::run(instrs),
             PassKind::DeadMove => dead::run(instrs),
         }
+    }
+}
+
+/// How [`optimize_with`] re-proves safety after each candidate rewrite.
+/// Both strategies accept exactly the same rewrites (checked by
+/// `tests/verify_differential.rs`); they differ only in how much of the
+/// stream they re-examine per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyStrategy {
+    /// Re-verify incrementally from the pass's edit map: lockstep
+    /// replay of input and candidate, geometric pulse checks only while
+    /// the machine states diverge, gate trace proven untouched
+    /// index-by-index (which pins the replay verdict without re-running
+    /// it). Falls back to [`VerifyStrategy::Full`] whenever the edit
+    /// map cannot bound the candidate's effect.
+    #[default]
+    Incremental,
+    /// Re-run the whole-stream oracle ([`check_legality`] +
+    /// [`replay_verify`] + full gate-trace comparison) on every
+    /// candidate — the original harness, kept as the incremental
+    /// harness's differential baseline and fallback.
+    Full,
+}
+
+/// The edit map a pass returns: a same-length rewritten copy of the
+/// input plus per-entry deletion flags. Passes only modify entries in
+/// place or delete them — never insert — so old index `i` and `out[i]`
+/// always describe the same stream position, which is what lets the
+/// incremental harness re-verify only the indices that changed.
+pub(crate) struct PassEdit {
+    /// Same length as the input; kept entries may be modified in place.
+    pub(crate) out: Vec<Instr>,
+    /// Which entries of `out` are deleted.
+    pub(crate) removed: Vec<bool>,
+    /// How many rewrites the pass performed.
+    pub(crate) rewrites: usize,
+}
+
+impl PassEdit {
+    /// The surviving stream plus the rewrite count (test convenience).
+    #[cfg(test)]
+    pub(crate) fn into_parts(self) -> (Vec<Instr>, usize) {
+        (self.kept(), self.rewrites)
+    }
+
+    /// The surviving instruction stream.
+    pub(crate) fn kept(&self) -> Vec<Instr> {
+        self.out
+            .iter()
+            .zip(&self.removed)
+            .filter(|(_, &r)| !r)
+            .map(|(instr, _)| instr.clone())
+            .collect()
     }
 }
 
@@ -198,6 +274,13 @@ pub struct OptReport {
     /// was kept and the pass disabled for the rest of the run, so
     /// refusals cost performance, never correctness).
     pub rejected_rewrites: usize,
+    /// Candidates whose verdict came from the windowed incremental
+    /// re-verifier (0 under [`VerifyStrategy::Full`]).
+    pub incremental_reverifies: usize,
+    /// Candidates re-verified by the whole-stream oracle — every
+    /// candidate under [`VerifyStrategy::Full`], incremental fallbacks
+    /// otherwise.
+    pub full_reverifies: usize,
     /// `true` if the *input* already failed the oracle, in which case
     /// the optimizer returned it untouched.
     pub skipped_unverified: bool,
@@ -249,6 +332,18 @@ const MAX_ITERATIONS: usize = 64;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn optimize(program: &IsaProgram, level: OptLevel) -> (IsaProgram, OptReport) {
+    optimize_with(program, level, VerifyStrategy::default())
+}
+
+/// [`optimize`] with an explicit re-verification strategy. The result is
+/// identical under both strategies; [`VerifyStrategy::Full`] exists as
+/// the differential baseline and costs a whole-stream oracle run per
+/// candidate.
+pub fn optimize_with(
+    program: &IsaProgram,
+    level: OptLevel,
+    strategy: VerifyStrategy,
+) -> (IsaProgram, OptReport) {
     let before = IsaStats::of(program);
     let mut report = OptReport {
         level,
@@ -279,32 +374,42 @@ pub fn optimize(program: &IsaProgram, level: OptLevel) -> (IsaProgram, OptReport
             if disabled[pass as usize] {
                 continue;
             }
-            let Some((instrs, rewrites)) = pass.run(&current.instrs) else {
+            let Some(edit) = pass.run(&current.instrs) else {
                 continue;
             };
-            debug_assert!(rewrites > 0, "{}: rewrite without count", pass.name());
-            let candidate = IsaProgram {
-                instrs,
-                ..current.clone()
-            };
+            debug_assert!(edit.rewrites > 0, "{}: rewrite without count", pass.name());
+            let kept = edit.kept();
             // The acceptance check enforces the documented guarantees
             // directly, so a buggy pass cannot break them: exact gate
             // sequence, oracle-clean, and never more instructions or
             // line travel than before the pass.
-            if candidate.instrs.len() < current.instrs.len()
-                && IsaStats::of(&candidate).line_travel_tracks
-                    <= IsaStats::of(&current).line_travel_tracks + 1e-12
-                && gate_trace(&candidate.instrs) == reference_trace
-                && check_legality(&candidate).is_ok()
-                && replay_verify(&candidate).is_ok()
-            {
+            let accepted = kept.len() < current.instrs.len()
+                && match strategy {
+                    VerifyStrategy::Incremental => {
+                        match verify_incremental(&current, &edit, &kept) {
+                            Some(verdict) => {
+                                report.incremental_reverifies += 1;
+                                verdict
+                            }
+                            None => {
+                                report.full_reverifies += 1;
+                                verify_full(&current, &kept, &reference_trace)
+                            }
+                        }
+                    }
+                    VerifyStrategy::Full => {
+                        report.full_reverifies += 1;
+                        verify_full(&current, &kept, &reference_trace)
+                    }
+                };
+            if accepted {
                 match pass {
-                    PassKind::CancelRetract => report.cancelled_retractions += rewrites,
-                    PassKind::Coalesce => report.coalesced_moves += rewrites,
-                    PassKind::ElidePark => report.elided_parks += rewrites,
-                    PassKind::DeadMove => report.dead_moves += rewrites,
+                    PassKind::CancelRetract => report.cancelled_retractions += edit.rewrites,
+                    PassKind::Coalesce => report.coalesced_moves += edit.rewrites,
+                    PassKind::ElidePark => report.elided_parks += edit.rewrites,
+                    PassKind::DeadMove => report.dead_moves += edit.rewrites,
                 }
-                current = candidate;
+                current.instrs = kept;
                 changed = true;
             } else {
                 report.rejected_rewrites += 1;
@@ -322,22 +427,118 @@ pub fn optimize(program: &IsaProgram, level: OptLevel) -> (IsaProgram, OptReport
     (current, report)
 }
 
+/// Summed `|to - from|` of all moves — the same accumulation (stream
+/// order, track units) as [`IsaStats::of`], shared by both verify
+/// strategies so their travel comparisons cannot disagree.
+fn line_travel(instrs: &[Instr]) -> f64 {
+    instrs
+        .iter()
+        .map(|i| match i {
+            Instr::MoveRow { from, to, .. } | Instr::MoveCol { from, to, .. } => (to - from).abs(),
+            _ => 0.0,
+        })
+        .sum()
+}
+
+/// Whether `instr` is part of the observable gate-event sequence.
+fn is_gate_event(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::RydbergPulse { .. }
+            | Instr::RamanLayer { .. }
+            | Instr::Transfer { .. }
+            | Instr::Cool { .. }
+    )
+}
+
+/// The original whole-stream acceptance check: travel non-increasing,
+/// exact gate trace, and both oracle halves on the full candidate.
+fn verify_full(current: &IsaProgram, kept: &[Instr], reference_trace: &[&Instr]) -> bool {
+    let candidate = IsaProgram {
+        instrs: kept.to_vec(),
+        ..current.clone()
+    };
+    line_travel(&candidate.instrs) <= line_travel(&current.instrs) + 1e-12
+        && gate_trace(&candidate.instrs) == reference_trace
+        && check_legality(&candidate).is_ok()
+        && replay_verify(&candidate).is_ok()
+}
+
+/// The incremental acceptance check.
+///
+/// Returns `Some(verdict)` when the edit map bounds the candidate's
+/// effect, `None` when it cannot (the caller falls back to
+/// [`verify_full`]). Soundness rests on `current` being oracle-verified
+/// (an invariant of [`optimize_with`]: the input is checked up front and
+/// every accepted candidate is proven before replacing it) and on the
+/// lockstep argument: once the candidate's machine state re-converges
+/// with the input's and the remaining instructions are identical, every
+/// later check must reproduce the input's passing verdict.
+fn verify_incremental(current: &IsaProgram, edit: &PassEdit, kept: &[Instr]) -> Option<bool> {
+    let old = &current.instrs;
+    if edit.out.len() != old.len() || edit.removed.len() != old.len() {
+        return None; // malformed edit map: effect unbounded
+    }
+    let edits: Vec<usize> = (0..old.len())
+        .filter(|&i| edit.removed[i] || edit.out[i] != old[i])
+        .collect();
+    if edits.is_empty() {
+        return Some(false); // claimed a rewrite but changed nothing
+    }
+    // Gate trace untouched, index-for-index: deleting or altering a gate
+    // event changes the observable sequence (and would change the replay
+    // verdict); edits confined to non-events provably keep both.
+    for &i in &edits {
+        if is_gate_event(&old[i]) || (!edit.removed[i] && is_gate_event(&edit.out[i])) {
+            return Some(false);
+        }
+    }
+    // Line travel: the same comparison as the full harness.
+    if line_travel(kept) > line_travel(old) + 1e-12 {
+        return Some(false);
+    }
+    // Lockstep legality. The init prefix and loading map are shared with
+    // the (verified) input, so both machines start from the same state;
+    // edits inside the init prefix cannot be bounded this way.
+    let Ok((mut m_old, start)) = init_machine(current, CheckMode::Exhaustive) else {
+        return None;
+    };
+    if edits[0] < start {
+        return None;
+    }
+    let Ok((mut m_new, _)) = init_machine(current, CheckMode::Grid) else {
+        return None;
+    };
+    let mut diverged = false;
+    let mut next_edit = 0usize;
+    for (i, instr) in old.iter().enumerate().skip(start) {
+        if next_edit < edits.len() && edits[next_edit] == i {
+            diverged = true;
+            next_edit += 1;
+        }
+        if m_old.step(i, instr, false).is_err() {
+            return None; // the verified input failed to replay: bail out
+        }
+        if !edit.removed[i] && m_new.step(i, &edit.out[i], diverged).is_err() {
+            return Some(false);
+        }
+        if diverged && m_new.state_eq(&m_old) {
+            diverged = false;
+        }
+    }
+    // Converged before the end: the end-of-stream checks replay the
+    // input's passing verdict. Still diverged: run them on the candidate.
+    if diverged && m_new.end_check(kept.len()).is_err() {
+        return Some(false);
+    }
+    Some(true)
+}
+
 /// The observable gate events of a stream, in order: pulses, Raman
 /// layers, transfers and cooling swaps. Optimization must preserve this
 /// sequence exactly.
 fn gate_trace(instrs: &[Instr]) -> Vec<&Instr> {
-    instrs
-        .iter()
-        .filter(|i| {
-            matches!(
-                i,
-                Instr::RydbergPulse { .. }
-                    | Instr::RamanLayer { .. }
-                    | Instr::Transfer { .. }
-                    | Instr::Cool { .. }
-            )
-        })
-        .collect()
+    instrs.iter().filter(|i| is_gate_event(i)).collect()
 }
 
 // ---------------------------------------------------------------------

@@ -23,10 +23,10 @@
 
 use crate::program::Instr;
 
-use super::Tracker;
+use super::{PassEdit, Tracker};
 
 /// Runs the pass; `None` if no elision applies.
-pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
+pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
     let (mut tracker, start) = Tracker::from_init(instrs)?;
     let mut out: Vec<Instr> = instrs.to_vec();
     let mut removed = vec![false; out.len()];
@@ -87,12 +87,11 @@ pub(crate) fn run(instrs: &[Instr]) -> Option<(Vec<Instr>, usize)> {
     if elided == 0 {
         return None;
     }
-    let kept: Vec<Instr> = out
-        .into_iter()
-        .zip(removed)
-        .filter_map(|(instr, r)| (!r).then_some(instr))
-        .collect();
-    Some((kept, elided))
+    Some(PassEdit {
+        out,
+        removed,
+        rewrites: elided,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +122,7 @@ mod tests {
     fn redundant_unpark_is_removed() {
         let mut instrs = init2();
         instrs.push(Instr::Unpark { aod: 0 }); // never parked
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), 3);
     }
@@ -143,7 +142,7 @@ mod tests {
             Instr::RamanLayer { gates: vec![] },
             Instr::Unpark { aod: 1 },
         ]);
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), instrs.len() - 1);
         assert_eq!(out[4], Instr::Park { kept: vec![0, 1] });
@@ -153,7 +152,7 @@ mod tests {
     fn noop_park_is_removed() {
         let mut instrs = init2();
         instrs.push(Instr::Park { kept: vec![0, 1] }); // everything home, in field
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out.len(), 3);
     }
@@ -217,7 +216,7 @@ mod tests {
         ]);
         // The move already unparked AOD1, so its unpark is redundant —
         // removed by rewrite 1, not folded into the park.
-        let (out, n) = run(&instrs).unwrap();
+        let (out, n) = run(&instrs).unwrap().into_parts();
         assert_eq!(n, 1);
         assert_eq!(out[4], Instr::Park { kept: vec![0] });
         assert!(!out.iter().any(|i| matches!(i, Instr::Unpark { .. })));

@@ -1,0 +1,101 @@
+//! Differential property tests of the legality checker's candidate
+//! enumeration modes: on random *legal* and *illegal* streams,
+//! `CheckMode::Grid` and `CheckMode::Exhaustive` must return the
+//! identical verdict — the same accept, or the same `LegalityError`
+//! variant with the same fields.
+//!
+//! Legal streams come from the shared inflate generator
+//! (`common/mod.rs`); illegal streams are derived from them by targeted
+//! mutations, each designed to trip a specific constraint:
+//!
+//! * truncating directly after a pulse (no retraction) — C1
+//!   `UnwantedInteraction`;
+//! * deleting the column approach of the first pulse — C1 `PairTooFar`;
+//! * sending an approach 5 tracks long — C1 `PairTooFar` far from home;
+//! * parking every AOD just before a pulse — `Malformed` (pulse on a
+//!   parked array).
+
+mod common;
+
+use common::programs;
+use proptest::prelude::*;
+use raa_isa::{check_legality_mode, CheckMode, Instr, IsaProgram};
+
+/// Asserts both modes agree and returns the shared verdict.
+fn modes_agree(p: &IsaProgram) -> Result<bool, TestCaseError> {
+    let grid = check_legality_mode(p, CheckMode::Grid);
+    let scan = check_legality_mode(p, CheckMode::Exhaustive);
+    prop_assert_eq!(&grid, &scan);
+    Ok(grid.is_ok())
+}
+
+/// Index of the first Rydberg pulse of the stream.
+fn first_pulse(p: &IsaProgram) -> usize {
+    p.instrs
+        .iter()
+        .position(|i| matches!(i, Instr::RydbergPulse { .. }))
+        .expect("generated programs always pulse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Legal streams: both modes accept.
+    #[test]
+    fn modes_agree_on_legal_streams((clean, inflated) in programs()) {
+        for p in [&clean, &inflated] {
+            prop_assert!(modes_agree(p)?);
+        }
+    }
+
+    /// Missing retraction: the stream ends with the pulsed pair still
+    /// touching. Both modes must reject, with the identical error.
+    #[test]
+    fn modes_agree_on_missing_retraction((_, mut p) in programs()) {
+        p.instrs.truncate(first_pulse(&p) + 1);
+        prop_assert!(!modes_agree(&p)?);
+    }
+
+    /// Deleted approach: the pulsed pair never comes within the radius.
+    #[test]
+    fn modes_agree_on_missing_approach((_, mut p) in programs()) {
+        let pulse = first_pulse(&p);
+        // Remove every move before the first pulse: the pair is pulsed
+        // at home, far outside the blockade radius.
+        p.instrs = p
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(i, instr)| {
+                *i >= pulse || !matches!(instr, Instr::MoveRow { .. } | Instr::MoveCol { .. })
+            })
+            .map(|(_, instr)| instr.clone())
+            .collect();
+        prop_assert!(!modes_agree(&p)?);
+    }
+
+    /// A runaway approach 5 tracks long: the pair is pulsed far apart
+    /// (and the atom may land near an unrelated trap site).
+    #[test]
+    fn modes_agree_on_runaway_move((_, mut p) in programs(), bump in 1.0f64..5.0) {
+        let pulse = first_pulse(&p);
+        let target = p.instrs[..pulse]
+            .iter()
+            .rposition(|i| matches!(i, Instr::MoveRow { .. } | Instr::MoveCol { .. }))
+            .expect("an approach precedes the first pulse");
+        match &mut p.instrs[target] {
+            Instr::MoveRow { to, .. } | Instr::MoveCol { to, .. } => *to += bump,
+            _ => unreachable!(),
+        }
+        prop_assert!(!modes_agree(&p)?);
+    }
+
+    /// Parking everything right before a pulse: the pulse addresses a
+    /// parked array, which is malformed in both modes.
+    #[test]
+    fn modes_agree_on_parked_pulse((_, mut p) in programs()) {
+        let pulse = first_pulse(&p);
+        p.instrs.insert(pulse, Instr::Park { kept: vec![] });
+        prop_assert!(!modes_agree(&p)?);
+    }
+}

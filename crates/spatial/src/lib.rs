@@ -1,30 +1,39 @@
-//! Uniform spatial-hash index over atom positions.
+//! `raa-spatial` — a uniform spatial-hash index over atom positions,
+//! shared by the Atomique movement router and the `raa-isa` legality
+//! checker.
 //!
-//! The movement router's constraint checks (C1 addressing, retraction
-//! clearance) and the validator's separation checks are all of the form
-//! "which atoms lie within radius *r* of this point?". The exhaustive
-//! answer scans every atom — O(atoms) per query, O(atoms²) per stage —
-//! which caps compilation well below the 1000+-atom machines of the
-//! paper's Fig. 20 extrapolations. [`SpatialGrid`] buckets atoms into
-//! square cells of a fixed size (the router uses the 2.5 `r_b`
-//! addressing band, the largest radius it ever queries) so a query only
-//! visits the handful of cells overlapping the query disk.
+//! The router's constraint checks (C1 addressing, retraction
+//! clearance), the validator's separation checks and the ISA checker's
+//! proximity scans are all of the form "which atoms lie within radius
+//! *r* of this point?". The exhaustive answer scans every atom —
+//! O(atoms) per query, O(atoms²) per stage — which caps compilation
+//! well below the 1000+-atom machines of the Atomique paper's Fig. 20
+//! extrapolations. [`SpatialGrid`] buckets atoms into square cells of a
+//! fixed size (each consumer picks the largest radius it ever queries:
+//! the router uses the 2.5 `r_b` addressing band, the ISA checker the
+//! blockade radius itself) so a query only visits the handful of cells
+//! overlapping the query disk.
 //!
 //! Two query flavors:
 //!
 //! * [`SpatialGrid::candidates_into`] returns a cheap *superset* of the
-//!   in-radius set (every atom in an overlapping cell). The router uses
-//!   this and applies its own distance predicates, so its accept/reject
-//!   logic stays literally identical to the exhaustive scan it replaces
-//!   — restricted to candidates that can possibly matter.
+//!   in-radius set (every atom in an overlapping cell). The router and
+//!   the ISA checker use this and apply their own distance predicates,
+//!   so their accept/reject logic stays literally identical to the
+//!   exhaustive scans they replace — restricted to candidates that can
+//!   possibly matter.
 //! * [`SpatialGrid::neighbors_within`] applies the Euclidean filter and
 //!   returns *exactly* the atoms at distance ≤ `r`, sorted by id.
 //!
 //! Exactness is property-tested against brute force under random
 //! insert/move/remove interleavings in
-//! `crates/core/tests/spatial_properties.rs`, and the router's grid mode
-//! is proven schedule- and ISA-byte-identical to the exhaustive oracle
-//! by `tests/router_differential.rs`.
+//! `crates/core/tests/spatial_properties.rs`; the router's grid mode is
+//! proven schedule- and ISA-byte-identical to the exhaustive oracle by
+//! `tests/router_differential.rs`, and the checker's grid mode
+//! verdict-identical by `crates/isa/tests/check_modes.rs` and
+//! `tests/verify_differential.rs`.
+
+#![deny(missing_docs)]
 
 use std::collections::HashMap;
 
@@ -37,7 +46,7 @@ use std::collections::HashMap;
 /// # Examples
 ///
 /// ```
-/// use atomique::SpatialGrid;
+/// use raa_spatial::SpatialGrid;
 ///
 /// let mut g = SpatialGrid::new(0.5);
 /// g.insert(0, (0.0, 0.0));
