@@ -10,7 +10,10 @@
 //! * ISA legality checking under `CheckMode::Grid` vs
 //!   `CheckMode::Exhaustive` (verdicts asserted identical), and
 //! * the `-O2` optimizer under the incremental re-verify harness vs the
-//!   full-oracle harness (outputs asserted identical).
+//!   full-oracle harness (outputs asserted identical), and
+//! * every workload re-compiled under `RouterStrategy::Layered`
+//!   (schema 2 rows): same gate counts, never more pulses, with its own
+//!   compile/verify/opt timings.
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
 //! [-- --oracle-max=N]`. The exhaustive paths are O(atoms²) per
@@ -25,7 +28,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use atomique::{compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, StageKind};
+use atomique::{
+    compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, RouterStrategy, StageKind,
+};
 use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
 use raa_isa::{check_legality_mode, optimize_with, CheckMode, IsaStats, VerifyStrategy};
@@ -67,6 +72,11 @@ fn assert_stage_identical(name: &str, grid: &CompiledProgram, scan: &CompiledPro
 struct Measurement {
     name: String,
     qubits: usize,
+    /// `"sequential"` or `"layered"` (`AtomiqueConfig::router_strategy`).
+    /// Layered rows skip the exhaustive oracle comparisons (those are
+    /// covered once on the sequential rows); schema 2 added this field
+    /// and the layered rows, keeping every schema-1 row.
+    strategy: &'static str,
     timings: atomique::StageTimings,
     /// End-to-end compile wall clock with the grid proximity index
     /// (`compile.total_s` = `router.grid_compile_s` in the JSON; the
@@ -93,13 +103,13 @@ fn json_opt_f(v: Option<f64>) -> String {
 }
 
 fn write_json(measurements: &[Measurement]) {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"workloads\": [\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let t = &m.timings;
         let _ = write!(
             out,
             concat!(
-                "    {{\"name\": \"{}\", \"qubits\": {},\n",
+                "    {{\"name\": \"{}\", \"qubits\": {}, \"strategy\": \"{}\",\n",
                 "     \"compile\": {{\"total_s\": {}, \"transpile_s\": {}, \"map_s\": {}, ",
                 "\"route_s\": {}, \"lower_s\": {}, \"opt_s\": {}, \"verify_s\": {}}},\n",
                 "     \"router\": {{\"grid_compile_s\": {}, \"scan_compile_s\": {}}},\n",
@@ -110,6 +120,7 @@ fn write_json(measurements: &[Measurement]) {
             ),
             m.name,
             m.qubits,
+            m.strategy,
             json_f(m.compile_total_s),
             json_f(t.transpile_s),
             json_f(t.map_s),
@@ -253,6 +264,7 @@ fn main() {
             measurements.push(Measurement {
                 name: b.name.to_string(),
                 qubits: n,
+                strategy: "sequential",
                 timings: t,
                 compile_total_s: grid_s,
                 router_scan_s: scan_s,
@@ -264,6 +276,66 @@ fn main() {
                 opt_full_s,
                 opt_incremental_reverifies: inc_report.incremental_reverifies,
                 opt_full_fallbacks: inc_report.full_reverifies,
+            });
+
+            // --- The layered strategy on the same workload (schema 2):
+            // same pipeline, Arctic-style move batching in the router.
+            // Never more pulses than sequential, identical gate counts;
+            // the exhaustive oracle comparisons are already covered by
+            // the sequential row.
+            let lay_cfg = AtomiqueConfig {
+                router_strategy: RouterStrategy::Layered,
+                ..cfg.clone()
+            };
+            let t0 = Instant::now();
+            let lay = compile(&b.circuit, &lay_cfg)
+                .unwrap_or_else(|e| panic!("{}-{n} (layered): {e}", b.name));
+            let lay_s = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                lay.stats.two_qubit_gates, grid.stats.two_qubit_gates,
+                "{}-{n}: layered gate count differs",
+                b.name
+            );
+            let lay_raw = atomique::emit_isa(&lay, &lay_cfg.hardware, b.name);
+            let lay_stats = IsaStats::of(&lay_raw);
+            assert!(
+                lay_stats.pulses <= stats.pulses,
+                "{}-{n}: layered pulses grew",
+                b.name
+            );
+            let t0 = Instant::now();
+            check_legality_mode(&lay_raw, CheckMode::Grid)
+                .unwrap_or_else(|e| panic!("{}-{n}: layered grid check: {e}", b.name));
+            let lay_verify_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let (_, lay_inc_report) =
+                optimize_with(&lay_raw, OptLevel::Aggressive, VerifyStrategy::Incremental);
+            let lay_opt_s = t0.elapsed().as_secs_f64();
+            let lt = lay.timings;
+            println!(
+                "  layered: compile {lay_s:.2}s (route {:.2}s)  pulses {} -> {}  \
+                 travel {:.0} -> {:.0} tracks",
+                lt.route_s,
+                stats.pulses,
+                lay_stats.pulses,
+                stats.line_travel_tracks,
+                lay_stats.line_travel_tracks,
+            );
+            measurements.push(Measurement {
+                name: b.name.to_string(),
+                qubits: n,
+                strategy: "layered",
+                timings: lt,
+                compile_total_s: lay_s,
+                router_scan_s: None,
+                isa_instrs: lay_stats.instructions,
+                isa_pulses: lay_stats.pulses,
+                verify_grid_s: lay_verify_s,
+                verify_exhaustive_s: None,
+                opt_incremental_s: lay_opt_s,
+                opt_full_s: None,
+                opt_incremental_reverifies: lay_inc_report.incremental_reverifies,
+                opt_full_fallbacks: lay_inc_report.full_reverifies,
             });
         }
     }

@@ -79,6 +79,7 @@ pub fn compile(
         &config.params,
         config.relaxation,
         config.router_mode,
+        config.router_strategy,
         config.proximity_index,
     )?;
     timings.route_s = t.elapsed().as_secs_f64();

@@ -39,6 +39,32 @@ pub enum RouterMode {
     Serial,
 }
 
+/// How the router turns its planned gate groups into movement stages.
+///
+/// Unlike [`ProximityIndex`], the two strategies produce *different*
+/// schedules — layered batching merges stages — but provably the same
+/// computation: the flattened gate-execution sequence is identical, and
+/// every layered stream passes the same ISA legality + replay oracle
+/// (`tests/layered_differential.rs` proves both over the benchmark
+/// suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterStrategy {
+    /// One movement stage (move in, pulse, retract) per planned gate
+    /// group — the paper's Sec. III-C scheduling, kept as the
+    /// differential baseline.
+    #[default]
+    Sequential,
+    /// Arctic-style layer batching on top of the same gate planner:
+    /// consecutive stages whose moves touch disjoint lines and whose
+    /// merged configuration stays blockade-exact fuse into one
+    /// coordinated Move/Unpark group with a single merged Rydberg
+    /// pulse, and retract/approach round trips that the ISA optimizer's
+    /// fuse pass would cancel (same [`raa_isa::opt::cost`] predicates)
+    /// are never emitted at all. Strictly fewer pulses and less travel,
+    /// never more.
+    Layered,
+}
+
 /// How the router's constraint checks enumerate proximity candidates.
 ///
 /// Both modes produce bit-identical schedules and ISA streams (proven by
@@ -106,6 +132,11 @@ pub struct AtomiqueConfig {
     pub atom_mapper: AtomMapperKind,
     /// Router scheduling mode.
     pub router_mode: RouterMode,
+    /// How planned gate groups become movement stages:
+    /// [`RouterStrategy::Sequential`] (default, the paper's one stage
+    /// per group) or [`RouterStrategy::Layered`] (Arctic-style move
+    /// batching — merged pulses, elided round trips).
+    pub router_strategy: RouterStrategy,
     /// Proximity-candidate enumeration used by the router's constraint
     /// checks; [`ProximityIndex::Grid`] unless you are running the
     /// differential oracle.
@@ -146,6 +177,7 @@ impl Default for AtomiqueConfig {
             array_mapper: ArrayMapperKind::default(),
             atom_mapper: AtomMapperKind::default(),
             router_mode: RouterMode::default(),
+            router_strategy: RouterStrategy::default(),
             proximity_index: ProximityIndex::default(),
             sabre: SabreConfig::default(),
             seed: 0,
@@ -205,6 +237,7 @@ mod tests {
         assert_eq!(c.array_mapper, ArrayMapperKind::MaxKCut);
         assert_eq!(c.atom_mapper, AtomMapperKind::LoadBalance);
         assert_eq!(c.router_mode, RouterMode::Parallel);
+        assert_eq!(c.router_strategy, RouterStrategy::Sequential);
         assert_eq!(c.proximity_index, ProximityIndex::Grid);
         assert_eq!(c.relaxation, Relaxation::NONE);
         assert_eq!(c.opt_level, OptLevel::None);

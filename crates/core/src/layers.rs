@@ -1,0 +1,582 @@
+//! Layered move batching: the second phase of the two-phase router.
+//!
+//! The gate planner ([`route_movements`](crate::route_movements) under
+//! either strategy) produces one movement stage — move in, pulse,
+//! retract — per greedily planned gate group. Under
+//! [`RouterStrategy::Layered`](crate::RouterStrategy) this module
+//! re-batches that schedule the way the Arctic compiler batches moves
+//! at the layer level:
+//!
+//! * **Layer merging.** Consecutive movement stages whose moves touch
+//!   disjoint AOD lines and whose gates touch disjoint atoms fuse into
+//!   one layer: a single coordinated Move/Unpark group, one merged
+//!   Rydberg pulse driving every pair, and one combined retraction
+//!   group. A merge is taken only when the *merged* pulse configuration
+//!   — later stages' lines at their approach targets, earlier stages'
+//!   pulsed lines still un-retracted — passes the same predicates the
+//!   ISA legality checker applies at a pulse: C2/C3 on every AOD, every
+//!   scheduled pair within the blockade radius, no other in-field pair
+//!   within it. The sequential planner enforces a conservative
+//!   2.5 r_b safety band *within* a stage; across stages only the
+//!   hardware's real r_b exactness matters, which is exactly what the
+//!   checker (and therefore this merge test) demands — that margin is
+//!   where the recovered parallelism comes from.
+//! * **Round-trip elision.** At a layer boundary, a retraction that the
+//!   next layer's approach exactly undoes (the same gate pair pulsed
+//!   again at the same position) is never emitted: the planner consults
+//!   [`raa_isa::opt::cost::round_trip_cancels`] — the *same* predicate
+//!   the optimizer's fuse pass applies post hoc — so approaches are
+//!   planned knowing the retraction would fuse away anyway. This closes
+//!   the ROADMAP's router↔optimizer feedback loop: the `-O0` stream
+//!   already omits what `-O2` would delete.
+//!
+//! Merging never reorders, drops or duplicates a gate — pair lists
+//! concatenate in stage order — so the flattened gate-execution
+//! sequence is identical to the sequential schedule's, and the replay
+//! verifier proves DAG-consistent exactly-once execution on the merged
+//! stream just as it does on the baseline
+//! (`tests/layered_differential.rs` checks both over the full small
+//! suite). Pulse count and line travel strictly shrink or stay equal,
+//! never grow: each merge deletes one pulse and moves no line farther,
+//! each elided round trip removes twice its retraction distance.
+//!
+//! After batching, the stage schedule is re-accounted through a fresh
+//! [`MovementLedger`]: a merged layer is one physical move phase, so
+//! execution time, per-stage heating and decoherence reflect the
+//! coordinated movement rather than the sequential plan's k separate
+//! phases. Cooling stages stay where the planner scheduled them.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::atom_mapper::AtomMapping;
+use crate::program::{LineMove, RouterStats, Stage, StageKind};
+use crate::router::{RoutedProgram, INTERACT_R, PARK_TRAVEL};
+use raa_arch::{ArrayIndex, RaaConfig, TrapSite};
+use raa_physics::{HardwareParams, MovementLedger};
+
+/// `(aod, is_row, line)` — one movable AOD line.
+type LineKey = (u8, bool, u16);
+
+/// Re-batches a sequentially planned schedule into layers and
+/// re-accounts it. `overlap_rejections` is a planning-time counter the
+/// stage replay cannot reconstruct; it is carried over from the
+/// sequential stats.
+pub(crate) fn rebatch(
+    routed: RoutedProgram,
+    mapping: &AtomMapping,
+    hw: &RaaConfig,
+    params: &HardwareParams,
+    num_qubits: usize,
+) -> RoutedProgram {
+    let stages = merge_layers(routed.stages, mapping, hw);
+    let stats = account(
+        &stages,
+        mapping,
+        hw,
+        params,
+        num_qubits,
+        routed.stats.overlap_rejections,
+    );
+    RoutedProgram { stages, stats }
+}
+
+/// Replayed machine state over a stage schedule: committed line
+/// positions, parked flags, and the static atom→line indexes. Mirrors
+/// the router's own bookkeeping but is reconstructed purely from the
+/// recorded stages, like the validator's replay.
+struct Replay<'a> {
+    hw: &'a RaaConfig,
+    row_pos: Vec<Vec<f64>>,
+    col_pos: Vec<Vec<f64>>,
+    parked: Vec<bool>,
+    atoms_on_line: HashMap<LineKey, Vec<u32>>,
+    atoms_in_aod: Vec<Vec<u32>>,
+    site_of_slot: &'a [TrapSite],
+}
+
+impl<'a> Replay<'a> {
+    fn new(mapping: &'a AtomMapping, hw: &'a RaaConfig) -> Self {
+        let num_aods = hw.num_aods();
+        let mut row_pos = Vec::with_capacity(num_aods);
+        let mut col_pos = Vec::with_capacity(num_aods);
+        for k in 0..num_aods {
+            let dims = hw.dims(ArrayIndex::aod(k));
+            let fy = hw.home_y(ArrayIndex::aod(k), 0) / hw.spacing_um;
+            let fx = hw.home_x(ArrayIndex::aod(k), 0) / hw.spacing_um;
+            row_pos.push((0..dims.rows).map(|r| r as f64 + fy).collect());
+            col_pos.push((0..dims.cols).map(|c| c as f64 + fx).collect());
+        }
+        let mut atoms_on_line: HashMap<LineKey, Vec<u32>> = HashMap::new();
+        let mut atoms_in_aod: Vec<Vec<u32>> = vec![Vec::new(); num_aods];
+        for (slot, site) in mapping.site_of_slot.iter().enumerate() {
+            if !site.array.is_slm() {
+                let k = site.array.aod_number() as u8;
+                atoms_on_line
+                    .entry((k, true, site.row))
+                    .or_default()
+                    .push(slot as u32);
+                atoms_on_line
+                    .entry((k, false, site.col))
+                    .or_default()
+                    .push(slot as u32);
+                atoms_in_aod[k as usize].push(slot as u32);
+            }
+        }
+        Replay {
+            hw,
+            row_pos,
+            col_pos,
+            parked: vec![false; num_aods],
+            atoms_on_line,
+            atoms_in_aod,
+            site_of_slot: &mapping.site_of_slot,
+        }
+    }
+
+    fn line(&self, key: LineKey) -> f64 {
+        let (k, is_row, i) = key;
+        if is_row {
+            self.row_pos[k as usize][i as usize]
+        } else {
+            self.col_pos[k as usize][i as usize]
+        }
+    }
+
+    fn set_line(&mut self, key: LineKey, value: f64) {
+        let (k, is_row, i) = key;
+        if is_row {
+            self.row_pos[k as usize][i as usize] = value;
+        } else {
+            self.col_pos[k as usize][i as usize] = value;
+        }
+    }
+
+    fn pos(&self, slot: u32) -> (f64, f64) {
+        let site = self.site_of_slot[slot as usize];
+        if site.array.is_slm() {
+            (site.row as f64, site.col as f64)
+        } else {
+            let k = site.array.aod_number();
+            (
+                self.row_pos[k][site.row as usize],
+                self.col_pos[k][site.col as usize],
+            )
+        }
+    }
+
+    fn in_field(&self, slot: u32) -> bool {
+        let site = self.site_of_slot[slot as usize];
+        site.array.is_slm() || !self.parked[site.array.aod_number()]
+    }
+
+    /// Applies one recorded move (or unpark marker).
+    fn apply_move(&mut self, mv: &LineMove) {
+        if mv.line == u16::MAX {
+            self.parked[mv.aod as usize] = false;
+        } else {
+            self.set_line((mv.aod, mv.axis_row, mv.line), mv.to_track);
+            self.parked[mv.aod as usize] = false;
+        }
+    }
+
+    /// Applies a stage's full state effect (moves, retractions, resets).
+    fn apply_stage(&mut self, stage: &Stage) {
+        match stage.kind {
+            StageKind::Movement => {
+                for mv in stage.moves.iter().chain(&stage.retract_moves) {
+                    self.apply_move(mv);
+                }
+            }
+            StageKind::Reset => {
+                self.apply_reset(&stage.kept_aods);
+            }
+            StageKind::OneQubit | StageKind::TransferAssisted | StageKind::Cooling => {}
+        }
+    }
+
+    /// Re-homes every AOD, parking all but `kept` — the state effect of
+    /// [`StageKind::Reset`]. Returns which AODs were displaced or
+    /// changed park state (the accounting replay charges those).
+    fn apply_reset(&mut self, kept: &[u8]) -> Vec<bool> {
+        let mut charged = vec![false; self.hw.num_aods()];
+        for (k, charge) in charged.iter_mut().enumerate() {
+            let keep_this = kept.contains(&(k as u8));
+            let mut displaced = false;
+            let dims = self.hw.dims(ArrayIndex::aod(k));
+            let fy = self.hw.home_y(ArrayIndex::aod(k), 0) / self.hw.spacing_um;
+            let fx = self.hw.home_x(ArrayIndex::aod(k), 0) / self.hw.spacing_um;
+            for r in 0..dims.rows {
+                let home = r as f64 + fy;
+                if (self.row_pos[k][r] - home).abs() > 1e-12 {
+                    displaced = true;
+                }
+                self.row_pos[k][r] = home;
+            }
+            for c in 0..dims.cols {
+                let home = c as f64 + fx;
+                if (self.col_pos[k][c] - home).abs() > 1e-12 {
+                    displaced = true;
+                }
+                self.col_pos[k][c] = home;
+            }
+            let park_transition = if keep_this {
+                self.parked[k]
+            } else {
+                !self.parked[k]
+            };
+            *charge = displaced || park_transition;
+            self.parked[k] = !keep_this;
+        }
+        charged
+    }
+}
+
+/// One layer being accumulated: the merged stage plus the bookkeeping
+/// the compatibility checks need.
+struct LayerAcc {
+    stage: Stage,
+    /// Every atom participating in a layer gate.
+    slots: HashSet<u32>,
+    /// Pulse-time positions of the layer's retracted lines: at the
+    /// merged pulse those lines are still at their gate positions, not
+    /// yet at their recorded retraction targets.
+    overrides: HashMap<LineKey, f64>,
+}
+
+impl LayerAcc {
+    fn new(stage: Stage) -> Self {
+        let mut acc = LayerAcc {
+            stage: Stage::movement(Vec::new(), Vec::new(), Vec::new()),
+            slots: HashSet::new(),
+            overrides: HashMap::new(),
+        };
+        acc.absorb(stage);
+        acc
+    }
+
+    /// Folds one compatible stage into the layer.
+    fn absorb(&mut self, stage: Stage) {
+        for mv in &stage.retract_moves {
+            self.overrides
+                .insert((mv.aod, mv.axis_row, mv.line), mv.from_track);
+        }
+        for &(a, b) in &stage.gate_pairs {
+            self.slots.insert(a);
+            self.slots.insert(b);
+        }
+        self.stage.moves.extend(stage.moves);
+        self.stage.retract_moves.extend(stage.retract_moves);
+        self.stage.gate_pairs.extend(stage.gate_pairs);
+    }
+
+    /// Structural compatibility of a follow-up stage: its gates must
+    /// touch no atom already pulsed this layer (one pulse may not reuse
+    /// an atom), and it must not move or re-retract a line the layer
+    /// has already retracted — retracted lines are frozen until the
+    /// layer ends, because their recorded retraction runs *after* the
+    /// merged pulse and a later move of the same line would falsify the
+    /// recorded move origins. Lines the layer merely approached may be
+    /// re-moved freely; whether the result is legal is decided by the
+    /// geometric merged-pulse check, not here.
+    fn compatible_with(&self, stage: &Stage) -> bool {
+        stage
+            .moves
+            .iter()
+            .filter(|mv| mv.line != u16::MAX)
+            .chain(&stage.retract_moves)
+            .all(|mv| !self.overrides.contains_key(&(mv.aod, mv.axis_row, mv.line)))
+            && stage
+                .gate_pairs
+                .iter()
+                .all(|&(a, b)| !self.slots.contains(&a) && !self.slots.contains(&b))
+    }
+}
+
+/// The layer-merging pass over a sequentially planned schedule.
+fn merge_layers(stages: Vec<Stage>, mapping: &AtomMapping, hw: &RaaConfig) -> Vec<Stage> {
+    let mut replay = Replay::new(mapping, hw);
+    let mut out: Vec<Stage> = Vec::with_capacity(stages.len());
+    let mut layer: Option<LayerAcc> = None;
+    // The last emitted movement stage, while only position-neutral
+    // (one-qubit) stages followed it — the candidate for round-trip
+    // elision across the boundary. Reset, transfer and cooling stages
+    // are barriers, mirroring the ISA cost model's barrier set.
+    let mut fusible_prev: Option<usize> = None;
+
+    let flush = |layer: &mut Option<LayerAcc>, out: &mut Vec<Stage>| -> Option<usize> {
+        layer.take().map(|acc| {
+            out.push(acc.stage);
+            out.len() - 1
+        })
+    };
+
+    for stage in stages {
+        match stage.kind {
+            StageKind::Movement => {
+                if let Some(acc) = layer.as_mut() {
+                    if acc.compatible_with(&stage) && merged_pulse_legal(&mut replay, acc, &stage) {
+                        replay.apply_stage(&stage);
+                        acc.absorb(stage);
+                        continue;
+                    }
+                }
+                if let Some(idx) = flush(&mut layer, &mut out) {
+                    fusible_prev = Some(idx);
+                }
+                let mut stage = stage;
+                if let Some(prev) = fusible_prev {
+                    elide_round_trips(&mut out[prev], &mut stage, &mut replay);
+                }
+                replay.apply_stage(&stage);
+                layer = Some(LayerAcc::new(stage));
+            }
+            StageKind::OneQubit => {
+                // Position-neutral: the boundary stays fusible.
+                if let Some(idx) = flush(&mut layer, &mut out) {
+                    fusible_prev = Some(idx);
+                }
+                out.push(stage);
+            }
+            StageKind::Reset | StageKind::TransferAssisted | StageKind::Cooling => {
+                flush(&mut layer, &mut out);
+                fusible_prev = None;
+                replay.apply_stage(&stage);
+                out.push(stage);
+            }
+        }
+    }
+    flush(&mut layer, &mut out);
+    out
+}
+
+/// Whether folding `stage` into `acc` keeps the merged pulse legal:
+/// with `stage`'s approaches applied and the layer's retracted lines
+/// back at their pulse positions, the configuration must satisfy the
+/// ISA checker's pulse predicates. The replay state is temporarily
+/// mutated and restored.
+fn merged_pulse_legal(replay: &mut Replay<'_>, acc: &LayerAcc, stage: &Stage) -> bool {
+    // Tentatively build the merged-pulse configuration.
+    let mut line_undo: Vec<(LineKey, f64)> = Vec::new();
+    let mut unparked: Vec<usize> = Vec::new();
+    for mv in &stage.moves {
+        if mv.line == u16::MAX {
+            if replay.parked[mv.aod as usize] {
+                replay.parked[mv.aod as usize] = false;
+                unparked.push(mv.aod as usize);
+            }
+        } else {
+            let key = (mv.aod, mv.axis_row, mv.line);
+            line_undo.push((key, replay.line(key)));
+            replay.set_line(key, mv.to_track);
+        }
+    }
+    for (&key, &pos) in &acc.overrides {
+        line_undo.push((key, replay.line(key)));
+        replay.set_line(key, pos);
+    }
+
+    let mut desired: Vec<(u32, u32)> = acc
+        .stage
+        .gate_pairs
+        .iter()
+        .chain(&stage.gate_pairs)
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    desired.sort_unstable();
+    let ok = pulse_config_legal(replay, &desired);
+
+    for (key, old) in line_undo.into_iter().rev() {
+        replay.set_line(key, old);
+    }
+    for k in unparked {
+        replay.parked[k] = true;
+    }
+    ok
+}
+
+/// The ISA checker's pulse predicates over the replay's current
+/// configuration, delegated to the shared
+/// [`raa_isa::opt::cost::pulse_configuration_legal`] predicate — the
+/// same one the `parallelize` ISA pass applies post hoc, so the router
+/// and the optimizer cannot drift apart on merged-pulse geometry.
+fn pulse_config_legal(replay: &Replay<'_>, desired: &[(u32, u32)]) -> bool {
+    let axes = replay
+        .row_pos
+        .iter()
+        .chain(&replay.col_pos)
+        .map(Vec::as_slice);
+    let n = replay.site_of_slot.len() as u32;
+    let in_field: Vec<(u32, (f64, f64))> = (0..n)
+        .filter(|&s| replay.in_field(s))
+        .map(|s| (s, replay.pos(s)))
+        .collect();
+    raa_isa::opt::cost::pulse_configuration_legal(INTERACT_R, axes, &in_field, desired)
+}
+
+/// Round-trip elision across a layer boundary: a retraction of `prev`
+/// that `next`'s approach returns exactly to its pre-retraction
+/// position (the same pair pulsed again at the same spot — the
+/// sequential stream's dominant redundancy) is dropped from both
+/// stages. Decided by the optimizer's own
+/// [`raa_isa::opt::cost::round_trip_cancels`] predicate; the fuse pass
+/// at `-O2` would cancel exactly these, so the layered `-O0` stream
+/// simply never emits them. The configuration at `next`'s pulse is
+/// unchanged — the line ends at the same position either way — so the
+/// elision cannot affect any legality verdict.
+fn elide_round_trips(prev: &mut Stage, next: &mut Stage, replay: &mut Replay<'_>) {
+    let mut i = 0;
+    while i < prev.retract_moves.len() {
+        let m1 = prev.retract_moves[i];
+        let key = (m1.aod, m1.axis_row, m1.line);
+        let undone = next.moves.iter().position(|m2| {
+            m2.line != u16::MAX
+                && (m2.aod, m2.axis_row, m2.line) == key
+                && raa_isa::opt::cost::round_trip_cancels(m1.from_track, m2.to_track)
+        });
+        if let Some(j) = undone {
+            prev.retract_moves.remove(i);
+            next.moves.remove(j);
+            // The line never left its pulse position.
+            replay.set_line(key, m1.from_track);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Re-derives [`RouterStats`] by replaying a (possibly merged) stage
+/// schedule through a fresh [`MovementLedger`], mirroring the
+/// sequential router's accounting rules stage kind by stage kind. A
+/// merged layer is one move phase: one `record_move` with the combined
+/// per-atom distances and a single `t_move` interval.
+fn account(
+    stages: &[Stage],
+    mapping: &AtomMapping,
+    hw: &RaaConfig,
+    params: &HardwareParams,
+    num_qubits: usize,
+    overlap_rejections: usize,
+) -> RouterStats {
+    let mut replay = Replay::new(mapping, hw);
+    let mut ledger = MovementLedger::new(params);
+    let spacing = hw.spacing_um;
+
+    let mut exec_time = 0.0f64;
+    let mut one_q = 0usize;
+    let mut two_q = 0usize;
+    let mut one_q_layers = 0usize;
+    let mut two_q_stages = 0usize;
+    let mut transfers = 0usize;
+    let mut total_move_um = 0.0f64;
+
+    for stage in stages {
+        match stage.kind {
+            StageKind::OneQubit => {
+                one_q += stage.one_qubit_gates.len();
+                one_q_layers += 1;
+                exec_time += params.one_qubit_time_s;
+            }
+            StageKind::Movement => {
+                let mut row_delta: HashMap<u32, f64> = HashMap::new();
+                let mut col_delta: HashMap<u32, f64> = HashMap::new();
+                for mv in stage.moves.iter().chain(&stage.retract_moves) {
+                    if mv.line == u16::MAX {
+                        // Unpark: the array travels in from the parking
+                        // zone.
+                        for &atom in &replay.atoms_in_aod[mv.aod as usize] {
+                            row_delta.insert(atom, PARK_TRAVEL);
+                        }
+                    } else {
+                        let key = (mv.aod, mv.axis_row, mv.line);
+                        let delta = (mv.to_track - replay.line(key)).abs();
+                        if let Some(atoms) = replay.atoms_on_line.get(&key) {
+                            let map = if mv.axis_row {
+                                &mut row_delta
+                            } else {
+                                &mut col_delta
+                            };
+                            for &atom in atoms {
+                                *map.entry(atom).or_insert(0.0) += delta;
+                            }
+                        }
+                    }
+                    replay.apply_move(mv);
+                }
+                let mut moved: Vec<(u32, f64)> = Vec::new();
+                let all_atoms: HashSet<u32> =
+                    row_delta.keys().chain(col_delta.keys()).copied().collect();
+                for atom in all_atoms {
+                    let dr = row_delta.get(&atom).copied().unwrap_or(0.0);
+                    let dc = col_delta.get(&atom).copied().unwrap_or(0.0);
+                    let d_um = (dr * dr + dc * dc).sqrt() * spacing;
+                    if d_um > 0.0 {
+                        moved.push((atom, d_um * 1e-6));
+                        total_move_um += d_um;
+                    }
+                }
+                moved.sort_by_key(|&(a, _)| a);
+                ledger.record_move(&moved, params.t_move_s, num_qubits);
+                exec_time += params.t_move_s + params.two_qubit_time_s;
+                two_q_stages += 1;
+                for &(a, b) in &stage.gate_pairs {
+                    let aod_atoms: Vec<u32> = [a, b]
+                        .into_iter()
+                        .filter(|&s| !replay.site_of_slot[s as usize].array.is_slm())
+                        .collect();
+                    ledger.record_two_qubit_gate(&aod_atoms);
+                    two_q += 1;
+                }
+            }
+            StageKind::Reset => {
+                let charged = replay.apply_reset(&stage.kept_aods);
+                let mut moved: Vec<(u32, f64)> = Vec::new();
+                for (k, &c) in charged.iter().enumerate() {
+                    if c {
+                        for &atom in &replay.atoms_in_aod[k] {
+                            moved.push((atom, PARK_TRAVEL * spacing * 1e-6));
+                        }
+                    }
+                }
+                moved.sort_by_key(|&(a, _)| a);
+                total_move_um += moved.len() as f64 * PARK_TRAVEL * spacing;
+                ledger.record_move(&moved, params.t_move_s, num_qubits);
+                exec_time += params.t_move_s;
+            }
+            StageKind::TransferAssisted => {
+                let (a, b) = stage.gate_pairs[0];
+                transfers += 2;
+                exec_time += 2.0 * params.t_transfer_s + params.two_qubit_time_s;
+                let aod_atoms: Vec<u32> = [a, b]
+                    .into_iter()
+                    .filter(|&s| !replay.site_of_slot[s as usize].array.is_slm())
+                    .collect();
+                ledger.record_two_qubit_gate(&aod_atoms);
+                two_q += 1;
+                two_q_stages += 1;
+            }
+            StageKind::Cooling => {
+                let k = stage.cooled_aod.unwrap_or(0) as usize;
+                ledger.cool_array(&replay.atoms_in_aod[k]);
+                exec_time += params.t_move_s + 2.0 * params.two_qubit_time_s;
+            }
+        }
+    }
+
+    RouterStats {
+        one_qubit_gates: one_q,
+        two_qubit_gates: two_q,
+        one_qubit_layers: one_q_layers,
+        two_qubit_stages: two_q_stages,
+        execution_time_s: exec_time,
+        total_move_distance_um: total_move_um,
+        num_move_stages: ledger.num_stages(),
+        cooling_events: ledger.cooling_events(),
+        overlap_rejections,
+        transfers,
+        f_heating: ledger.f_heating(),
+        f_loss: ledger.f_loss(),
+        f_cooling: ledger.f_cooling(),
+        f_decoherence: ledger.f_decoherence(),
+        max_n_vib: ledger.max_n_vib(),
+    }
+}

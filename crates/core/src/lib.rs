@@ -42,6 +42,7 @@ mod atom_mapper;
 mod compiler;
 mod config;
 mod error;
+mod layers;
 mod lower;
 mod program;
 mod render;
@@ -54,6 +55,7 @@ pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
 pub use compiler::compile;
 pub use config::{
     ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation, RouterMode,
+    RouterStrategy,
 };
 pub use error::CompileError;
 pub use lower::emit_isa;

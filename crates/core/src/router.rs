@@ -38,14 +38,14 @@ use raa_circuit::{DagSchedule, Gate, GateIdx};
 use raa_physics::{HardwareParams, MovementLedger};
 
 use crate::atom_mapper::AtomMapping;
-use crate::config::{ProximityIndex, Relaxation, RouterMode};
+use crate::config::{ProximityIndex, Relaxation, RouterMode, RouterStrategy};
 use crate::error::CompileError;
 use crate::program::{LineMove, RouterStats, Stage};
 use crate::transpile::TranspiledCircuit;
-use raa_spatial::SpatialGrid;
+use raa_spatial::{FastMap, FastSet, SpatialGrid};
 
 /// Rydberg radius in track units (`r_b = d/6`).
-const INTERACT_R: f64 = 1.0 / 6.0;
+pub(crate) const INTERACT_R: f64 = 1.0 / 6.0;
 /// Safety band in track units (2.5 `r_b`).
 const BAND_R: f64 = 5.0 / 12.0;
 /// Row offset of a parked interacting atom relative to its partner.
@@ -53,7 +53,7 @@ const DELTA_ROW: f64 = 0.05;
 /// Column offset of a parked interacting atom relative to its partner.
 const DELTA_COL: f64 = 0.08;
 /// Distance (in tracks) charged for parking or unparking one array.
-const PARK_TRAVEL: f64 = 2.0;
+pub(crate) const PARK_TRAVEL: f64 = 2.0;
 
 /// Identifies one movable line: `(aod index 0-based, axis, line index)`.
 type LineKey = (u8, Axis, u16);
@@ -100,7 +100,7 @@ struct RouterState<'a> {
     parked: Vec<bool>,
     site_of_slot: Vec<TrapSite>,
     /// Atoms grouped by (aod, axis, line) for dirty-set computation.
-    atoms_on_line: HashMap<LineKey, Vec<u32>>,
+    atoms_on_line: FastMap<LineKey, Vec<u32>>,
     /// Atoms per AOD array (for parking/cooling).
     atoms_in_aod: Vec<Vec<u32>>,
     /// Spatial index over every slot's *effective* position, kept in sync
@@ -119,16 +119,16 @@ struct RouterState<'a> {
 #[derive(Default)]
 struct Plan {
     /// Explicit line targets required by the planned gates.
-    targets: HashMap<LineKey, f64>,
+    targets: FastMap<LineKey, f64>,
     /// Rollback journal for `targets`: `(key, previous value if any)`.
     target_journal: Vec<(LineKey, Option<f64>)>,
     /// Rollback snapshots of solved axis positions.
     axis_journal: Vec<((u8, Axis), Vec<f64>)>,
     /// Arrays being unparked this stage.
-    unparked: HashSet<u8>,
+    unparked: FastSet<u8>,
     gates: Vec<(GateIdx, u32, u32)>,
-    participants: HashSet<u32>,
-    desired: HashSet<(u32, u32)>,
+    participants: FastSet<u32>,
+    desired: FastSet<(u32, u32)>,
 }
 
 impl Plan {
@@ -186,7 +186,7 @@ fn fallback_amounts() -> impl Iterator<Item = f64> {
 /// at one-cell pitch on half-cell offsets.
 fn solve_axis(
     cur: &[f64],
-    targets: &HashMap<LineKey, f64>,
+    targets: &FastMap<LineKey, f64>,
     key_of: impl Fn(u16) -> LineKey,
     relax: Relaxation,
 ) -> Result<Vec<f64>, Reject> {
@@ -306,7 +306,7 @@ impl<'a> RouterState<'a> {
             cur_row.push((0..dims.rows).map(|r| r as f64 + fy).collect());
             cur_col.push((0..dims.cols).map(|c| c as f64 + fx).collect());
         }
-        let mut atoms_on_line: HashMap<LineKey, Vec<u32>> = HashMap::new();
+        let mut atoms_on_line: FastMap<LineKey, Vec<u32>> = FastMap::default();
         let mut atoms_in_aod: Vec<Vec<u32>> = vec![Vec::new(); num_aods];
         for (slot, site) in mapping.site_of_slot.iter().enumerate() {
             if !site.array.is_slm() {
@@ -377,7 +377,7 @@ impl<'a> RouterState<'a> {
     /// Refreshes the spatial index for every atom on line `key` (and
     /// collects them into `dirty`, when given) after the line's effective
     /// position changed.
-    fn sync_line_grid(&mut self, key: LineKey, mut dirty: Option<&mut HashSet<u32>>) {
+    fn sync_line_grid(&mut self, key: LineKey, mut dirty: Option<&mut FastSet<u32>>) {
         let Some(atoms) = self.atoms_on_line.get(&key) else {
             return;
         };
@@ -405,7 +405,7 @@ impl<'a> RouterState<'a> {
         k: u8,
         axis: Axis,
         new_vals: Vec<f64>,
-        mut dirty: Option<&mut HashSet<u32>>,
+        mut dirty: Option<&mut FastSet<u32>>,
     ) {
         let old = match axis {
             Axis::Row => &self.eff_row[k as usize],
@@ -484,7 +484,7 @@ impl<'a> RouterState<'a> {
         }
         plan.gates.truncate(cp.2);
         // Unparks are only kept if an accepted gate still needs them.
-        let mut needed: HashSet<u8> = HashSet::new();
+        let mut needed: FastSet<u8> = FastSet::default();
         for &(_, a, b) in &plan.gates {
             for s in [a, b] {
                 let site = self.site_of_slot[s as usize];
@@ -574,7 +574,9 @@ impl<'a> RouterState<'a> {
             .iter()
             .map(|&((k, axis, _), _)| (k, axis))
             .collect();
-        let mut dirty: HashSet<u32> = HashSet::from([a, b]);
+        let mut dirty: FastSet<u32> = FastSet::default();
+        dirty.insert(a);
+        dirty.insert(b);
         for &(k, axis) in &affected {
             let cur = match axis {
                 Axis::Row => self.eff_row[k as usize].clone(),
@@ -624,7 +626,7 @@ impl<'a> RouterState<'a> {
     /// against each dirty atom. The grid enumeration is a superset of
     /// every atom within [`BAND_R`] (the largest radius the predicate
     /// compares against), so both modes accept and reject identically.
-    fn check_addressing(&self, plan: &Plan, dirty: &HashSet<u32>) -> Result<(), Reject> {
+    fn check_addressing(&self, plan: &Plan, dirty: &FastSet<u32>) -> Result<(), Reject> {
         let mut buf: Vec<u32> = Vec::new();
         for &x in dirty {
             if self.is_parked_slot(x, plan) {
@@ -657,7 +659,7 @@ impl<'a> RouterState<'a> {
     fn addressing_pair_ok(
         &self,
         plan: &Plan,
-        dirty: &HashSet<u32>,
+        dirty: &FastSet<u32>,
         x: u32,
         px: (f64, f64),
         y: u32,
@@ -789,7 +791,7 @@ impl<'a> RouterState<'a> {
         }
         // Lines queued for retraction after the current one: their atoms
         // will still move, so proximity to them is checked on their turn.
-        let mut pending: HashSet<LineKey> = lines.iter().copied().collect();
+        let mut pending: FastSet<LineKey> = lines.iter().copied().collect();
         let mut moves = Vec::new();
         for key in lines {
             let (k, axis, idx) = key;
@@ -810,14 +812,49 @@ impl<'a> RouterState<'a> {
                 )
             };
             let mut chosen = None;
-            for amount in AMOUNTS.into_iter().chain(fallback_amounts()) {
-                let new = pos + amount;
-                if new >= upper - LINE_GAP || new <= lower + LINE_GAP {
-                    continue;
+            match self.index {
+                ProximityIndex::Exhaustive => {
+                    for amount in AMOUNTS.into_iter().chain(fallback_amounts()) {
+                        let new = pos + amount;
+                        if new >= upper - LINE_GAP || new <= lower + LINE_GAP {
+                            continue;
+                        }
+                        if self.retraction_clear(key, new, plan, &pending) {
+                            chosen = Some(amount);
+                            break;
+                        }
+                    }
                 }
-                if self.retraction_clear(key, new, plan, &pending) {
-                    chosen = Some(amount);
-                    break;
+                ProximityIndex::Grid => {
+                    // Memoized probe scan: collect each atom's possible
+                    // blockers once (one wide grid query per atom instead
+                    // of one per atom × candidate amount), then test the
+                    // exact clearance predicate per amount against those
+                    // few positions. Decisions are identical to the
+                    // per-probe enumeration — the wide query is a
+                    // superset of anything any probe can see, and the
+                    // predicate is unchanged.
+                    let blockers = self.collect_retraction_blockers(key, plan, &pending);
+                    'amounts: for amount in AMOUNTS.into_iter().chain(fallback_amounts()) {
+                        let new = pos + amount;
+                        if new >= upper - LINE_GAP || new <= lower + LINE_GAP {
+                            continue;
+                        }
+                        for (site, atom_blockers) in &blockers {
+                            let p = match axis {
+                                Axis::Row => (new, self.eff_col[k as usize][site.col as usize]),
+                                Axis::Col => (self.eff_row[k as usize][site.row as usize], new),
+                            };
+                            if atom_blockers
+                                .iter()
+                                .any(|&b| dist(p, b) <= INTERACT_R + 1e-9)
+                            {
+                                continue 'amounts;
+                            }
+                        }
+                        chosen = Some(amount);
+                        break;
+                    }
                 }
             }
             let Some(amount) = chosen else { continue };
@@ -868,7 +905,7 @@ impl<'a> RouterState<'a> {
         key: LineKey,
         new_pos: f64,
         plan: &Plan,
-        pending: &HashSet<LineKey>,
+        pending: &FastSet<LineKey>,
     ) -> bool {
         let (k, axis, _) = key;
         let Some(atoms) = self.atoms_on_line.get(&key) else {
@@ -904,6 +941,44 @@ impl<'a> RouterState<'a> {
         true
     }
 
+    /// Whether atom `y` is exempt from blocking any retraction of
+    /// `atom` (on line `key`, loaded at `site`) — a position-independent
+    /// predicate: `y` is the retracting atom itself, parked out of the
+    /// field, on a line still pending its own retraction, or rides the
+    /// retracting line (and so moves with it).
+    #[inline]
+    fn retraction_exempt(
+        &self,
+        key: LineKey,
+        site: TrapSite,
+        atom: u32,
+        plan: &Plan,
+        pending: &FastSet<LineKey>,
+        y: u32,
+    ) -> bool {
+        let (k, axis, _) = key;
+        if y == atom || self.is_parked_slot(y, plan) {
+            return true;
+        }
+        let ysite = self.site_of_slot[y as usize];
+        if !ysite.array.is_slm() {
+            let yk = ysite.array.aod_number() as u8;
+            if pending.contains(&(yk, Axis::Row, ysite.row))
+                || pending.contains(&(yk, Axis::Col, ysite.col))
+            {
+                return true;
+            }
+            // Atoms sharing the retracting line move with it.
+            if yk == k
+                && ((axis == Axis::Row && ysite.row == site.row)
+                    || (axis == Axis::Col && ysite.col == site.col))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Whether active atom `y` blocks the retraction candidate `probe`.
     /// Atoms farther than `INTERACT_R + 1e-9` from the probed position
     /// never block, so enumerating only the grid candidates within that
@@ -913,31 +988,49 @@ impl<'a> RouterState<'a> {
         &self,
         probe: &RetractionProbe,
         plan: &Plan,
-        pending: &HashSet<LineKey>,
+        pending: &FastSet<LineKey>,
         y: u32,
     ) -> bool {
         let RetractionProbe { key, site, p, atom } = *probe;
-        let (k, axis, _) = key;
-        if y == atom || self.is_parked_slot(y, plan) {
-            return false;
+        !self.retraction_exempt(key, site, atom, plan, pending, y)
+            && dist(p, self.pos(y)) <= INTERACT_R + 1e-9
+    }
+
+    /// Memoization for the grid-mode retraction scan: for every atom on
+    /// the retracting line, the positions of every non-exempt atom that
+    /// *any* candidate amount could collide with — one grid query of
+    /// radius [`RETRACT_MAX`]` + `[`INTERACT_R`] around the atom's
+    /// current position per atom, instead of one query per atom ×
+    /// candidate probe. A blocker of any probe lies within
+    /// `INTERACT_R + 1e-9` of a position at most [`RETRACT_MAX`] from
+    /// the atom's current one, so the wide query is a strict superset
+    /// and the per-amount exact predicate keeps accept/reject identical
+    /// to the unmemoized enumeration.
+    fn collect_retraction_blockers(
+        &self,
+        key: LineKey,
+        plan: &Plan,
+        pending: &FastSet<LineKey>,
+    ) -> Vec<(TrapSite, Vec<(f64, f64)>)> {
+        let Some(atoms) = self.atoms_on_line.get(&key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(atoms.len());
+        let mut buf: Vec<u32> = Vec::new();
+        for &atom in atoms {
+            let site = self.site_of_slot[atom as usize];
+            let base = self.pos(atom);
+            buf.clear();
+            self.grid
+                .candidates_into(base, RETRACT_MAX + INTERACT_R + 1e-9, &mut buf);
+            let blockers: Vec<(f64, f64)> = buf
+                .iter()
+                .filter(|&&y| !self.retraction_exempt(key, site, atom, plan, pending, y))
+                .map(|&y| self.pos(y))
+                .collect();
+            out.push((site, blockers));
         }
-        let ysite = self.site_of_slot[y as usize];
-        if !ysite.array.is_slm() {
-            let yk = ysite.array.aod_number() as u8;
-            if pending.contains(&(yk, Axis::Row, ysite.row))
-                || pending.contains(&(yk, Axis::Col, ysite.col))
-            {
-                return false;
-            }
-            // Atoms sharing the retracting line move with it.
-            if yk == k
-                && ((axis == Axis::Row && ysite.row == site.row)
-                    || (axis == Axis::Col && ysite.col == site.col))
-            {
-                return false;
-            }
-        }
-        dist(p, self.pos(y)) <= INTERACT_R + 1e-9
+        out
     }
 
     /// Parks every AOD array except those in `keep`, and homes the kept
@@ -1009,6 +1102,17 @@ fn norm_pair(a: u32, b: u32) -> (u32, u32) {
 
 /// Runs the movement router over a transpiled circuit.
 ///
+/// The router is two-phase. Phase one, the *gate planner* (this
+/// function's loop), greedily builds maximal legal parallel gate sets
+/// and plans one movement stage per set. Phase two depends on
+/// `strategy`: [`RouterStrategy::Sequential`] emits the planned stages
+/// as-is (the paper's scheduling, and the differential baseline), while
+/// [`RouterStrategy::Layered`] re-batches them through the
+/// layer-batching module — compatible consecutive stages
+/// fuse into one coordinated move group with a merged Rydberg pulse,
+/// and retract/approach round trips the ISA optimizer would cancel are
+/// elided up front.
+///
 /// `index` selects how the constraint checks enumerate proximity
 /// candidates: [`ProximityIndex::Grid`] (the default in
 /// [`AtomiqueConfig`](crate::AtomiqueConfig)) maintains a spatial-hash
@@ -1025,7 +1129,29 @@ fn norm_pair(a: u32, b: u32) -> (u32, u32) {
 /// is re-grabbed next to its partner, charging two SLM↔AOD transfers to the
 /// fidelity model). [`CompileError::RouterStuck`] is reserved for internal
 /// inconsistencies.
+#[allow(clippy::too_many_arguments)]
 pub fn route_movements(
+    transpiled: &TranspiledCircuit,
+    mapping: &AtomMapping,
+    hw: &RaaConfig,
+    params: &HardwareParams,
+    relax: Relaxation,
+    mode: RouterMode,
+    strategy: RouterStrategy,
+    index: ProximityIndex,
+) -> Result<RoutedProgram, CompileError> {
+    let routed = plan_and_route(transpiled, mapping, hw, params, relax, mode, index)?;
+    Ok(match strategy {
+        RouterStrategy::Sequential => routed,
+        RouterStrategy::Layered => {
+            crate::layers::rebatch(routed, mapping, hw, params, transpiled.circuit.num_qubits())
+        }
+    })
+}
+
+/// Phase one: the greedy per-frontier gate planner, emitting one
+/// movement stage per planned gate set with sequential accounting.
+fn plan_and_route(
     transpiled: &TranspiledCircuit,
     mapping: &AtomMapping,
     hw: &RaaConfig,
@@ -1247,6 +1373,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap()
@@ -1296,6 +1423,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Serial,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();
@@ -1369,6 +1497,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();
@@ -1410,6 +1539,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();
@@ -1442,6 +1572,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();
@@ -1457,6 +1588,7 @@ mod tests {
             &params,
             relaxed,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();
@@ -1608,6 +1740,7 @@ mod tests {
             &params,
             Relaxation::NONE,
             RouterMode::Parallel,
+            RouterStrategy::Sequential,
             ProximityIndex::Grid,
         )
         .unwrap();

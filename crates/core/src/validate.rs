@@ -48,6 +48,14 @@ pub enum ValidationError {
         /// AOD index.
         aod: u8,
     },
+    /// Two adjacent rows/columns of one AOD closer than the Rydberg
+    /// radius (C3: their atoms would blockade each other).
+    LineOverlap {
+        /// Stage index.
+        stage: usize,
+        /// AOD index.
+        aod: u8,
+    },
     /// A recorded move references a line the machine does not have.
     UnknownLine {
         /// Stage index.
@@ -78,6 +86,12 @@ impl std::fmt::Display for ValidationError {
             ),
             ValidationError::OrderViolation { stage, aod } => {
                 write!(f, "stage {stage}: AOD{aod} row/column order violated")
+            }
+            ValidationError::LineOverlap { stage, aod } => {
+                write!(
+                    f,
+                    "stage {stage}: adjacent AOD{aod} lines within the Rydberg radius"
+                )
             }
             ValidationError::UnknownLine { stage } => {
                 write!(f, "stage {stage}: move references a nonexistent line")
@@ -203,11 +217,20 @@ pub fn validate_program(
                 }
             }
         }
-        // C2: strict ordering.
+        // C2 (strict ordering) and C3 (adjacent lines at least one
+        // Rydberg radius apart) at the pulse — the same per-pulse line
+        // constraints the ISA legality checker enforces, so a merged
+        // (layered) stage cannot pass here and fail there.
         for k in 0..num_aods {
             for lines in [&row_pos[k], &col_pos[k]] {
                 if lines.windows(2).any(|w| w[1] <= w[0]) {
                     return Err(ValidationError::OrderViolation {
+                        stage: i,
+                        aod: k as u8,
+                    });
+                }
+                if lines.windows(2).any(|w| w[1] - w[0] < INTERACT_R - 1e-9) {
+                    return Err(ValidationError::LineOverlap {
                         stage: i,
                         aod: k as u8,
                     });

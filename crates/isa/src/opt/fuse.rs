@@ -21,7 +21,7 @@
 
 use crate::program::Instr;
 
-use super::{is_barrier, move_key, move_retract, move_to, PassEdit, Tracker};
+use super::{cost, is_barrier, move_key, move_retract, move_to, PassEdit, Tracker};
 
 /// Runs the pass; `None` if no cancellable pair exists.
 pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
@@ -44,7 +44,9 @@ pub(crate) fn run(instrs: &[Instr]) -> Option<PassEdit> {
                             break;
                         }
                         if move_key(&instrs[j]) == Some(key) {
-                            if !move_retract(&instrs[j])? && move_to(&instrs[j])? == before {
+                            if !move_retract(&instrs[j])?
+                                && cost::round_trip_cancels(before, move_to(&instrs[j])?)
+                            {
                                 removed[i] = true;
                                 removed[j] = true;
                                 cancelled += 1;

@@ -16,16 +16,22 @@
 //! |---|---|---|
 //! | [mod@coalesce] | `Basic` | fuses consecutive moves of one AOD line into one instruction |
 //! | [mod@dead] | `Basic` | drops moves whose displacement is never observed |
+//! | [mod@parallelize] | `Aggressive` | merges two pulses separated only by commuting moves |
 //! | [mod@fuse] | `Aggressive` | cancels a retraction undone by the next approach |
 //! | [mod@park] | `Aggressive` | elides park–unpark pairs and redundant unparks |
 //!
+//! The applicability/profitability predicates the passes share — and
+//! that upstream schedulers may consult — live in [`cost`].
+//!
 //! Every pass runs under a harness that refuses unsafe rewrites: after
-//! each pass the candidate stream must (1) keep the exact sequence of
-//! observable gate events (pulses, Raman layers, transfers, cooling
-//! swaps), (2) still pass [`check_legality`], and (3) still pass
-//! [`replay_verify`]. A candidate failing any of the three is discarded
-//! and the input kept, so a buggy pass can cost performance but never
-//! correctness.
+//! each pass the candidate stream must (1) keep the *flattened*
+//! sequence of observable gate events — each pulse contributing its
+//! pairs in order, plus Raman layers, transfers and cooling swaps as
+//! whole events — so gates may be regrouped across merged pulses but
+//! never reordered, dropped or duplicated, (2) still pass
+//! [`check_legality`], and (3) still pass [`replay_verify`]. A
+//! candidate failing any of the three is discarded and the input kept,
+//! so a buggy pass can cost performance but never correctness.
 //!
 //! # Incremental re-verification
 //!
@@ -37,13 +43,18 @@
 //! already-verified input and the candidate in lockstep, runs the
 //! geometric pulse checks only while the two machine states diverge
 //! (from the first edit until line positions and parked flags converge
-//! again), runs the end-of-stream check only if the divergence reaches
-//! the end, and proves index-by-index that no gate event was touched —
-//! which pins the [`replay_verify`] verdict to the input's without
-//! re-running it. Whenever the edit map cannot bound a candidate's
-//! effect the harness falls back to [`VerifyStrategy::Full`], the
-//! original whole-stream oracle, so every accepted rewrite is exactly as
-//! safe as before — only cheaper to prove.
+//! again), and runs the end-of-stream check only if the divergence
+//! reaches the end. When no edit touches a gate event (every pass
+//! except [mod@parallelize]) the trace is proven untouched
+//! index-by-index, which pins the [`replay_verify`] verdict to the
+//! input's without re-running it; when gate events *are* edited the
+//! harness requires the flattened event sequence to be preserved and
+//! re-proves the replay verdict on the candidate (pulse regrouping can
+//! trip the verifier's slot-reuse and DAG-order rules, so it cannot be
+//! pinned). Whenever the edit map cannot bound a candidate's effect the
+//! harness falls back to [`VerifyStrategy::Full`], the original
+//! whole-stream oracle, so every accepted rewrite is exactly as safe as
+//! before — only cheaper to prove.
 //! `tests/verify_differential.rs` checks that both strategies accept
 //! identical rewrites across the benchmark suites.
 //!
@@ -58,10 +69,12 @@
 //! harness re-verify only where the candidate diverges. To stay inside
 //! the oracle's notion of equivalence, obey three rules:
 //!
-//! 1. **Never reorder, drop or duplicate a gate event.** Rydberg
-//!    pulses, Raman layers, transfers and cooling swaps are the
-//!    program; the harness compares their exact sequence before and
-//!    after.
+//! 1. **Never reorder, drop or duplicate a gate.** Rydberg pulse
+//!    pairs, Raman layers, transfers and cooling swaps are the program;
+//!    the harness compares their flattened sequence before and after.
+//!    Adjacent pulses may merge (their pair lists concatenate in stream
+//!    order — [mod@parallelize] does this), but a pass that moves a
+//!    gate past another, drops one or fires one twice is rejected.
 //! 2. **Positions are only observable at pulses and at end of stream.**
 //!    Between those points atom trajectories are free: moves may be
 //!    fused, re-timed or deleted as long as every line holds the same
@@ -115,14 +128,17 @@
 //! ```
 
 pub mod coalesce;
+pub mod cost;
 pub mod dead;
 pub mod fuse;
+pub mod parallelize;
 pub mod park;
 
 use crate::check::{check_legality, init_machine, CheckMode};
 use crate::program::{Instr, IsaProgram};
 use crate::replay::replay_verify;
 use crate::stats::IsaStats;
+use raa_circuit::Gate;
 
 /// How hard [`optimize`] works on a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -151,11 +167,16 @@ impl OptLevel {
     }
 
     /// The pass pipeline of this level, in execution order.
+    /// `Aggressive` runs pulse merging first: merged windows turn
+    /// inter-pulse round trips into plain round trips that
+    /// [mod@fuse] and [mod@coalesce] then clean up in the same
+    /// fixpoint iteration.
     fn passes(self) -> &'static [PassKind] {
         match self {
             OptLevel::None => &[],
             OptLevel::Basic => &[PassKind::Coalesce, PassKind::DeadMove],
             OptLevel::Aggressive => &[
+                PassKind::Parallelize,
                 PassKind::CancelRetract,
                 PassKind::Coalesce,
                 PassKind::ElidePark,
@@ -167,15 +188,20 @@ impl OptLevel {
 
 #[derive(Debug, Clone, Copy)]
 enum PassKind {
+    Parallelize,
     CancelRetract,
     Coalesce,
     ElidePark,
     DeadMove,
 }
 
+/// Number of [`PassKind`] variants (sizes the per-run disable table).
+const NUM_PASSES: usize = 5;
+
 impl PassKind {
     fn name(self) -> &'static str {
         match self {
+            PassKind::Parallelize => "parallelize-pulses",
             PassKind::CancelRetract => "cancel-retract",
             PassKind::Coalesce => "coalesce-moves",
             PassKind::ElidePark => "elide-parks",
@@ -183,12 +209,13 @@ impl PassKind {
         }
     }
 
-    fn run(self, instrs: &[Instr]) -> Option<PassEdit> {
+    fn run(self, program: &IsaProgram) -> Option<PassEdit> {
         match self {
-            PassKind::CancelRetract => fuse::run(instrs),
-            PassKind::Coalesce => coalesce::run(instrs),
-            PassKind::ElidePark => park::run(instrs),
-            PassKind::DeadMove => dead::run(instrs),
+            PassKind::Parallelize => parallelize::run(program),
+            PassKind::CancelRetract => fuse::run(&program.instrs),
+            PassKind::Coalesce => coalesce::run(&program.instrs),
+            PassKind::ElidePark => park::run(&program.instrs),
+            PassKind::DeadMove => dead::run(&program.instrs),
         }
     }
 }
@@ -201,10 +228,12 @@ impl PassKind {
 pub enum VerifyStrategy {
     /// Re-verify incrementally from the pass's edit map: lockstep
     /// replay of input and candidate, geometric pulse checks only while
-    /// the machine states diverge, gate trace proven untouched
-    /// index-by-index (which pins the replay verdict without re-running
-    /// it). Falls back to [`VerifyStrategy::Full`] whenever the edit
-    /// map cannot bound the candidate's effect.
+    /// the machine states diverge, and the gate trace proven untouched
+    /// index-by-index (pinning the replay verdict without re-running
+    /// it) — or, for pulse-merging edits, the flattened trace proven
+    /// preserved with the replay verdict re-run on the candidate.
+    /// Falls back to [`VerifyStrategy::Full`] whenever the edit map
+    /// cannot bound the candidate's effect.
     #[default]
     Incremental,
     /// Re-run the whole-stream oracle ([`check_legality`] +
@@ -263,6 +292,8 @@ pub struct OptReport {
     pub line_travel_after: f64,
     /// Moves fused by [mod@coalesce].
     pub coalesced_moves: usize,
+    /// Pulse pairs merged by [mod@parallelize].
+    pub merged_pulses: usize,
     /// Retract/approach pairs cancelled by [mod@fuse].
     pub cancelled_retractions: usize,
     /// Park/unpark instructions elided by [mod@park].
@@ -361,12 +392,12 @@ pub fn optimize_with(
         return (program.clone(), report);
     }
 
-    let reference_trace = gate_trace(&program.instrs);
+    let reference_trace = flat_trace(&program.instrs);
     let mut current = program.clone();
     // A pass whose candidate is refused is disabled for the rest of the
     // run: re-running it would deterministically rebuild (and re-pay the
     // oracle cost of) the same unsafe rewrite every iteration.
-    let mut disabled = [false; 4];
+    let mut disabled = [false; NUM_PASSES];
     while report.iterations < MAX_ITERATIONS {
         report.iterations += 1;
         let mut changed = false;
@@ -374,7 +405,7 @@ pub fn optimize_with(
             if disabled[pass as usize] {
                 continue;
             }
-            let Some(edit) = pass.run(&current.instrs) else {
+            let Some(edit) = pass.run(&current) else {
                 continue;
             };
             debug_assert!(edit.rewrites > 0, "{}: rewrite without count", pass.name());
@@ -404,6 +435,7 @@ pub fn optimize_with(
                 };
             if accepted {
                 match pass {
+                    PassKind::Parallelize => report.merged_pulses += edit.rewrites,
                     PassKind::CancelRetract => report.cancelled_retractions += edit.rewrites,
                     PassKind::Coalesce => report.coalesced_moves += edit.rewrites,
                     PassKind::ElidePark => report.elided_parks += edit.rewrites,
@@ -451,15 +483,88 @@ fn is_gate_event(instr: &Instr) -> bool {
     )
 }
 
+/// One atom of the flattened gate-event sequence: a pulse contributes
+/// each of its pairs in order (so merging adjacent pulses with
+/// concatenated pair lists preserves the sequence); Raman layers,
+/// transfers and cooling swaps are whole events.
+#[derive(Debug, PartialEq)]
+enum FlatEvent<'a> {
+    Pair(u32, u32),
+    Raman(&'a [Gate]),
+    Transfer(u32, u32),
+    Cool(u8),
+}
+
+/// The flattened observable gate-event sequence of a stream, as
+/// normalized instructions: each [`Instr::RydbergPulse`] expands to one
+/// single-pair pulse per scheduled pair (in list order); Raman layers,
+/// transfers and cooling swaps pass through whole. This is the
+/// equivalence relation the optimizer preserves — two streams with
+/// equal flattened sequences execute the same gates in the same order,
+/// differing only in how pulses are grouped — and the comparison the
+/// differential tests use for layered-vs-sequential schedules.
+///
+/// # Examples
+///
+/// ```
+/// use raa_isa::{flat_gate_events, Instr};
+///
+/// let split = [
+///     Instr::RydbergPulse { pairs: vec![(0, 1)] },
+///     Instr::MoveRow { aod: 0, row: 0, from: 0.0, to: 1.0, retract: true },
+///     Instr::RydbergPulse { pairs: vec![(2, 3)] },
+/// ];
+/// let merged = [Instr::RydbergPulse { pairs: vec![(0, 1), (2, 3)] }];
+/// assert_eq!(flat_gate_events(&split), flat_gate_events(&merged));
+/// ```
+pub fn flat_gate_events(instrs: &[Instr]) -> Vec<Instr> {
+    flat_trace(instrs)
+        .into_iter()
+        .map(|e| match e {
+            FlatEvent::Pair(a, b) => Instr::RydbergPulse {
+                pairs: vec![(a, b)],
+            },
+            FlatEvent::Raman(gates) => Instr::RamanLayer {
+                gates: gates.to_vec(),
+            },
+            FlatEvent::Transfer(a, b) => Instr::Transfer { a, b },
+            FlatEvent::Cool(aod) => Instr::Cool { aod },
+        })
+        .collect()
+}
+
+/// The flattened observable gate-event sequence of a stream.
+/// Optimization must preserve this sequence exactly — pulses may be
+/// regrouped, but no gate may be reordered, dropped or duplicated.
+/// (The borrowing twin of [`flat_gate_events`], used on the hot
+/// per-candidate harness path.)
+fn flat_trace(instrs: &[Instr]) -> Vec<FlatEvent<'_>> {
+    let mut out = Vec::new();
+    for instr in instrs {
+        match instr {
+            Instr::RydbergPulse { pairs } => {
+                out.extend(pairs.iter().map(|&(a, b)| FlatEvent::Pair(a, b)));
+            }
+            Instr::RamanLayer { gates } => out.push(FlatEvent::Raman(gates)),
+            Instr::Transfer { a, b } => out.push(FlatEvent::Transfer(*a, *b)),
+            Instr::Cool { aod } => out.push(FlatEvent::Cool(*aod)),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// The original whole-stream acceptance check: travel non-increasing,
-/// exact gate trace, and both oracle halves on the full candidate.
-fn verify_full(current: &IsaProgram, kept: &[Instr], reference_trace: &[&Instr]) -> bool {
+/// flattened gate trace preserved, and both oracle halves on the full
+/// candidate (the replay half re-proves DAG order and exactly-once
+/// execution under any pulse regrouping).
+fn verify_full(current: &IsaProgram, kept: &[Instr], reference_trace: &[FlatEvent<'_>]) -> bool {
     let candidate = IsaProgram {
         instrs: kept.to_vec(),
         ..current.clone()
     };
     line_travel(&candidate.instrs) <= line_travel(&current.instrs) + 1e-12
-        && gate_trace(&candidate.instrs) == reference_trace
+        && flat_trace(&candidate.instrs) == reference_trace
         && check_legality(&candidate).is_ok()
         && replay_verify(&candidate).is_ok()
 }
@@ -485,13 +590,17 @@ fn verify_incremental(current: &IsaProgram, edit: &PassEdit, kept: &[Instr]) -> 
     if edits.is_empty() {
         return Some(false); // claimed a rewrite but changed nothing
     }
-    // Gate trace untouched, index-for-index: deleting or altering a gate
-    // event changes the observable sequence (and would change the replay
-    // verdict); edits confined to non-events provably keep both.
-    for &i in &edits {
-        if is_gate_event(&old[i]) || (!edit.removed[i] && is_gate_event(&edit.out[i])) {
-            return Some(false);
-        }
+    // Gate-trace preservation. When no edit touches a gate event the
+    // trace is untouched index-for-index, which also pins the replay
+    // verdict to the input's. When gate events are edited (pulse
+    // merging) the flattened sequence must be preserved and the replay
+    // verdict re-proven on the candidate below — regrouping can trip
+    // the verifier's slot-reuse and DAG-order rules.
+    let events_edited = edits
+        .iter()
+        .any(|&i| is_gate_event(&old[i]) || (!edit.removed[i] && is_gate_event(&edit.out[i])));
+    if events_edited && flat_trace(kept) != flat_trace(old) {
+        return Some(false);
     }
     // Line travel: the same comparison as the full harness.
     if line_travel(kept) > line_travel(old) + 1e-12 {
@@ -531,14 +640,18 @@ fn verify_incremental(current: &IsaProgram, edit: &PassEdit, kept: &[Instr]) -> 
     if diverged && m_new.end_check(kept.len()).is_err() {
         return Some(false);
     }
+    // Edited gate events: legality is proven by the lockstep replay
+    // above, but the replay verdict cannot be pinned — re-prove it.
+    if events_edited {
+        let candidate = IsaProgram {
+            instrs: kept.to_vec(),
+            ..current.clone()
+        };
+        if replay_verify(&candidate).is_err() {
+            return Some(false);
+        }
+    }
     Some(true)
-}
-
-/// The observable gate events of a stream, in order: pulses, Raman
-/// layers, transfers and cooling swaps. Optimization must preserve this
-/// sequence exactly.
-fn gate_trace(instrs: &[Instr]) -> Vec<&Instr> {
-    instrs.iter().filter(|i| is_gate_event(i)).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -582,6 +695,7 @@ pub(crate) fn move_retract(instr: &Instr) -> Option<bool> {
     }
 }
 
+#[derive(Clone)]
 struct AodTrack {
     rows: Vec<f64>,
     cols: Vec<f64>,
@@ -596,6 +710,7 @@ struct AodTrack {
 ///
 /// All accessors return `Option` so a pass can abort (`None` = rewrite
 /// nothing) on a stream it does not understand, rather than panic.
+#[derive(Clone)]
 pub(crate) struct Tracker {
     aods: Vec<AodTrack>,
 }
@@ -811,10 +926,10 @@ mod tests {
     }
 
     #[test]
-    fn optimization_preserves_the_gate_trace() {
+    fn optimization_preserves_the_flattened_gate_trace() {
         let p = movement_program(4, 2);
         let (out, _) = optimize(&p, OptLevel::Aggressive);
-        assert_eq!(gate_trace(&out.instrs), gate_trace(&p.instrs));
+        assert_eq!(flat_trace(&out.instrs), flat_trace(&p.instrs));
     }
 
     #[test]

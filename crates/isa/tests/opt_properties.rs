@@ -21,7 +21,8 @@ mod common;
 use common::{gate_events, programs, travel};
 use proptest::prelude::*;
 use raa_isa::{
-    check_legality, codec, optimize, optimize_with, replay_verify, OptLevel, VerifyStrategy,
+    check_legality, check_legality_mode, codec, flat_gate_events, optimize, optimize_with,
+    replay_verify, CheckMode, IsaStats, OptLevel, VerifyStrategy,
 };
 
 proptest! {
@@ -37,8 +38,10 @@ proptest! {
         }
     }
 
-    /// Every level preserves the oracle, the gate sequence, and never
-    /// increases instruction count or line travel.
+    /// Every level preserves the oracle and the flattened gate
+    /// sequence, and never increases instruction count, pulse count or
+    /// line travel. Below `Aggressive` no pass touches gate events, so
+    /// the un-flattened sequence is preserved verbatim too.
     #[test]
     fn every_level_is_safe_and_never_inflates((clean, inflated) in programs()) {
         for p in [&clean, &inflated] {
@@ -47,12 +50,40 @@ proptest! {
                 prop_assert!(!report.skipped_unverified);
                 check_legality(&out).map_err(|e| TestCaseError::fail(e.to_string()))?;
                 replay_verify(&out).map_err(|e| TestCaseError::fail(e.to_string()))?;
-                prop_assert_eq!(gate_events(&out), gate_events(p));
+                prop_assert_eq!(flat_gate_events(&out.instrs), flat_gate_events(&p.instrs));
+                if level != OptLevel::Aggressive {
+                    prop_assert_eq!(gate_events(&out), gate_events(p));
+                }
                 prop_assert!(out.instrs.len() <= p.instrs.len());
+                prop_assert!(IsaStats::of(&out).pulses <= IsaStats::of(p).pulses);
                 prop_assert!(travel(&out) <= travel(p) + 1e-9);
                 prop_assert_eq!(report.instructions_after, out.instrs.len());
             }
         }
+    }
+
+    /// The `parallelize` pass's contract: every merged pulse deletes
+    /// exactly one pulse instruction, the merged stream passes the
+    /// legality checker in *both* candidate-enumeration modes with the
+    /// flattened gate trace intact, and re-optimizing finds nothing
+    /// more (idempotence).
+    #[test]
+    fn parallelize_merges_are_verified_and_idempotent((_, inflated) in programs()) {
+        let before_pulses = IsaStats::of(&inflated).pulses;
+        let (out, report) = optimize(&inflated, OptLevel::Aggressive);
+        prop_assert_eq!(
+            IsaStats::of(&out).pulses,
+            before_pulses - report.merged_pulses
+        );
+        check_legality_mode(&out, CheckMode::Grid)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        check_legality_mode(&out, CheckMode::Exhaustive)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(flat_gate_events(&out.instrs), flat_gate_events(&inflated.instrs));
+        replay_verify(&out).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (again, again_report) = optimize(&out, OptLevel::Aggressive);
+        prop_assert_eq!(&again, &out);
+        prop_assert_eq!(again_report.merged_pulses, 0);
     }
 
     /// Codec byte-stability survives optimization at every level.

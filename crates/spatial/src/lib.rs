@@ -36,6 +36,83 @@
 #![deny(missing_docs)]
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An FxHash-style multiply-xor hasher for the small integer keys
+/// (cell coordinates, atom ids, line keys) that dominate the router's
+/// and checker's hot paths. The std `HashMap` default (SipHash with a
+/// per-process random seed) is DoS-resistant but ~10× slower on 8-byte
+/// keys, and its per-process seed makes iteration order vary between
+/// runs; this hasher is fast and deterministic. Not collision-resistant
+/// against adversarial keys — use only for trusted, machine-generated
+/// ids.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The multiplier from FxHash (Firefox's hasher): a large odd constant
+/// with well-mixed bits.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// [`std::collections::HashMap`] keyed through [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// [`std::collections::HashSet`] keyed through [`FxHasher`].
+pub type FastSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
 
 /// A uniform grid ("spatial hash") over 2-D points keyed by `u32` ids.
 ///
@@ -62,7 +139,7 @@ use std::collections::HashMap;
 pub struct SpatialGrid {
     cell: f64,
     /// Cell → ids of the points inside it.
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: FastMap<(i64, i64), Vec<u32>>,
     /// Position of each id (dense; `None` for absent ids).
     pos_of: Vec<Option<(f64, f64)>>,
 }
@@ -80,7 +157,7 @@ impl SpatialGrid {
         );
         SpatialGrid {
             cell: cell_size,
-            cells: HashMap::new(),
+            cells: FastMap::default(),
             pos_of: Vec::new(),
         }
     }

@@ -2,23 +2,33 @@
 //! the serializable program an RAA control system would consume — plus
 //! what the ISA optimizer saves on it.
 //!
-//! Run with `cargo run --release --example isa_dump [-- -O{0,1,2}]`
-//! (default `-O2`; see `docs/ISA.md` for the instruction set).
+//! Run with `cargo run --release --example isa_dump [-- -O{0,1,2}]
+//! [--layered] [--stage-timings]` (default `-O2`; `--layered` routes
+//! with the layer-batching strategy, `--stage-timings` prints the
+//! per-stage compile wall-clock breakdown; see `docs/ISA.md` for the
+//! instruction set).
 
-use atomique::{compile, emit_isa, AtomiqueConfig, OptLevel};
+use atomique::{compile, emit_isa, AtomiqueConfig, OptLevel, RouterStrategy};
 use raa_benchmarks::qaoa_regular;
 use raa_isa::{check_legality, codec, disassemble, optimize, replay_verify, IsaStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut level = OptLevel::Aggressive;
-    for arg in std::env::args().skip(1).filter(|a| a.starts_with("-O")) {
-        match OptLevel::parse_flag(&arg) {
-            Some(l) => level = l,
-            None => {
-                return Err(
-                    format!("unknown optimization flag `{arg}` (use -O0, -O1 or -O2)").into(),
-                )
-            }
+    let mut strategy = RouterStrategy::Sequential;
+    let mut stage_timings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--layered" => strategy = RouterStrategy::Layered,
+            "--stage-timings" => stage_timings = true,
+            flag if flag.starts_with("-O") => match OptLevel::parse_flag(flag) {
+                Some(l) => level = l,
+                None => {
+                    return Err(
+                        format!("unknown optimization flag `{flag}` (use -O0, -O1 or -O2)").into(),
+                    )
+                }
+            },
+            other => return Err(format!("unknown argument `{other}`").into()),
         }
     }
 
@@ -27,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = AtomiqueConfig {
         emit_isa: true,
         verify_isa: true,
+        router_strategy: strategy,
         ..AtomiqueConfig::default()
     };
     // verify_isa already ran the oracle inside compile; re-lower with a
@@ -69,11 +80,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.line_travel_saved()
         );
         println!(
-            "passes            : {} coalesced, {} retractions cancelled, {} parks elided, {} dead moves",
+            "passes            : {} pulses merged, {} coalesced, {} retractions cancelled, {} parks elided, {} dead moves",
+            report.merged_pulses,
             report.coalesced_moves,
             report.cancelled_retractions,
             report.elided_parks,
             report.dead_moves
+        );
+    }
+
+    if stage_timings {
+        let t = program.timings;
+        println!("--- stage timings (compile wall clock) ---");
+        println!("transpile         : {:.4}s", t.transpile_s);
+        println!("map               : {:.4}s", t.map_s);
+        println!("route             : {:.4}s", t.route_s);
+        println!("lower             : {:.4}s", t.lower_s);
+        println!("opt               : {:.4}s", t.opt_s);
+        println!("verify            : {:.4}s", t.verify_s);
+        println!(
+            "total             : {:.4}s (glue unattributed)",
+            program.stats.compile_time_s
         );
     }
 

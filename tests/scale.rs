@@ -9,20 +9,30 @@
 //! test -q` run) and exercised by CI's `cargo test -q --release --test
 //! scale` step.
 
-use atomique::{compile, validate_program, AtomiqueConfig};
+use atomique::{compile, validate_program, AtomiqueConfig, RouterStrategy};
 use raa_benchmarks::{scaling_pair, Benchmark};
 
-fn compile_and_verify(b: &Benchmark, qubits: usize) -> atomique::CompiledProgram {
+fn compile_and_verify_with(
+    b: &Benchmark,
+    qubits: usize,
+    strategy: RouterStrategy,
+) -> atomique::CompiledProgram {
     let cfg = AtomiqueConfig {
         emit_isa: true,
         verify_isa: true,
+        router_strategy: strategy,
         ..AtomiqueConfig::scaled_to(qubits)
     };
-    let out = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let out =
+        compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{} ({strategy:?}): {e}", b.name));
     validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
-        .unwrap_or_else(|e| panic!("{}: validator: {e}", b.name));
+        .unwrap_or_else(|e| panic!("{} ({strategy:?}): validator: {e}", b.name));
     assert!(out.isa.is_some(), "{}: stream not attached", b.name);
     out
+}
+
+fn compile_and_verify(b: &Benchmark, qubits: usize) -> atomique::CompiledProgram {
+    compile_and_verify_with(b, qubits, RouterStrategy::Sequential)
 }
 
 /// Stage-count sanity: every two-qubit stage executes at least one gate,
@@ -80,5 +90,45 @@ fn compiles_1024_atom_workloads_through_the_isa_oracle() {
         let out = compile_and_verify(&b, 1024);
         assert_eq!(out.stats.num_qubits, 1024, "{}", b.name);
         assert_stage_bounds(&b, &out);
+    }
+}
+
+/// The 1024-atom workloads under *both* router strategies, with a
+/// wall-clock guard: layered batching replans the whole schedule
+/// (compatibility scan + merged-pulse geometry per candidate) and an
+/// accidental O(stages × atoms²) regression there — or in the
+/// sequential planner it wraps — would show up as a multi-minute
+/// compile long before any stage-count bound trips. The guard is
+/// generous (CI machines are slow), but a quadratic blowup at 1024
+/// atoms overshoots it by an order of magnitude. Layered must also
+/// never schedule worse than sequential. Release builds only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug; CI runs it via cargo test --release"
+)]
+fn routes_1024_atom_workloads_under_both_strategies_within_wall_clock() {
+    const GUARD_S: f64 = 90.0;
+    for b in scaling_pair("QSim-1024", "QAOA-regu3-1024", 1024) {
+        let mut depths = Vec::new();
+        for strategy in [RouterStrategy::Sequential, RouterStrategy::Layered] {
+            let t0 = std::time::Instant::now();
+            let out = compile_and_verify_with(&b, 1024, strategy);
+            let elapsed = t0.elapsed().as_secs_f64();
+            assert!(
+                elapsed < GUARD_S,
+                "{} ({strategy:?}): compile + verify took {elapsed:.1}s (guard {GUARD_S}s)",
+                b.name
+            );
+            assert_stage_bounds(&b, &out);
+            depths.push(out.stats.depth);
+        }
+        assert!(
+            depths[1] <= depths[0],
+            "{}: layered depth {} exceeds sequential {}",
+            b.name,
+            depths[1],
+            depths[0]
+        );
     }
 }
