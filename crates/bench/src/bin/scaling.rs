@@ -16,18 +16,28 @@
 //!   compile/verify/opt timings.
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
-//! [-- --oracle-max=N]`. The exhaustive paths are O(atoms²) per
-//! stage/pulse, so they only run up to `--oracle-max` qubits (default
-//! 1024 — pass a smaller value for a quick look).
+//! [-- --oracle-max=N] [--sizes=N,N,…] [--trace <path>] [--counters]`.
+//! The exhaustive paths are O(atoms²) per stage/pulse, so they only run
+//! up to `--oracle-max` qubits (default 1024 — pass a smaller value for
+//! a quick look). `--sizes` restricts the size sweep (default
+//! 64,128,256,512,1024). `--trace` writes every workload × strategy
+//! compile's span tree to one Chrome trace-event file — each cell its
+//! own named process, loadable in Perfetto — and `--counters` prints
+//! the per-compile telemetry counter tables (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! The whole study is also emitted as `BENCH_scaling.json` in the
 //! working directory, so the perf trajectory stays machine-readable
-//! from PR 4 onward. Measured numbers are recorded in EXPERIMENTS.md
-//! ("Router scaling" and "Verifier scaling").
+//! from PR 4 onward. Schema 3 adds a `counters` object per row —
+//! grid queries, router admissions, optimizer rejections and
+//! incremental-verifier fallbacks — recorded from the same compile the
+//! timings came from. Measured numbers are recorded in EXPERIMENTS.md
+//! ("Router scaling", "Verifier scaling" and "Counter telemetry").
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use atomique::trace::{export, TraceReport};
 use atomique::{
     compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, RouterStrategy, StageKind,
 };
@@ -35,19 +45,51 @@ use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
 use raa_isa::{check_legality_mode, optimize_with, CheckMode, IsaStats, VerifyStrategy};
 
-fn oracle_max_from_args() -> usize {
-    for arg in std::env::args().skip(1) {
+struct Args {
+    oracle_max: usize,
+    sizes: Vec<usize>,
+    trace_path: Option<String>,
+    counters: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        oracle_max: 1024,
+        sizes: vec![64, 128, 256, 512, 1024],
+        trace_path: None,
+        counters: false,
+    };
+    let die = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if let Some(v) = arg.strip_prefix("--oracle-max=") {
-            match v.parse() {
-                Ok(n) => return n,
-                Err(_) => {
-                    eprintln!("invalid --oracle-max value `{v}`");
-                    std::process::exit(2);
-                }
+            parsed.oracle_max = v
+                .parse()
+                .unwrap_or_else(|_| die(format!("invalid --oracle-max value `{v}`")));
+        } else if let Some(v) = arg.strip_prefix("--sizes=") {
+            parsed.sizes = v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(format!("invalid --sizes entry `{s}`")))
+                })
+                .collect();
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(path) => parsed.trace_path = Some(path),
+                None => die("--trace requires a file path".into()),
             }
+        } else if arg == "--counters" {
+            parsed.counters = true;
+        } else {
+            die(format!("unknown argument `{arg}`"));
         }
     }
-    1024
+    parsed
 }
 
 /// The two compiles must agree stage for stage — kind, gates and moves.
@@ -92,6 +134,32 @@ struct Measurement {
     opt_full_s: Option<f64>,
     opt_incremental_reverifies: usize,
     opt_full_fallbacks: usize,
+    counters: CounterRow,
+}
+
+/// The schema-3 counter columns, recorded from the same traced compile
+/// the stage timings came from (see `docs/OBSERVABILITY.md` for the
+/// full glossary — these four are the regression-gated headline set).
+struct CounterRow {
+    /// `grid.query` — spatial-index proximity queries.
+    grid_query: u64,
+    /// `route.try_add` — router gate-admission attempts.
+    route_try_add: u64,
+    /// `opt.rejected` — optimizer candidates refused by the harness.
+    pass_rejected: u64,
+    /// `opt.verify.full` — incremental-verifier full-oracle fallbacks.
+    verify_fallback: u64,
+}
+
+impl CounterRow {
+    fn of(report: &atomique::CompileReport) -> CounterRow {
+        CounterRow {
+            grid_query: report.counter("grid.query"),
+            route_try_add: report.counter("route.try_add"),
+            pass_rejected: report.counter("opt.rejected"),
+            verify_fallback: report.counter("opt.verify.full"),
+        }
+    }
 }
 
 fn json_f(v: f64) -> String {
@@ -103,7 +171,7 @@ fn json_opt_f(v: Option<f64>) -> String {
 }
 
 fn write_json(measurements: &[Measurement]) {
-    let mut out = String::from("{\n  \"schema\": 2,\n  \"workloads\": [\n");
+    let mut out = String::from("{\n  \"schema\": 3,\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let t = &m.timings;
         let _ = write!(
@@ -116,7 +184,9 @@ fn write_json(measurements: &[Measurement]) {
                 "     \"isa\": {{\"instrs\": {}, \"pulses\": {}}},\n",
                 "     \"verifier\": {{\"grid_s\": {}, \"exhaustive_s\": {}}},\n",
                 "     \"opt_harness\": {{\"incremental_s\": {}, \"full_s\": {}, ",
-                "\"incremental_reverifies\": {}, \"full_fallbacks\": {}}}}}"
+                "\"incremental_reverifies\": {}, \"full_fallbacks\": {}}},\n",
+                "     \"counters\": {{\"grid_query\": {}, \"route_try_add\": {}, ",
+                "\"pass_rejected\": {}, \"verify_fallback\": {}}}}}"
             ),
             m.name,
             m.qubits,
@@ -138,6 +208,10 @@ fn write_json(measurements: &[Measurement]) {
             json_opt_f(m.opt_full_s),
             m.opt_incremental_reverifies,
             m.opt_full_fallbacks,
+            m.counters.grid_query,
+            m.counters.route_try_add,
+            m.counters.pass_rejected,
+            m.counters.verify_fallback,
         );
         out.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -153,13 +227,24 @@ fn write_json(measurements: &[Measurement]) {
     );
 }
 
+/// Prints a compile's counter table, indented under its section.
+fn print_counters(report: &atomique::CompileReport) {
+    for (name, value) in report.counters() {
+        println!("    {name:<28}: {value}");
+    }
+}
+
 fn main() {
-    let oracle_max = oracle_max_from_args();
+    let args = parse_args();
+    let oracle_max = args.oracle_max;
     section("Compiler + verifier scaling: grid vs exhaustive, incremental vs full");
     println!("(exhaustive oracles run up to {oracle_max} qubits; results asserted identical)");
 
     let mut measurements = Vec::new();
-    for n in [64, 128, 256, 512, 1024] {
+    // One span tree per workload × strategy cell, exported as named
+    // Perfetto processes when `--trace` is set.
+    let mut traces: Vec<(String, TraceReport)> = Vec::new();
+    for &n in &args.sizes {
         let pair = scaling_pair("QSim", "QAOA-regu3", n);
         for b in &pair {
             section(&format!("{}-{n}", b.name));
@@ -171,11 +256,15 @@ fn main() {
                     .collect::<Vec<_>>(),
             );
             // The headline configuration: -O2 with the stream attached
-            // and independently verified.
+            // and independently verified. Detail tracing is always on —
+            // the schema-3 counter columns come from the same compile
+            // the timings do (tracing is output-identity-proven by
+            // `tests/router_differential.rs`).
             let cfg = AtomiqueConfig {
                 emit_isa: true,
                 verify_isa: true,
                 opt_level: OptLevel::Aggressive,
+                trace: true,
                 ..AtomiqueConfig::scaled_to(n)
             };
             let t0 = Instant::now();
@@ -208,6 +297,16 @@ fn main() {
                  lower {:.2}s  opt {:.2}s  verify {:.2}s",
                 t.transpile_s, t.map_s, t.route_s, t.lower_s, t.opt_s, t.verify_s
             );
+            if args.counters {
+                println!("  counters (sequential):");
+                print_counters(&grid.report);
+            }
+            if args.trace_path.is_some() {
+                traces.push((
+                    format!("{}-{n} sequential", b.name),
+                    grid.report.trace.clone(),
+                ));
+            }
 
             // --- Verifier scaling: the raw (unoptimized) stream checked
             // under both modes, and -O2 re-run under both harnesses.
@@ -276,6 +375,7 @@ fn main() {
                 opt_full_s,
                 opt_incremental_reverifies: inc_report.incremental_reverifies,
                 opt_full_fallbacks: inc_report.full_reverifies,
+                counters: CounterRow::of(&grid.report),
             });
 
             // --- The layered strategy on the same workload (schema 2):
@@ -321,6 +421,13 @@ fn main() {
                 stats.line_travel_tracks,
                 lay_stats.line_travel_tracks,
             );
+            if args.counters {
+                println!("  counters (layered):");
+                print_counters(&lay.report);
+            }
+            if args.trace_path.is_some() {
+                traces.push((format!("{}-{n} layered", b.name), lay.report.trace.clone()));
+            }
             measurements.push(Measurement {
                 name: b.name.to_string(),
                 qubits: n,
@@ -336,8 +443,21 @@ fn main() {
                 opt_full_s: None,
                 opt_incremental_reverifies: lay_inc_report.incremental_reverifies,
                 opt_full_fallbacks: lay_inc_report.full_reverifies,
+                counters: CounterRow::of(&lay.report),
             });
         }
     }
     write_json(&measurements);
+    if let Some(path) = &args.trace_path {
+        let sections: Vec<(&str, &TraceReport)> = traces
+            .iter()
+            .map(|(name, report)| (name.as_str(), report))
+            .collect();
+        std::fs::write(path, export::to_chrome_named(&sections))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "wrote {path} ({} compiles; load in https://ui.perfetto.dev)",
+            sections.len()
+        );
+    }
 }

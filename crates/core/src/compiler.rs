@@ -1,17 +1,23 @@
 //! The full Atomique pipeline (paper Fig. 3): qubit-array mapper →
 //! multipartite SWAP insertion → qubit-atom mapper → high-parallelism
 //! router → fidelity estimation.
-
-use std::time::Instant;
+//!
+//! Timing comes exclusively from `raa-trace` spans: every stage runs
+//! under a named span and both `CompileStats::compile_time_s` and
+//! `StageTimings` are read back off the span tree, so the trace, the
+//! timings struct and the total can never disagree (the pre-trace
+//! implementation kept two independent `Instant::now` ladders that
+//! could).
 
 use raa_circuit::Circuit;
 use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
+use raa_trace::Level;
 
 use crate::array_mapper::map_to_arrays;
 use crate::atom_mapper::map_to_atoms;
 use crate::config::AtomiqueConfig;
 use crate::error::CompileError;
-use crate::program::{CompileStats, CompiledProgram};
+use crate::program::{CompileReport, CompileStats, CompiledProgram};
 use crate::router::route_movements;
 use crate::transpile::transpile;
 
@@ -40,51 +46,89 @@ pub fn compile(
     circuit: &Circuit,
     config: &AtomiqueConfig,
 ) -> Result<CompiledProgram, CompileError> {
-    let start = Instant::now();
-    let mut timings = crate::program::StageTimings::default();
+    // Record into the caller's raa-trace session when one is active
+    // (the scaling bench owns one session across a whole suite, so all
+    // its compiles share a clock); otherwise run a session of our own.
+    let owns_session = !raa_trace::active();
+    if owns_session {
+        let level = if config.trace {
+            Level::Detail
+        } else {
+            Level::Stages
+        };
+        raa_trace::begin(level);
+    }
+    let mark = raa_trace::mark();
+    let result = compile_under_trace(circuit, config);
+    let trace = if owns_session {
+        raa_trace::end()
+    } else {
+        raa_trace::report_since(&mark)
+    };
+    let report = CompileReport { trace };
+    result.map(|mut out| {
+        out.stats.compile_time_s = report.total_s();
+        out.timings = report.stage_timings();
+        out.report = report;
+        out
+    })
+}
+
+/// The pipeline body; every stage runs under its span, and the caller
+/// derives all timing from the resulting tree.
+fn compile_under_trace(
+    circuit: &Circuit,
+    config: &AtomiqueConfig,
+) -> Result<CompiledProgram, CompileError> {
+    let _compile_span = raa_trace::span_at("compile", Level::Stages);
 
     // 0. Peephole optimization (the paper preprocesses with Qiskit
     // Optimization Level 3; see raa_circuit::optimize).
-    let t = Instant::now();
-    let circuit = &raa_circuit::optimize(circuit);
-    timings.transpile_s += t.elapsed().as_secs_f64();
+    let circuit = &{
+        let _s = raa_trace::span_at("transpile", Level::Stages);
+        raa_circuit::optimize(circuit)
+    };
 
     // 1. Qubit-array mapper (Alg. 1).
-    let t = Instant::now();
-    let array_mapping =
-        map_to_arrays(circuit, &config.hardware, config.array_mapper, config.gamma)?;
-    timings.map_s += t.elapsed().as_secs_f64();
+    let array_mapping = {
+        let _s = raa_trace::span_at("map", Level::Stages);
+        map_to_arrays(circuit, &config.hardware, config.array_mapper, config.gamma)?
+    };
 
     // 2. SWAP insertion on the complete multipartite graph (Fig. 5).
-    let t = Instant::now();
-    let transpiled = transpile(circuit, &array_mapping, &config.sabre)?;
-    timings.transpile_s += t.elapsed().as_secs_f64();
+    let transpiled = {
+        let _s = raa_trace::span_at("transpile", Level::Stages);
+        transpile(circuit, &array_mapping, &config.sabre)?
+    };
 
     // 3. Qubit-atom mapper (Figs. 6–7).
-    let t = Instant::now();
-    let atom_mapping = map_to_atoms(
-        &transpiled,
-        &config.hardware,
-        config.atom_mapper,
-        config.seed,
-    )?;
-    timings.map_s += t.elapsed().as_secs_f64();
+    let atom_mapping = {
+        let _s = raa_trace::span_at("map", Level::Stages);
+        map_to_atoms(
+            &transpiled,
+            &config.hardware,
+            config.atom_mapper,
+            config.seed,
+        )?
+    };
 
     // 4. High-parallelism router (Figs. 8–11).
-    let t = Instant::now();
-    let routed = route_movements(
-        &transpiled,
-        &atom_mapping,
-        &config.hardware,
-        &config.params,
-        config.relaxation,
-        config.router_mode,
-        config.router_strategy,
-        config.proximity_index,
-    )?;
-    timings.route_s = t.elapsed().as_secs_f64();
+    let routed = {
+        let _s = raa_trace::span_at("route", Level::Stages);
+        route_movements(
+            &transpiled,
+            &atom_mapping,
+            &config.hardware,
+            &config.params,
+            config.relaxation,
+            config.router_mode,
+            config.router_strategy,
+            config.proximity_index,
+        )?
+    };
 
     // 5. Fidelity estimation (Sec. V-A).
+    let finalize_span = raa_trace::span_at("finalize", Level::Stages);
     let r = &routed.stats;
     let phase = GatePhaseStats {
         num_qubits: circuit.num_qubits(),
@@ -128,7 +172,8 @@ pub fn compile(
         cooling_events: r.cooling_events,
         overlap_rejections: r.overlap_rejections,
         transfers: r.transfers,
-        compile_time_s: start.elapsed().as_secs_f64(),
+        // Filled in by `compile` from the root span once it closes.
+        compile_time_s: 0.0,
     };
     let mut out = CompiledProgram {
         stages: routed.stages,
@@ -139,13 +184,16 @@ pub fn compile(
         fidelity,
         isa: None,
         timings: crate::program::StageTimings::default(),
+        report: CompileReport::default(),
     };
+    drop(finalize_span);
 
     // 6. Opt-in ISA lowering, optimization and independent verification.
     if config.emit_isa || config.verify_isa {
-        let t = Instant::now();
-        let mut isa = crate::lower::emit_isa(&out, &config.hardware, "");
-        timings.lower_s = t.elapsed().as_secs_f64();
+        let mut isa = {
+            let _s = raa_trace::span_at("lower", Level::Stages);
+            crate::lower::emit_isa(&out, &config.hardware, "")
+        };
         // Optimize only when the stream is attached (emit_isa): with
         // verify_isa alone the optimized result would be discarded and
         // the fixpoint run would be pure wasted compile time.
@@ -153,22 +201,18 @@ pub fn compile(
             // The optimizer is verified internally (every pass re-runs
             // the oracle and unsafe rewrites are refused), so this can
             // only shrink the stream, never corrupt it.
-            let t = Instant::now();
+            let _s = raa_trace::span_at("opt", Level::Stages);
             isa = raa_isa::optimize(&isa, config.opt_level).0;
-            timings.opt_s = t.elapsed().as_secs_f64();
         }
         if config.verify_isa {
-            let t = Instant::now();
+            let _s = raa_trace::span_at("verify", Level::Stages);
             raa_isa::check_legality(&isa).map_err(CompileError::IsaLegality)?;
             raa_isa::replay_verify(&isa).map_err(CompileError::IsaReplay)?;
-            timings.verify_s = t.elapsed().as_secs_f64();
         }
         if config.emit_isa {
             out.isa = Some(isa);
         }
     }
-    out.stats.compile_time_s = start.elapsed().as_secs_f64();
-    out.timings = timings;
     Ok(out)
 }
 
@@ -345,5 +389,83 @@ mod tests {
         assert_eq!(out.stats.two_qubit_gates, 0);
         assert_eq!(out.stats.depth, 0);
         assert!((out.total_fidelity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_spans_sum_to_compile_total() {
+        let c = random_circuit(20, 100, 8);
+        let cfg = AtomiqueConfig {
+            emit_isa: true,
+            verify_isa: true,
+            opt_level: raa_isa::OptLevel::Aggressive,
+            ..AtomiqueConfig::default()
+        };
+        let out = compile(&c, &cfg).unwrap();
+        // One source of truth: the struct is exactly the tree-derived
+        // view, and the total is exactly the root span.
+        assert_eq!(out.timings, out.report.stage_timings());
+        assert!((out.stats.compile_time_s - out.report.total_s()).abs() < 1e-12);
+        for stage in ["lower", "opt", "verify"] {
+            assert!(out.report.trace.find(stage).is_some(), "missing {stage}");
+        }
+        // The stage spans (plus the finalize glue span) tile the root:
+        // their sum reaches the total to within epsilon. This is the
+        // property the old double-Instant ladders could violate.
+        let attributed = out.timings.sum_s() + out.report.trace.span_total_s("finalize");
+        let total = out.stats.compile_time_s;
+        assert!(attributed <= total + 1e-9);
+        let eps = (total * 0.05).max(0.010);
+        assert!(
+            total - attributed < eps,
+            "unattributed {:.6}s exceeds epsilon {:.6}s",
+            total - attributed,
+            eps
+        );
+    }
+
+    #[test]
+    fn detail_trace_attaches_counters() {
+        let c = random_circuit(15, 50, 9);
+        let traced = compile(
+            &c,
+            &AtomiqueConfig {
+                trace: true,
+                ..AtomiqueConfig::default()
+            },
+        )
+        .unwrap();
+        // The default router runs on the spatial grid, so detail mode
+        // must have seen queries.
+        assert!(traced.report.counter("grid.query") > 0);
+        // Stage-level (default) mode records spans but no counters.
+        let plain = compile(&c, &AtomiqueConfig::default()).unwrap();
+        assert!(plain.report.counters().is_empty());
+        assert!(plain.report.root().is_some());
+        assert_eq!(plain.timings, plain.report.stage_timings());
+    }
+
+    #[test]
+    fn compile_records_into_an_enclosing_session() {
+        let c = random_circuit(10, 30, 10);
+        raa_trace::begin(raa_trace::Level::Detail);
+        let first = compile(&c, &AtomiqueConfig::default()).unwrap();
+        let second = compile(&c, &AtomiqueConfig::default()).unwrap();
+        let outer = raa_trace::end();
+        // Each call extracted only its own window...
+        assert!(first.report.counter("grid.query") > 0);
+        assert_eq!(
+            first.report.counter("grid.query"),
+            second.report.counter("grid.query"),
+            "deterministic compile, identical windows"
+        );
+        // ...while the enclosing session kept both compiles on one clock.
+        assert_eq!(outer.spans.len(), 2);
+        assert_eq!(
+            outer.counter("grid.query"),
+            first.report.counter("grid.query") + second.report.counter("grid.query")
+        );
+        // The second window's offsets are relative to the outer session,
+        // strictly after the first's.
+        assert!(second.report.root().unwrap().start_ns > first.report.root().unwrap().start_ns);
     }
 }

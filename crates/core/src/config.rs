@@ -165,6 +165,16 @@ pub struct AtomiqueConfig {
     /// [`AtomiqueConfig::emit_isa`] attaches the stream; default
     /// [`OptLevel::None`].
     pub opt_level: OptLevel,
+    /// Detail-level tracing: record inner router/optimizer/checker phase
+    /// spans and all telemetry counters into the compile's
+    /// [`CompileReport`](crate::CompileReport) (see
+    /// `docs/OBSERVABILITY.md`). Off by default — the coarse stage spans
+    /// behind [`StageTimings`](crate::StageTimings) are always recorded
+    /// — and proven output-identical either way by
+    /// `tests/router_differential.rs`. When the caller already owns a
+    /// `raa-trace` session, that session's level wins and this flag is
+    /// ignored.
+    pub trace: bool,
 }
 
 impl Default for AtomiqueConfig {
@@ -184,6 +194,7 @@ impl Default for AtomiqueConfig {
             emit_isa: false,
             verify_isa: false,
             opt_level: OptLevel::None,
+            trace: false,
         }
     }
 }

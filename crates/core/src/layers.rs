@@ -53,6 +53,12 @@ use crate::program::{LineMove, RouterStats, Stage, StageKind};
 use crate::router::{RoutedProgram, INTERACT_R, PARK_TRAVEL};
 use raa_arch::{ArrayIndex, RaaConfig, TrapSite};
 use raa_physics::{HardwareParams, MovementLedger};
+use raa_trace::Counter;
+
+/// Stages fused into an already-open layer (one saved pulse each).
+static MERGED_STAGES: Counter = Counter::new("layers.merged_stages");
+/// Retract/approach round trips never emitted at a layer boundary.
+static ROUND_TRIPS_ELIDED: Counter = Counter::new("layers.round_trips_elided");
 
 /// `(aod, is_row, line)` — one movable AOD line.
 type LineKey = (u8, bool, u16);
@@ -68,6 +74,7 @@ pub(crate) fn rebatch(
     params: &HardwareParams,
     num_qubits: usize,
 ) -> RoutedProgram {
+    let _rebatching = raa_trace::span("route.rebatch");
     let stages = merge_layers(routed.stages, mapping, hw);
     let stats = account(
         &stages,
@@ -315,6 +322,7 @@ fn merge_layers(stages: Vec<Stage>, mapping: &AtomMapping, hw: &RaaConfig) -> Ve
             StageKind::Movement => {
                 if let Some(acc) = layer.as_mut() {
                     if acc.compatible_with(&stage) && merged_pulse_legal(&mut replay, acc, &stage) {
+                        MERGED_STAGES.incr();
                         replay.apply_stage(&stage);
                         acc.absorb(stage);
                         continue;
@@ -434,6 +442,7 @@ fn elide_round_trips(prev: &mut Stage, next: &mut Stage, replay: &mut Replay<'_>
                 && raa_isa::opt::cost::round_trip_cancels(m1.from_track, m2.to_track)
         });
         if let Some(j) = undone {
+            ROUND_TRIPS_ELIDED.incr();
             prev.retract_moves.remove(i);
             next.moves.remove(j);
             // The line never left its pulse position.

@@ -60,9 +60,13 @@ pub use config::{
 pub use error::CompileError;
 pub use lower::emit_isa;
 pub use program::{
-    CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind, StageTimings,
+    CompileReport, CompileStats, CompiledProgram, LineMove, RouterStats, Stage, StageKind,
+    StageTimings,
 };
 pub use raa_isa::{OptLevel, OptReport};
+// Re-exported so downstream crates can drive sessions and export traces
+// without naming raa-trace themselves.
+pub use raa_trace as trace;
 pub use render::{render_schedule, summarize};
 pub use router::{route_movements, RoutedProgram};
 // Re-exported so downstream users of `atomique::SpatialGrid` (the home

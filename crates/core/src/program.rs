@@ -157,8 +157,11 @@ pub struct RouterStats {
 }
 
 /// Wall-clock breakdown of one [`compile`](crate::compile) call,
-/// seconds per pipeline stage. Sums to slightly less than
-/// [`CompileStats::compile_time_s`] (glue code is unattributed).
+/// seconds per pipeline stage. Derived from the compile's trace span
+/// tree ([`CompileReport::stage_timings`]); sums to slightly less than
+/// [`CompileStats::compile_time_s`] (inter-stage glue — fidelity
+/// estimation, stats assembly — is accounted by the `finalize` span
+/// rather than any of these fields).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTimings {
     /// Peephole optimization + multipartite SABRE SWAP insertion.
@@ -175,6 +178,71 @@ pub struct StageTimings {
     /// The independent ISA oracle — `check_legality` + `replay_verify`
     /// (0 unless `verify_isa` is set).
     pub verify_s: f64,
+}
+
+impl StageTimings {
+    /// Sum of every attributed stage, seconds.
+    pub fn sum_s(&self) -> f64 {
+        self.transpile_s + self.map_s + self.route_s + self.lower_s + self.opt_s + self.verify_s
+    }
+}
+
+/// The `raa-trace` record of one [`compile`](crate::compile) call: the
+/// span tree rooted at the `compile` span plus every telemetry counter
+/// the compile incremented. Always attached to the output; the coarse
+/// stage spans are recorded unconditionally, while inner phase spans
+/// and counters need [`AtomiqueConfig::trace`](crate::AtomiqueConfig)
+/// (or an enclosing caller-owned `raa-trace` session at
+/// [`raa_trace::Level::Detail`]). Span and counter names are catalogued
+/// in `docs/OBSERVABILITY.md`; export with
+/// [`raa_trace::export::to_chrome`] / [`raa_trace::export::to_jsonl`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompileReport {
+    /// The raw trace window of this compile. When the caller owned an
+    /// enclosing session, span offsets are relative to *that* session's
+    /// start (so multi-compile traces share one clock); otherwise to
+    /// this compile's start.
+    pub trace: raa_trace::TraceReport,
+}
+
+impl CompileReport {
+    /// The root `compile` span.
+    pub fn root(&self) -> Option<&raa_trace::SpanNode> {
+        self.trace.find("compile")
+    }
+
+    /// Wall-clock duration of the whole compile, seconds — the root
+    /// span's duration, the same number as
+    /// [`CompileStats::compile_time_s`].
+    pub fn total_s(&self) -> f64 {
+        self.root().map(raa_trace::SpanNode::dur_s).unwrap_or(0.0)
+    }
+
+    /// [`StageTimings`] re-derived from the span tree — the single
+    /// source of truth for the per-stage breakdown (the `transpile` and
+    /// `map` spans each occur twice — peephole + SABRE, array + atom
+    /// mapper — and sum).
+    pub fn stage_timings(&self) -> StageTimings {
+        StageTimings {
+            transpile_s: self.trace.span_total_s("transpile"),
+            map_s: self.trace.span_total_s("map"),
+            route_s: self.trace.span_total_s("route"),
+            lower_s: self.trace.span_total_s("lower"),
+            opt_s: self.trace.span_total_s("opt"),
+            verify_s: self.trace.span_total_s("verify"),
+        }
+    }
+
+    /// The total of counter `name` within this compile (0 when absent —
+    /// in particular, whenever detail tracing was off).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.trace.counter(name)
+    }
+
+    /// All `(name, value)` counters, sorted by name.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.trace.counters
+    }
 }
 
 /// Everything [`compile`](crate::compile) returns.
@@ -197,8 +265,12 @@ pub struct CompiledProgram {
     /// The lowered instruction stream, when requested via
     /// [`AtomiqueConfig::emit_isa`](crate::AtomiqueConfig).
     pub isa: Option<raa_isa::IsaProgram>,
-    /// Per-stage wall-clock breakdown of this compile.
+    /// Per-stage wall-clock breakdown of this compile (derived from
+    /// [`CompiledProgram::report`]).
     pub timings: StageTimings,
+    /// The full trace of this compile: stage span tree, plus inner
+    /// phase spans and counters when detail tracing was on.
+    pub report: CompileReport,
 }
 
 impl CompiledProgram {

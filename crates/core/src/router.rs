@@ -43,6 +43,23 @@ use crate::error::CompileError;
 use crate::program::{LineMove, RouterStats, Stage};
 use crate::transpile::TranspiledCircuit;
 use raa_spatial::{FastMap, FastSet, SpatialGrid};
+use raa_trace::Counter;
+
+// Detail-level telemetry (see docs/OBSERVABILITY.md). `route.try_add`
+// counts speculative gate-admission attempts — the hot path PR 5's
+// profiling traced the QAOA-1024 route time to — and the
+// `route.reject.*` family splits the failures by violated constraint.
+static TRY_ADD: Counter = Counter::new("route.try_add");
+static GATES_PLANNED: Counter = Counter::new("route.gates_planned");
+static REJECT_TARGET: Counter = Counter::new("route.reject.target_conflict");
+static REJECT_ADDRESSING: Counter = Counter::new("route.reject.addressing");
+static REJECT_ORDER: Counter = Counter::new("route.reject.order");
+static REJECT_OVERLAP: Counter = Counter::new("route.reject.overlap");
+static RETRACT_LINES: Counter = Counter::new("route.retract.lines");
+static RETRACT_MEMO_SCANS: Counter = Counter::new("route.retract.memo_scan");
+static RETRACT_UNRESOLVED: Counter = Counter::new("route.retract.unresolved");
+static RESET_STAGES: Counter = Counter::new("route.reset_stages");
+static TRANSFER_FALLBACKS: Counter = Counter::new("route.transfer_fallbacks");
 
 /// Rydberg radius in track units (`r_b = d/6`).
 pub(crate) const INTERACT_R: f64 = 1.0 / 6.0;
@@ -58,7 +75,7 @@ pub(crate) const PARK_TRAVEL: f64 = 2.0;
 /// Identifies one movable line: `(aod index 0-based, axis, line index)`.
 type LineKey = (u8, Axis, u16);
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Axis {
     Row,
     Col,
@@ -569,11 +586,16 @@ impl<'a> RouterState<'a> {
         plan.gates.push((g, a, b));
 
         // Re-solve every axis touched by the new targets: C2/C3 plus the
-        // repositioning of untargeted lines.
-        let affected: HashSet<(u8, Axis)> = plan.target_journal[cp.0..]
+        // repositioning of untargeted lines. Sorted, not hashed: the loop
+        // below early-exits on the first unsolvable axis, so a seeded
+        // hash order would make the rejection returned (and the work
+        // telemetry records) vary run to run.
+        let mut affected: Vec<(u8, Axis)> = plan.target_journal[cp.0..]
             .iter()
             .map(|&((k, axis, _), _)| (k, axis))
             .collect();
+        affected.sort_unstable();
+        affected.dedup();
         let mut dirty: FastSet<u32> = FastSet::default();
         dirty.insert(a);
         dirty.insert(b);
@@ -793,6 +815,7 @@ impl<'a> RouterState<'a> {
         // will still move, so proximity to them is checked on their turn.
         let mut pending: FastSet<LineKey> = lines.iter().copied().collect();
         let mut moves = Vec::new();
+        RETRACT_LINES.add(lines.len() as u64);
         for key in lines {
             let (k, axis, idx) = key;
             pending.remove(&key);
@@ -857,7 +880,10 @@ impl<'a> RouterState<'a> {
                     }
                 }
             }
-            let Some(amount) = chosen else { continue };
+            let Some(amount) = chosen else {
+                RETRACT_UNRESOLVED.incr();
+                continue;
+            };
             let new = pos + amount;
             match axis {
                 Axis::Row => {
@@ -1015,6 +1041,7 @@ impl<'a> RouterState<'a> {
         let Some(atoms) = self.atoms_on_line.get(&key) else {
             return Vec::new();
         };
+        RETRACT_MEMO_SCANS.add(atoms.len() as u64);
         let mut out = Vec::with_capacity(atoms.len());
         let mut buf: Vec<u32> = Vec::new();
         for &atom in atoms {
@@ -1203,15 +1230,28 @@ fn plan_and_route(
         // --- two-qubit frontier: greedy maximal legal set ---
         let front: Vec<GateIdx> = sched.front().to_vec();
         let mut plan = Plan::default();
-        for &g in &front {
-            if mode == RouterMode::Serial && !plan.gates.is_empty() {
-                break;
-            }
-            let (a, b) = circuit.gates()[g].pair().expect("front is 2Q only here");
-            match state.try_add(&mut plan, g, a.0, b.0) {
-                Ok(()) => {}
-                Err(Reject::Overlap) => overlap_rejections += 1,
-                Err(_) => {}
+        {
+            let _planning = raa_trace::span("route.plan");
+            for &g in &front {
+                if mode == RouterMode::Serial && !plan.gates.is_empty() {
+                    break;
+                }
+                let (a, b) = circuit.gates()[g].pair().expect("front is 2Q only here");
+                TRY_ADD.incr();
+                match state.try_add(&mut plan, g, a.0, b.0) {
+                    Ok(()) => GATES_PLANNED.incr(),
+                    Err(rej) => {
+                        match rej {
+                            Reject::TargetConflict => REJECT_TARGET.incr(),
+                            Reject::Addressing => REJECT_ADDRESSING.incr(),
+                            Reject::Order => REJECT_ORDER.incr(),
+                            Reject::Overlap => REJECT_OVERLAP.incr(),
+                        }
+                        if rej == Reject::Overlap {
+                            overlap_rejections += 1;
+                        }
+                    }
+                }
             }
         }
 
@@ -1232,6 +1272,7 @@ fn plan_and_route(
                 exec_time += params.t_move_s;
                 let mut kept: Vec<u8> = keep.iter().map(|&k| k as u8).collect();
                 kept.sort_unstable();
+                RESET_STAGES.incr();
                 stages.push(Stage::reset(kept));
                 last_was_reset = true;
                 continue;
@@ -1241,6 +1282,7 @@ fn plan_and_route(
             // F_transfer model).
             let g = front[0];
             let (a, b) = circuit.gates()[g].pair().expect("2Q");
+            TRANSFER_FALLBACKS.incr();
             transfers += 2;
             exec_time += 2.0 * params.t_transfer_s + params.two_qubit_time_s;
             let aod_atoms = aod_participants(&state, a.0, b.0);
@@ -1255,9 +1297,14 @@ fn plan_and_route(
         last_was_reset = false;
 
         // Commit: move in, fire the Rydberg laser, retract.
-        let (moves, mut row_delta, mut col_delta) = state.commit(&plan);
-        let (retract_moves, separated) =
-            state.apply_retraction(&plan, &mut row_delta, &mut col_delta);
+        let (moves, mut row_delta, mut col_delta) = {
+            let _committing = raa_trace::span("route.commit");
+            state.commit(&plan)
+        };
+        let (retract_moves, separated) = {
+            let _retracting = raa_trace::span("route.retract");
+            state.apply_retraction(&plan, &mut row_delta, &mut col_delta)
+        };
         let spacing = state.hw.spacing_um;
         let mut moved: Vec<(u32, f64)> = Vec::new();
         let all_atoms: HashSet<u32> = row_delta.keys().chain(col_delta.keys()).copied().collect();
@@ -1296,6 +1343,7 @@ fn plan_and_route(
             exec_time += params.t_move_s;
             let mut kept: Vec<u8> = keep.iter().map(|&k| k as u8).collect();
             kept.sort_unstable();
+            RESET_STAGES.incr();
             stages.push(Stage::reset(kept));
             last_was_reset = true;
         }

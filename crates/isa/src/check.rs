@@ -476,6 +476,7 @@ pub fn check_legality(program: &IsaProgram) -> Result<(), LegalityError> {
 /// The first violation or structural problem found, as a
 /// [`LegalityError`].
 pub fn check_legality_mode(program: &IsaProgram, mode: CheckMode) -> Result<(), LegalityError> {
+    let _span = raa_trace::span("isa.check");
     let (mut m, start) = init_machine(program, mode)?;
     // A stray init instruction is reported before any replay-discovered
     // violation, wherever it sits in the stream.

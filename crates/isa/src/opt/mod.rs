@@ -139,6 +139,19 @@ use crate::program::{Instr, IsaProgram};
 use crate::replay::replay_verify;
 use crate::stats::IsaStats;
 use raa_circuit::Gate;
+use raa_trace::Counter;
+
+/// Candidate rewrites produced by passes (accepted + rejected).
+static OPT_CANDIDATES: Counter = Counter::new("opt.candidates");
+/// Candidates that survived re-verification and were committed.
+static OPT_ACCEPTED: Counter = Counter::new("opt.accepted");
+/// Candidates refused by the harness (the pass is then disabled).
+static OPT_REJECTED: Counter = Counter::new("opt.rejected");
+/// Candidates proven safe by the incremental harness alone.
+static OPT_VERIFY_INCREMENTAL: Counter = Counter::new("opt.verify.incremental");
+/// Whole-stream oracle runs: incremental fallbacks plus every
+/// [`VerifyStrategy::Full`] candidate.
+static OPT_VERIFY_FULL: Counter = Counter::new("opt.verify.full");
 
 /// How hard [`optimize`] works on a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -206,6 +219,17 @@ impl PassKind {
             PassKind::Coalesce => "coalesce-moves",
             PassKind::ElidePark => "elide-parks",
             PassKind::DeadMove => "dead-moves",
+        }
+    }
+
+    /// Span name for this pass's candidate search + re-verification.
+    fn span_name(self) -> &'static str {
+        match self {
+            PassKind::Parallelize => "opt.parallelize-pulses",
+            PassKind::CancelRetract => "opt.cancel-retract",
+            PassKind::Coalesce => "opt.coalesce-moves",
+            PassKind::ElidePark => "opt.elide-parks",
+            PassKind::DeadMove => "opt.dead-moves",
         }
     }
 
@@ -405,10 +429,12 @@ pub fn optimize_with(
             if disabled[pass as usize] {
                 continue;
             }
+            let _pass_span = raa_trace::span(pass.span_name());
             let Some(edit) = pass.run(&current) else {
                 continue;
             };
             debug_assert!(edit.rewrites > 0, "{}: rewrite without count", pass.name());
+            OPT_CANDIDATES.incr();
             let kept = edit.kept();
             // The acceptance check enforces the documented guarantees
             // directly, so a buggy pass cannot break them: exact gate
@@ -417,23 +443,33 @@ pub fn optimize_with(
             let accepted = kept.len() < current.instrs.len()
                 && match strategy {
                     VerifyStrategy::Incremental => {
-                        match verify_incremental(&current, &edit, &kept) {
+                        let incremental = {
+                            let _s = raa_trace::span("opt.verify.incremental");
+                            verify_incremental(&current, &edit, &kept)
+                        };
+                        match incremental {
                             Some(verdict) => {
                                 report.incremental_reverifies += 1;
+                                OPT_VERIFY_INCREMENTAL.incr();
                                 verdict
                             }
                             None => {
                                 report.full_reverifies += 1;
+                                OPT_VERIFY_FULL.incr();
+                                let _s = raa_trace::span("opt.verify.full");
                                 verify_full(&current, &kept, &reference_trace)
                             }
                         }
                     }
                     VerifyStrategy::Full => {
                         report.full_reverifies += 1;
+                        OPT_VERIFY_FULL.incr();
+                        let _s = raa_trace::span("opt.verify.full");
                         verify_full(&current, &kept, &reference_trace)
                     }
                 };
             if accepted {
+                OPT_ACCEPTED.incr();
                 match pass {
                     PassKind::Parallelize => report.merged_pulses += edit.rewrites,
                     PassKind::CancelRetract => report.cancelled_retractions += edit.rewrites,
@@ -445,6 +481,7 @@ pub fn optimize_with(
                 changed = true;
             } else {
                 report.rejected_rewrites += 1;
+                OPT_REJECTED.incr();
                 disabled[pass as usize] = true;
             }
         }

@@ -39,6 +39,7 @@ pub struct ReplayReport {
 ///
 /// The first mismatch found, as a [`ReplayError`].
 pub fn replay_verify(program: &IsaProgram) -> Result<ReplayReport, ReplayError> {
+    let _span = raa_trace::span("isa.replay");
     let circuit = &program.reference;
     let n = circuit.num_qubits() as u32;
     let mut sched = DagSchedule::new(circuit);

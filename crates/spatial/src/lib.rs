@@ -32,11 +32,25 @@
 //! `tests/router_differential.rs`, and the checker's grid mode
 //! verdict-identical by `crates/isa/tests/check_modes.rs` and
 //! `tests/verify_differential.rs`.
+//!
+//! When a `raa-trace` session at [`raa_trace::Level::Detail`] is
+//! active, the grid reports two counters: `grid.query` (one per
+//! [`SpatialGrid::candidates_into`] call — every proximity question
+//! asked of the index) and `grid.rebucket` (one per
+//! [`SpatialGrid::update`] that crosses a cell boundary — the hash
+//! churn PR 5 identified as the router's speculative-`try_add` hot
+//! spot). See `docs/OBSERVABILITY.md` for the full counter glossary.
 
 #![deny(missing_docs)]
 
+use raa_trace::Counter;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// One per [`SpatialGrid::candidates_into`] call.
+static GRID_QUERY: Counter = Counter::new("grid.query");
+/// One per [`SpatialGrid::update`] that crosses a cell boundary.
+static GRID_REBUCKET: Counter = Counter::new("grid.rebucket");
 
 /// An FxHash-style multiply-xor hasher for the small integer keys
 /// (cell coordinates, atom ids, line keys) that dominate the router's
@@ -208,7 +222,11 @@ impl SpatialGrid {
             Some(old) if self.cell_of(old) == self.cell_of(p) => {
                 self.pos_of[id as usize] = Some(p);
             }
-            _ => self.insert(id, p),
+            Some(_) => {
+                GRID_REBUCKET.incr();
+                self.insert(id, p);
+            }
+            None => self.insert(id, p),
         }
     }
 
@@ -238,6 +256,7 @@ impl SpatialGrid {
     /// `out` is not cleared, not deduplicated (ids are stored in exactly
     /// one cell, so duplicates cannot occur) and not sorted.
     pub fn candidates_into(&self, p: (f64, f64), r: f64, out: &mut Vec<u32>) {
+        GRID_QUERY.incr();
         let (x0, y0) = self.cell_of((p.0 - r, p.1 - r));
         let (x1, y1) = self.cell_of((p.0 + r, p.1 + r));
         for cx in x0..=x1 {
@@ -331,5 +350,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_size_rejected() {
         SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn counters_record_under_detail_sessions() {
+        // Sessions are thread-local; use a fresh thread so this test is
+        // independent of whatever runs on the harness thread.
+        std::thread::spawn(|| {
+            raa_trace::begin(raa_trace::Level::Detail);
+            let mut g = SpatialGrid::new(0.5);
+            g.insert(0, (0.0, 0.0));
+            g.update(0, (0.1, 0.1)); // in-cell: no rebucket
+            g.update(0, (5.0, 5.0)); // crossing: one rebucket
+            g.update(1, (1.0, 1.0)); // fresh insert: no rebucket
+            let mut out = Vec::new();
+            g.candidates_into((0.0, 0.0), 1.0, &mut out);
+            g.neighbors_within((5.0, 5.0), 0.1); // queries through candidates_into
+            let report = raa_trace::end();
+            assert_eq!(report.counter("grid.rebucket"), 1);
+            assert_eq!(report.counter("grid.query"), 2);
+        })
+        .join()
+        .unwrap();
     }
 }

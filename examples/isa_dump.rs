@@ -3,12 +3,16 @@
 //! what the ISA optimizer saves on it.
 //!
 //! Run with `cargo run --release --example isa_dump [-- -O{0,1,2}]
-//! [--layered] [--stage-timings]` (default `-O2`; `--layered` routes
-//! with the layer-batching strategy, `--stage-timings` prints the
-//! per-stage compile wall-clock breakdown; see `docs/ISA.md` for the
-//! instruction set).
+//! [--layered] [--stage-timings] [--trace <path>] [--counters]`
+//! (default `-O2`; `--layered` routes with the layer-batching strategy,
+//! `--stage-timings` prints the per-stage compile wall-clock breakdown,
+//! `--trace` writes the compile's span tree to `<path>` — Chrome
+//! trace-event JSON loadable in Perfetto, or JSONL when the path ends
+//! in `.jsonl` — and `--counters` prints the telemetry counter table;
+//! see `docs/ISA.md` for the instruction set and
+//! `docs/OBSERVABILITY.md` for the tracing surface).
 
-use atomique::{compile, emit_isa, AtomiqueConfig, OptLevel, RouterStrategy};
+use atomique::{compile, emit_isa, trace, AtomiqueConfig, OptLevel, RouterStrategy};
 use raa_benchmarks::qaoa_regular;
 use raa_isa::{check_legality, codec, disassemble, optimize, replay_verify, IsaStats};
 
@@ -16,10 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut level = OptLevel::Aggressive;
     let mut strategy = RouterStrategy::Sequential;
     let mut stage_timings = false;
-    for arg in std::env::args().skip(1) {
+    let mut trace_path: Option<String> = None;
+    let mut counters = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--layered" => strategy = RouterStrategy::Layered,
             "--stage-timings" => stage_timings = true,
+            "--counters" => counters = true,
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => return Err("--trace requires a file path".into()),
+            },
             flag if flag.starts_with("-O") => match OptLevel::parse_flag(flag) {
                 Some(l) => level = l,
                 None => {
@@ -38,6 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         emit_isa: true,
         verify_isa: true,
         router_strategy: strategy,
+        // Optimize inside compile too, so the trace and counters cover
+        // the passes at the chosen level (the display re-run below is
+        // separate and untraced).
+        opt_level: level,
+        // Detail telemetry only when someone asked to see it.
+        trace: trace_path.is_some() || counters,
         ..AtomiqueConfig::default()
     };
     // verify_isa already ran the oracle inside compile; re-lower with a
@@ -102,6 +120,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "total             : {:.4}s (glue unattributed)",
             program.stats.compile_time_s
         );
+    }
+
+    if counters {
+        println!("--- telemetry counters ---");
+        for (name, value) in program.report.counters() {
+            println!("{name:<28}: {value}");
+        }
+    }
+
+    if let Some(path) = trace_path {
+        let rendered = if path.ends_with(".jsonl") {
+            trace::export::to_jsonl(&program.report.trace)
+        } else {
+            trace::export::to_chrome(&program.report.trace)
+        };
+        std::fs::write(&path, rendered)?;
+        println!("trace written     : {path} (load in https://ui.perfetto.dev)");
     }
 
     let json = codec::to_json(&isa)?;

@@ -134,6 +134,43 @@ fn grid_router_matches_exhaustive_oracle_on_the_small_suite() {
     }
 }
 
+/// Tracing is pure observation: compiling with detail tracing enabled
+/// (`trace: true`) must produce output bit-identical to a compile with
+/// it disabled — same stages, same line moves, byte-identical lowered
+/// ISA — across all four router configurations. Counters and spans may
+/// only ever *read* pipeline state; a divergence here means an
+/// instrumentation site leaked into a scheduling decision.
+#[test]
+fn tracing_is_output_identical_on_the_small_suite() {
+    for b in small_suite() {
+        for (cfg_name, cfg) in configs() {
+            let ctx = format!("{}/{cfg_name}/trace-identity", b.name);
+            let off = compile(
+                &b.circuit,
+                &AtomiqueConfig {
+                    trace: false,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{ctx} (off): {e}"));
+            let on = compile(&b.circuit, &AtomiqueConfig { trace: true, ..cfg })
+                .unwrap_or_else(|e| panic!("{ctx} (on): {e}"));
+            assert_programs_identical(&ctx, &on, &off);
+            // The traced compile really did record detail telemetry
+            // (otherwise the identity above would be vacuous) …
+            assert!(
+                on.report.counter("route.try_add") > 0,
+                "{ctx}: traced compile recorded no router counters"
+            );
+            // … and the untraced one recorded none.
+            assert!(
+                off.report.trace.counters.is_empty(),
+                "{ctx}: counters recorded with tracing disabled"
+            );
+        }
+    }
+}
+
 /// The three baseline backends never touch the movement router, so their
 /// lowered streams must be bitwise-stable regardless of how the Atomique
 /// side is configured — pinning down that the proximity index cannot

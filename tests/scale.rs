@@ -28,7 +28,34 @@ fn compile_and_verify_with(
     validate_program(&out, &cfg.hardware, &out.mapping.site_of_slot)
         .unwrap_or_else(|e| panic!("{} ({strategy:?}): validator: {e}", b.name));
     assert!(out.isa.is_some(), "{}: stream not attached", b.name);
+    assert_disabled_tracing_is_coarse(b, &out);
     out
+}
+
+/// Disabled-mode overhead guard: `trace` is off here, so even a
+/// 1024-atom compile must attach zero counters and a fixed coarse
+/// handful of stage spans — the per-event fast path (one thread-local
+/// level load) never materializes per-gate telemetry. A failure means
+/// detail instrumentation started running unconditionally, i.e. the
+/// "near-free when disabled" contract broke at exactly the scale where
+/// it costs the most.
+fn assert_disabled_tracing_is_coarse(b: &Benchmark, out: &atomique::CompiledProgram) {
+    fn count_spans(spans: &[atomique::trace::SpanNode]) -> usize {
+        spans.iter().map(|s| 1 + count_spans(&s.children)).sum()
+    }
+    assert!(
+        out.report.trace.counters.is_empty(),
+        "{}: counters recorded with tracing disabled: {:?}",
+        b.name,
+        out.report.trace.counters
+    );
+    let n = count_spans(&out.report.trace.spans);
+    assert!(
+        n <= 16,
+        "{}: {n} spans recorded at stage level for a {}-qubit workload",
+        b.name,
+        out.stats.num_qubits
+    );
 }
 
 fn compile_and_verify(b: &Benchmark, qubits: usize) -> atomique::CompiledProgram {
