@@ -13,26 +13,36 @@
 //!   full-oracle harness (outputs asserted identical), and
 //! * every workload re-compiled under `RouterStrategy::Layered`
 //!   (schema 2 rows): same gate counts, never more pulses, with its own
-//!   compile/verify/opt timings.
+//!   compile/verify/opt timings, and
+//! * every workload re-compiled at each extra `--threads` count on the
+//!   `raa-par` work-pool (schema 4 rows): stages and ISA bytes asserted
+//!   bit-identical to the single-threaded row, with pooled verify and
+//!   `-O2` harness timings.
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
-//! [-- --oracle-max=N] [--sizes=N,N,…] [--trace <path>] [--counters]`.
+//! [-- --oracle-max=N] [--sizes=N,N,…] [--threads=N,N,…]
+//! [--trace <path>] [--counters]`.
 //! The exhaustive paths are O(atoms²) per stage/pulse, so they only run
 //! up to `--oracle-max` qubits (default 1024 — pass a smaller value for
 //! a quick look). `--sizes` restricts the size sweep (default
-//! 64,128,256,512,1024). `--trace` writes every workload × strategy
-//! compile's span tree to one Chrome trace-event file — each cell its
-//! own named process, loadable in Perfetto — and `--counters` prints
-//! the per-compile telemetry counter tables (see
+//! 64,128,256,512,1024). `--threads` lists the work-pool widths to
+//! sweep (default `1`; the first entry is the baseline every other
+//! entry is asserted bit-identical against, and the oracle/layered
+//! comparisons run only at that baseline). `--trace` writes every
+//! workload × strategy compile's span tree to one Chrome trace-event
+//! file — each cell its own named process, loadable in Perfetto — and
+//! `--counters` prints the per-compile telemetry counter tables (see
 //! `docs/OBSERVABILITY.md`).
 //!
 //! The whole study is also emitted as `BENCH_scaling.json` in the
 //! working directory, so the perf trajectory stays machine-readable
-//! from PR 4 onward. Schema 3 adds a `counters` object per row —
+//! from PR 4 onward. Schema 3 added a `counters` object per row —
 //! grid queries, router admissions, optimizer rejections and
 //! incremental-verifier fallbacks — recorded from the same compile the
-//! timings came from. Measured numbers are recorded in EXPERIMENTS.md
-//! ("Router scaling", "Verifier scaling" and "Counter telemetry").
+//! timings came from. Schema 4 adds a `threads` column (the `raa-par`
+//! pool width the row ran at) and the per-thread-count rows. Measured
+//! numbers are recorded in EXPERIMENTS.md ("Router scaling", "Verifier
+//! scaling", "Counter telemetry" and "Parallel compilation").
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -43,11 +53,16 @@ use atomique::{
 };
 use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
-use raa_isa::{check_legality_mode, optimize_with, CheckMode, IsaStats, VerifyStrategy};
+use raa_isa::{
+    check_legality_mode, check_legality_with, codec, optimize_pooled, optimize_with, CheckMode,
+    IsaStats, VerifyStrategy,
+};
+use raa_par::WorkPool;
 
 struct Args {
     oracle_max: usize,
     sizes: Vec<usize>,
+    threads: Vec<usize>,
     trace_path: Option<String>,
     counters: bool,
 }
@@ -56,6 +71,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         oracle_max: 1024,
         sizes: vec![64, 128, 256, 512, 1024],
+        threads: vec![1],
         trace_path: None,
         counters: false,
     };
@@ -78,6 +94,18 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| die(format!("invalid --sizes entry `{s}`")))
                 })
                 .collect();
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            parsed.threads = v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(format!("invalid --threads entry `{s}`")))
+                })
+                .collect();
+            if parsed.threads.is_empty() {
+                die("--threads needs at least one count".into());
+            }
         } else if arg == "--trace" {
             match args.next() {
                 Some(path) => parsed.trace_path = Some(path),
@@ -119,6 +147,11 @@ struct Measurement {
     /// covered once on the sequential rows); schema 2 added this field
     /// and the layered rows, keeping every schema-1 row.
     strategy: &'static str,
+    /// `raa-par` work-pool width the row's compile/verify/opt ran at
+    /// (`AtomiqueConfig::threads`; schema 4). Rows with `threads > 1`
+    /// are asserted bit-identical to the baseline row of the same
+    /// workload and skip the exhaustive-oracle comparisons.
+    threads: usize,
     timings: atomique::StageTimings,
     /// End-to-end compile wall clock with the grid proximity index
     /// (`compile.total_s` = `router.grid_compile_s` in the JSON; the
@@ -171,13 +204,13 @@ fn json_opt_f(v: Option<f64>) -> String {
 }
 
 fn write_json(measurements: &[Measurement]) {
-    let mut out = String::from("{\n  \"schema\": 3,\n  \"workloads\": [\n");
+    let mut out = String::from("{\n  \"schema\": 4,\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let t = &m.timings;
         let _ = write!(
             out,
             concat!(
-                "    {{\"name\": \"{}\", \"qubits\": {}, \"strategy\": \"{}\",\n",
+                "    {{\"name\": \"{}\", \"qubits\": {}, \"strategy\": \"{}\", \"threads\": {},\n",
                 "     \"compile\": {{\"total_s\": {}, \"transpile_s\": {}, \"map_s\": {}, ",
                 "\"route_s\": {}, \"lower_s\": {}, \"opt_s\": {}, \"verify_s\": {}}},\n",
                 "     \"router\": {{\"grid_compile_s\": {}, \"scan_compile_s\": {}}},\n",
@@ -191,6 +224,7 @@ fn write_json(measurements: &[Measurement]) {
             m.name,
             m.qubits,
             m.strategy,
+            m.threads,
             json_f(m.compile_total_s),
             json_f(t.transpile_s),
             json_f(t.map_s),
@@ -265,6 +299,7 @@ fn main() {
                 verify_isa: true,
                 opt_level: OptLevel::Aggressive,
                 trace: true,
+                threads: args.threads[0],
                 ..AtomiqueConfig::scaled_to(n)
             };
             let t0 = Instant::now();
@@ -364,6 +399,7 @@ fn main() {
                 name: b.name.to_string(),
                 qubits: n,
                 strategy: "sequential",
+                threads: args.threads[0],
                 timings: t,
                 compile_total_s: grid_s,
                 router_scan_s: scan_s,
@@ -377,6 +413,82 @@ fn main() {
                 opt_full_fallbacks: inc_report.full_reverifies,
                 counters: CounterRow::of(&grid.report),
             });
+
+            // --- The same workload at every extra work-pool width
+            // (schema 4): the compile, verify and -O2 harness re-run on
+            // a `raa-par` pool, output asserted bit-identical to the
+            // baseline row above (stages, ISA bytes and the headline
+            // counters — the per-compile differential contract of
+            // `tests/parallel_differential.rs`, measured here at scale).
+            let raw_bytes = codec::to_bytes(&raw);
+            let base_counters = CounterRow::of(&grid.report);
+            for &tc in &args.threads[1..] {
+                let par_cfg = AtomiqueConfig {
+                    threads: tc,
+                    ..cfg.clone()
+                };
+                let t0 = Instant::now();
+                let par = compile(&b.circuit, &par_cfg)
+                    .unwrap_or_else(|e| panic!("{}-{n} ({tc} threads): {e}", b.name));
+                let par_s = t0.elapsed().as_secs_f64();
+                assert_stage_identical(b.name, &grid, &par);
+                let par_raw = atomique::emit_isa(&par, &par_cfg.hardware, b.name);
+                assert_eq!(
+                    codec::to_bytes(&par_raw),
+                    raw_bytes,
+                    "{}-{n}: ISA bytes differ at {tc} threads",
+                    b.name
+                );
+                let par_counters = CounterRow::of(&par.report);
+                assert_eq!(
+                    par_counters.route_try_add, base_counters.route_try_add,
+                    "{}-{n}: route.try_add differs at {tc} threads",
+                    b.name
+                );
+
+                let pool = WorkPool::new(tc);
+                let t0 = Instant::now();
+                check_legality_with(&par_raw, CheckMode::Grid, pool)
+                    .unwrap_or_else(|e| panic!("{}-{n}: pooled grid check: {e}", b.name));
+                let par_verify_s = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let (_, par_inc_report) = optimize_pooled(
+                    &par_raw,
+                    OptLevel::Aggressive,
+                    VerifyStrategy::Incremental,
+                    &pool,
+                );
+                let par_opt_s = t0.elapsed().as_secs_f64();
+                println!(
+                    "  {tc} threads: compile {par_s:.2}s ({:.1}x vs baseline)  \
+                     verify {par_verify_s:.2}s  -O2 {par_opt_s:.2}s  [bit-identical]",
+                    grid_s / par_s.max(1e-9),
+                );
+                if args.trace_path.is_some() {
+                    traces.push((
+                        format!("{}-{n} {tc}-threads", b.name),
+                        par.report.trace.clone(),
+                    ));
+                }
+                measurements.push(Measurement {
+                    name: b.name.to_string(),
+                    qubits: n,
+                    strategy: "sequential",
+                    threads: tc,
+                    timings: par.timings,
+                    compile_total_s: par_s,
+                    router_scan_s: None,
+                    isa_instrs: stats.instructions,
+                    isa_pulses: stats.pulses,
+                    verify_grid_s: par_verify_s,
+                    verify_exhaustive_s: None,
+                    opt_incremental_s: par_opt_s,
+                    opt_full_s: None,
+                    opt_incremental_reverifies: par_inc_report.incremental_reverifies,
+                    opt_full_fallbacks: par_inc_report.full_reverifies,
+                    counters: par_counters,
+                });
+            }
 
             // --- The layered strategy on the same workload (schema 2):
             // same pipeline, Arctic-style move batching in the router.
@@ -432,6 +544,7 @@ fn main() {
                 name: b.name.to_string(),
                 qubits: n,
                 strategy: "layered",
+                threads: args.threads[0],
                 timings: lt,
                 compile_total_s: lay_s,
                 router_scan_s: None,

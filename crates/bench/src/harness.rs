@@ -51,6 +51,28 @@ pub fn compare_architectures(
     }
 }
 
+/// Compiles independent benchmark circuits concurrently on `pool`.
+///
+/// Each compile is a *self-contained* job — it opens (and closes) its
+/// own `raa-trace` session when its config enables tracing — so the
+/// wave runs through [`raa_par::WorkPool::map_isolated`]: workers get
+/// fresh threads with no session attached, per-compile counters and
+/// timings stay unpolluted by their neighbours, and results come back
+/// in submission order. With `threads = 1` this is exactly the
+/// sequential compile loop.
+///
+/// # Panics
+///
+/// Panics if any compilation fails.
+pub fn compile_suite_pooled(
+    jobs: &[(&str, &Circuit, AtomiqueConfig)],
+    pool: &raa_par::WorkPool,
+) -> Vec<CompiledProgram> {
+    pool.map_isolated("par.suite", jobs, |_, (name, circuit, cfg)| {
+        compile(circuit, cfg).unwrap_or_else(|e| panic!("{name}: {e}"))
+    })
+}
+
 /// Prints a section header.
 pub fn section(title: &str) {
     println!();

@@ -150,6 +150,41 @@ impl InteractionGraph {
             .sum()
     }
 
+    /// Connected components of the interaction graph: maximal vertex
+    /// groups with no interaction edge between them — the independent
+    /// gate groups of a circuit. Qubits touched by no two-qubit gate
+    /// form singleton components.
+    ///
+    /// Deterministic shape: each component lists its qubits ascending,
+    /// and components are ordered by their smallest member. Used by the
+    /// parallel array mapper to scatter per-vertex refinement over
+    /// groups that share nothing.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        // Union-find with union-by-minimum: every root is its
+        // component's smallest member, so grouping by root already
+        // yields the documented order.
+        let mut parent: Vec<u32> = (0..self.num_qubits as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &(u, v) in self.weights.keys() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+        let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for q in 0..self.num_qubits as u32 {
+            groups.entry(find(&mut parent, q)).or_default().push(q);
+        }
+        groups.into_values().collect()
+    }
+
     /// Per-qubit raw two-qubit gate involvement counts (unweighted),
     /// computed from the circuit: used by the load-balance SLM mapper.
     pub fn involvement_counts(circuit: &Circuit) -> Vec<usize> {
@@ -247,6 +282,23 @@ mod tests {
         let g = InteractionGraph::of(&sample());
         assert!((g.weighted_degree(Qubit(0)) - 2.0).abs() < 1e-12);
         assert!((g.weighted_degree(Qubit(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_partition_by_interaction() {
+        // sample(): edges (0,1) and (2,3) → two components; add two
+        // isolated qubits to a copy to check singletons.
+        let g = InteractionGraph::of(&sample());
+        assert_eq!(g.components(), vec![vec![0, 1], vec![2, 3]]);
+
+        let mut c = Circuit::new(6);
+        c.push(Gate::cz(Qubit(1), Qubit(4)));
+        c.push(Gate::cz(Qubit(4), Qubit(2)));
+        let g = InteractionGraph::of(&c);
+        assert_eq!(
+            g.components(),
+            vec![vec![0], vec![1, 2, 4], vec![3], vec![5]]
+        );
     }
 
     #[test]

@@ -10,9 +10,15 @@
 
 use raa_arch::RaaConfig;
 use raa_circuit::{Circuit, InteractionGraph, Qubit};
+use raa_par::WorkPool;
 
 use crate::config::ArrayMapperKind;
 use crate::error::CompileError;
+
+/// Minimum register size before the pooled mapper fans the per-vertex
+/// degree refinement out over the pool's workers; smaller graphs cost
+/// less to score than a wave costs to spawn.
+const PAR_MIN_VERTICES: usize = 256;
 
 /// The result of the array-mapping pass: `array_of[q]` is the array index
 /// (0 = SLM, `1..` = AODs) hosting logical qubit `q`.
@@ -67,6 +73,27 @@ pub fn map_to_arrays(
     kind: ArrayMapperKind,
     gamma: f64,
 ) -> Result<ArrayMapping, CompileError> {
+    map_to_arrays_pooled(circuit, hardware, kind, gamma, &WorkPool::sequential())
+}
+
+/// [`map_to_arrays`] with the per-vertex refinement scoring of the MAX
+/// k-Cut mapper fanned out over `pool`. The greedy assignment itself
+/// stays sequential (each placement depends on all earlier ones); only
+/// the weighted-degree ordering pass — a pure per-vertex function of
+/// the immutable interaction graph, scattered over its independent
+/// connected gate groups — runs in parallel, so the mapping is
+/// bit-identical at every worker count.
+///
+/// # Errors
+///
+/// Exactly those of [`map_to_arrays`].
+pub fn map_to_arrays_pooled(
+    circuit: &Circuit,
+    hardware: &RaaConfig,
+    kind: ArrayMapperKind,
+    gamma: f64,
+    pool: &WorkPool,
+) -> Result<ArrayMapping, CompileError> {
     let n = circuit.num_qubits();
     let capacity = hardware.total_capacity();
     if n > capacity {
@@ -79,7 +106,7 @@ pub fn map_to_arrays(
         .map(|a| hardware.dims(raa_arch::ArrayIndex(a as u8)).capacity())
         .collect();
     match kind {
-        ArrayMapperKind::MaxKCut => Ok(max_k_cut(circuit, &caps, gamma)),
+        ArrayMapperKind::MaxKCut => Ok(max_k_cut(circuit, &caps, gamma, pool)),
         ArrayMapperKind::Dense => Ok(dense(n, &caps)),
     }
 }
@@ -90,15 +117,42 @@ pub fn map_to_arrays(
 /// Vertices are visited in descending weighted-degree order (heaviest
 /// qubits choose first), which can only improve on the arbitrary order the
 /// pseudo-code shows while keeping the same greedy structure.
-fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64) -> ArrayMapping {
+fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64, pool: &WorkPool) -> ArrayMapping {
     let n = circuit.num_qubits();
     let k = caps.len();
     let graph = InteractionGraph::with_layer_decay(circuit, gamma);
 
     let mut order: Vec<usize> = (0..n).collect();
-    let mut degree: Vec<f64> = (0..n)
-        .map(|q| graph.weighted_degree(Qubit(q as u32)))
-        .collect();
+    let mut degree: Vec<f64> = if pool.is_parallel() && n >= PAR_MIN_VERTICES {
+        // Scatter the O(n·E) degree refinement over the graph's
+        // independent gate groups (connected components, split further
+        // so one giant component still fans out). Each weighted degree
+        // is a pure per-vertex sum over the immutable graph, gathered
+        // back by vertex id — bit-identical to the sequential loop.
+        let cap = n.div_ceil(4 * pool.threads()).max(1);
+        let groups: Vec<Vec<u32>> = graph
+            .components()
+            .iter()
+            .flat_map(|comp| comp.chunks(cap).map(<[u32]>::to_vec))
+            .collect();
+        let parts = pool.map("par.map.degree", &groups, |_, group| {
+            group
+                .iter()
+                .map(|&q| graph.weighted_degree(Qubit(q)))
+                .collect::<Vec<f64>>()
+        });
+        let mut degree = vec![0.0f64; n];
+        for (group, part) in groups.iter().zip(parts) {
+            for (&q, d) in group.iter().zip(part) {
+                degree[q as usize] = d;
+            }
+        }
+        degree
+    } else {
+        (0..n)
+            .map(|q| graph.weighted_degree(Qubit(q as u32)))
+            .collect()
+    };
     order.sort_by(|&a, &b| {
         degree[b]
             .partial_cmp(&degree[a])
@@ -259,6 +313,30 @@ mod tests {
             let m = map_to_arrays(&c, &hw(), kind, 0.9).unwrap();
             assert_eq!(m.array_of.len(), 4);
             assert!(m.array_of.iter().all(|&a| (a as usize) < m.num_arrays));
+        }
+    }
+
+    #[test]
+    fn pooled_mapping_is_bit_identical() {
+        use rand::{RngExt, SeedableRng};
+        // Large enough to clear PAR_MIN_VERTICES so the parallel degree
+        // scatter actually engages.
+        let n = 280usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut c = Circuit::new(n);
+        for _ in 0..800 {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+        let base = map_to_arrays(&c, &hw(), ArrayMapperKind::MaxKCut, 0.9).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = raa_par::WorkPool::new(threads);
+            let m = map_to_arrays_pooled(&c, &hw(), ArrayMapperKind::MaxKCut, 0.9, &pool).unwrap();
+            assert_eq!(m, base, "{threads} threads");
         }
     }
 

@@ -165,6 +165,17 @@ pub struct AtomiqueConfig {
     /// [`AtomiqueConfig::emit_isa`] attaches the stream; default
     /// [`OptLevel::None`].
     pub opt_level: OptLevel,
+    /// Worker threads for intra-compile parallel waves (`raa-par`):
+    /// SABRE lookahead scoring, MAX k-Cut group refinement, and the
+    /// sharded ISA legality replay all scatter over a
+    /// [`raa_par::WorkPool`] of this size. `1` (the default) *is* the
+    /// original sequential code path; any other value produces
+    /// bit-identical schedules, ISA bytes and telemetry counters —
+    /// proven by `tests/parallel_differential.rs` — so the knob only
+    /// trades wall clock. The default honors the `ATOMIQUE_THREADS`
+    /// environment variable (CI's thread-matrix leg), falling back to 1
+    /// when unset or unparsable.
+    pub threads: usize,
     /// Detail-level tracing: record inner router/optimizer/checker phase
     /// spans and all telemetry counters into the compile's
     /// [`CompileReport`](crate::CompileReport) (see
@@ -194,9 +205,23 @@ impl Default for AtomiqueConfig {
             emit_isa: false,
             verify_isa: false,
             opt_level: OptLevel::None,
+            threads: threads_from_env(),
             trace: false,
         }
     }
+}
+
+/// Default worker count: `ATOMIQUE_THREADS` when set to a positive
+/// integer (clamped to 256), else 1. Read per call — it is a handful of
+/// nanoseconds against a compile, and tests that set the variable see
+/// it immediately.
+fn threads_from_env() -> usize {
+    std::env::var("ATOMIQUE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(256))
+        .unwrap_or(1)
 }
 
 impl AtomiqueConfig {

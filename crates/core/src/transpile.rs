@@ -12,7 +12,8 @@
 
 use raa_arch::CouplingGraph;
 use raa_circuit::{Circuit, NativeGateSet};
-use raa_sabre::{route, SabreConfig};
+use raa_par::WorkPool;
+use raa_sabre::{route_pooled, SabreConfig};
 
 use crate::array_mapper::ArrayMapping;
 use crate::error::CompileError;
@@ -54,6 +55,22 @@ pub fn transpile(
     mapping: &ArrayMapping,
     sabre: &SabreConfig,
 ) -> Result<TranspiledCircuit, CompileError> {
+    transpile_pooled(circuit, mapping, sabre, &WorkPool::sequential())
+}
+
+/// [`transpile`] with SABRE's candidate scoring fanned out over `pool`
+/// (see [`raa_sabre::route_pooled`]); bit-identical output at every
+/// worker count.
+///
+/// # Errors
+///
+/// Exactly those of [`transpile`].
+pub fn transpile_pooled(
+    circuit: &Circuit,
+    mapping: &ArrayMapping,
+    sabre: &SabreConfig,
+    pool: &WorkPool,
+) -> Result<TranspiledCircuit, CompileError> {
     let n = circuit.num_qubits();
     debug_assert_eq!(mapping.array_of.len(), n);
 
@@ -77,7 +94,7 @@ pub fn transpile(
 
     let native = circuit.decompose_to(NativeGateSet::Cz);
     let graph = CouplingGraph::complete_multipartite(&part_sizes);
-    let routed = route(&native, &graph, &slot_of_qubit, sabre)?;
+    let routed = route_pooled(&native, &graph, &slot_of_qubit, sabre, pool)?;
     let out = routed.circuit.decompose_to(NativeGateSet::Cz);
 
     Ok(TranspiledCircuit {

@@ -134,11 +134,12 @@ pub mod fuse;
 pub mod parallelize;
 pub mod park;
 
-use crate::check::{check_legality, init_machine, CheckMode};
+use crate::check::{check_legality, check_legality_with, init_machine, CheckMode};
 use crate::program::{Instr, IsaProgram};
 use crate::replay::replay_verify;
 use crate::stats::IsaStats;
 use raa_circuit::Gate;
+use raa_par::WorkPool;
 use raa_trace::Counter;
 
 /// Candidate rewrites produced by passes (accepted + rejected).
@@ -399,6 +400,26 @@ pub fn optimize_with(
     level: OptLevel,
     strategy: VerifyStrategy,
 ) -> (IsaProgram, OptReport) {
+    optimize_pooled(program, level, strategy, &WorkPool::sequential())
+}
+
+/// [`optimize_with`] with the harness's independent oracle work fanned
+/// out over `pool`: the up-front input oracle runs its two halves
+/// ([`check_legality`] and [`replay_verify`]) as a concurrent wave, and
+/// every whole-stream candidate re-verify shards its C1 proximity scan
+/// over the pool ([`check_legality_with`]). The pass pipeline itself
+/// stays sequential — each accepted candidate feeds the next pass — so
+/// the optimized stream and report are bit-identical at every worker
+/// count. (On an input the oracle *rejects*, the concurrent wave still
+/// runs both halves where the sequential `||` stops at the first, so
+/// rejected inputs may do more oracle work — never a different
+/// verdict.)
+pub fn optimize_pooled(
+    program: &IsaProgram,
+    level: OptLevel,
+    strategy: VerifyStrategy,
+    pool: &WorkPool,
+) -> (IsaProgram, OptReport) {
     let before = IsaStats::of(program);
     let mut report = OptReport {
         level,
@@ -411,7 +432,20 @@ pub fn optimize_with(
     if level == OptLevel::None {
         return (program.clone(), report);
     }
-    if check_legality(program).is_err() || replay_verify(program).is_err() {
+    let input_failed = if pool.is_parallel() {
+        // The two oracle halves are independent reads of the input
+        // stream: run them as one wave, worker 0 sharding its C1 scan
+        // over the remaining idle workers via the nested pool.
+        pool.map("par.opt.oracle", &[0u8, 1], |_, &half| match half {
+            0 => check_legality_with(program, CheckMode::default(), *pool).is_err(),
+            _ => replay_verify(program).is_err(),
+        })
+        .into_iter()
+        .any(|failed| failed)
+    } else {
+        check_legality(program).is_err() || replay_verify(program).is_err()
+    };
+    if input_failed {
         report.skipped_unverified = true;
         return (program.clone(), report);
     }
@@ -457,7 +491,7 @@ pub fn optimize_with(
                                 report.full_reverifies += 1;
                                 OPT_VERIFY_FULL.incr();
                                 let _s = raa_trace::span("opt.verify.full");
-                                verify_full(&current, &kept, &reference_trace)
+                                verify_full(&current, &kept, &reference_trace, pool)
                             }
                         }
                     }
@@ -465,7 +499,7 @@ pub fn optimize_with(
                         report.full_reverifies += 1;
                         OPT_VERIFY_FULL.incr();
                         let _s = raa_trace::span("opt.verify.full");
-                        verify_full(&current, &kept, &reference_trace)
+                        verify_full(&current, &kept, &reference_trace, pool)
                     }
                 };
             if accepted {
@@ -595,14 +629,19 @@ fn flat_trace(instrs: &[Instr]) -> Vec<FlatEvent<'_>> {
 /// flattened gate trace preserved, and both oracle halves on the full
 /// candidate (the replay half re-proves DAG order and exactly-once
 /// execution under any pulse regrouping).
-fn verify_full(current: &IsaProgram, kept: &[Instr], reference_trace: &[FlatEvent<'_>]) -> bool {
+fn verify_full(
+    current: &IsaProgram,
+    kept: &[Instr],
+    reference_trace: &[FlatEvent<'_>],
+    pool: &WorkPool,
+) -> bool {
     let candidate = IsaProgram {
         instrs: kept.to_vec(),
         ..current.clone()
     };
     line_travel(&candidate.instrs) <= line_travel(&current.instrs) + 1e-12
         && flat_trace(&candidate.instrs) == reference_trace
-        && check_legality(&candidate).is_ok()
+        && check_legality_with(&candidate, CheckMode::default(), *pool).is_ok()
         && replay_verify(&candidate).is_ok()
 }
 
@@ -646,13 +685,15 @@ fn verify_incremental(current: &IsaProgram, edit: &PassEdit, kept: &[Instr]) -> 
     // Lockstep legality. The init prefix and loading map are shared with
     // the (verified) input, so both machines start from the same state;
     // edits inside the init prefix cannot be bounded this way.
-    let Ok((mut m_old, start)) = init_machine(current, CheckMode::Exhaustive) else {
+    let Ok((mut m_old, start)) =
+        init_machine(current, CheckMode::Exhaustive, WorkPool::sequential())
+    else {
         return None;
     };
     if edits[0] < start {
         return None;
     }
-    let Ok((mut m_new, _)) = init_machine(current, CheckMode::Grid) else {
+    let Ok((mut m_new, _)) = init_machine(current, CheckMode::Grid, WorkPool::sequential()) else {
         return None;
     };
     let mut diverged = false;

@@ -1,0 +1,165 @@
+//! Pool determinism properties, the foundation the bit-identity of the
+//! whole parallel pipeline rests on: randomized job sets with injected
+//! artificial delays (so completion order is adversarially permuted)
+//! must gather to the same merged output at every worker count, a panic
+//! in any worker must propagate to the submitter with its original
+//! payload, and one pool must be reusable across many waves — including
+//! nested waves — without leaking state between them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use raa_par::{fold_min_by, WorkPool};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A job whose artificial delay decouples completion order from
+/// submission order: with delays drawn at random, later-submitted jobs
+/// routinely finish first, so any gather that depended on completion
+/// order would scramble.
+#[derive(Clone)]
+struct DelayedJob {
+    value: u64,
+    delay_us: u64,
+}
+
+fn random_jobs(rng: &mut StdRng, n: usize) -> Vec<DelayedJob> {
+    (0..n)
+        .map(|_| DelayedJob {
+            value: rng.random_range(0..1_000_000),
+            delay_us: rng.random_range(0..400),
+        })
+        .collect()
+}
+
+fn run_wave(pool: &WorkPool, jobs: &[DelayedJob]) -> Vec<u64> {
+    pool.map("par.test", jobs, |i, job| {
+        std::thread::sleep(Duration::from_micros(job.delay_us));
+        job.value.wrapping_mul(31).wrapping_add(i as u64)
+    })
+}
+
+/// Ordered-gather determinism: for random job sets with random delays,
+/// the merged output is identical across worker counts 1/2/4/8 and
+/// across repeated runs (each run scrambles completion order anew).
+#[test]
+fn ordered_gather_is_invariant_under_completion_order() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..6 {
+        let jobs = random_jobs(&mut rng, 5 + round * 17);
+        let baseline = run_wave(&WorkPool::sequential(), &jobs);
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::new(threads);
+            for repeat in 0..3 {
+                assert_eq!(
+                    run_wave(&pool, &jobs),
+                    baseline,
+                    "round {round}, {threads} threads, repeat {repeat}"
+                );
+            }
+        }
+    }
+}
+
+/// The chunked min-reduction the parallel SABRE scorer uses: per-chunk
+/// minima folded in chunk order must re-yield the sequential first-wins
+/// pick exactly, including on ties.
+#[test]
+fn chunked_min_reduction_matches_sequential_fold() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let less = |a: &(u64, usize), b: &(u64, usize)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+    for _ in 0..20 {
+        let n = rng.random_range(1..200usize);
+        // Few distinct keys, so ties are common.
+        let keys: Vec<(u64, usize)> = (0..n).map(|i| (rng.random_range(0..8), i % 5)).collect();
+        let sequential = fold_min_by(keys.iter().map(|&k| (k, ())), less);
+        for threads in [2, 4, 8] {
+            let chunk = n.div_ceil(threads);
+            let merged = fold_min_by(
+                keys.chunks(chunk)
+                    .filter_map(|c| fold_min_by(c.iter().map(|&k| (k, ())), less)),
+                less,
+            );
+            assert_eq!(merged, sequential);
+        }
+    }
+}
+
+/// A panicking job aborts the wave and re-raises on the submitting
+/// thread with the worker's original payload; the pool (a value type)
+/// remains usable for the next wave.
+#[test]
+fn worker_panic_propagates_with_payload() {
+    let pool = WorkPool::new(4);
+    let jobs: Vec<usize> = (0..32).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.map("par.test", &jobs, |_, &x| {
+            if x == 19 {
+                panic!("job 19 exploded");
+            }
+            x * 2
+        })
+    }));
+    let payload = result.expect_err("wave must propagate the worker panic");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert_eq!(message, "job 19 exploded");
+    // The pool is still good: the next wave runs clean.
+    assert_eq!(pool.map("par.test", &[5, 6], |_, &x| x + 1), vec![6, 7]);
+}
+
+/// One pool across many waves: results never bleed between waves, and
+/// the number of distinct OS threads a wave uses stays within the fixed
+/// worker count (submitting thread + spawned workers).
+#[test]
+fn pool_reuse_across_waves_is_stateless() {
+    let pool = WorkPool::new(3);
+    let mut rng = StdRng::seed_from_u64(23);
+    for wave in 0..25u64 {
+        let jobs: Vec<u64> = (0..rng.random_range(1..40u64)).collect();
+        let out = pool.map("par.test", &jobs, |_, &x| x + wave);
+        assert_eq!(out, jobs.iter().map(|x| x + wave).collect::<Vec<_>>());
+    }
+}
+
+/// Nested pools (a job that itself opens a pool) complete without
+/// deadlock and gather deterministically — the shape the stress test in
+/// `tests/scale.rs` exercises at 1024 atoms.
+#[test]
+fn nested_waves_gather_deterministically() {
+    let outer = WorkPool::new(4);
+    let jobs: Vec<u64> = (0..12).collect();
+    let expect: Vec<u64> = jobs.iter().map(|o| (0..20).map(|i| o * i).sum()).collect();
+    for _ in 0..3 {
+        let out = outer.map("par.outer", &jobs, |_, &o| {
+            let inner = WorkPool::new(2);
+            let inner_jobs: Vec<u64> = (0..20).collect();
+            inner
+                .map("par.inner", &inner_jobs, |_, &i| o * i)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out, expect);
+    }
+}
+
+/// Every job runs exactly once per wave, whatever the worker count.
+#[test]
+fn each_job_runs_exactly_once() {
+    for threads in [1, 2, 4, 8] {
+        let pool = WorkPool::new(threads);
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..97).collect();
+        let out = pool.map("par.test", &jobs, |i, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), jobs.len());
+        assert_eq!(out, jobs);
+    }
+}

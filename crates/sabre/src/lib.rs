@@ -31,4 +31,4 @@ mod route;
 
 pub use error::SabreError;
 pub use layout::{layout_and_route, LayoutConfig};
-pub use route::{route, verify_routing, RoutedCircuit, SabreConfig};
+pub use route::{route, route_pooled, verify_routing, RoutedCircuit, SabreConfig};

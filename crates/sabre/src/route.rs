@@ -12,8 +12,14 @@
 
 use raa_arch::CouplingGraph;
 use raa_circuit::{Circuit, DagSchedule, Gate, GateIdx, Qubit};
+use raa_par::{fold_min_by, WorkPool};
 
 use crate::error::SabreError;
+
+/// Minimum number of swap candidates in a round before the pooled
+/// router fans scoring out over the pool's workers. Below this the
+/// per-wave thread spawn costs more than the scoring itself.
+const PAR_MIN_CANDIDATES: usize = 64;
 
 /// Tunables for the SABRE heuristic. Defaults follow the published
 /// implementation (extended-set size 20, weight 0.5, decay 0.001 reset
@@ -121,6 +127,37 @@ pub fn route(
     initial_layout: &[u32],
     config: &SabreConfig,
 ) -> Result<RoutedCircuit, SabreError> {
+    route_pooled(
+        circuit,
+        graph,
+        initial_layout,
+        config,
+        &WorkPool::sequential(),
+    )
+}
+
+/// [`route`] with candidate swap scoring fanned out over `pool`.
+///
+/// Each swap round scores every candidate with the same arithmetic as
+/// the sequential router, in contiguous submission-order chunks on
+/// private layout clones, and merges the per-chunk minima with the
+/// sequential selection rule (strictly lower score wins, ties broken by
+/// the smaller normalized pair). The minimum of a candidate list is
+/// independent of how the list is chunked, so the selected swap — and
+/// therefore the routed circuit — is bit-identical at every worker
+/// count. With a sequential pool this *is* [`route`]: the original
+/// nested candidate loop, no allocation, no threads.
+///
+/// # Errors
+///
+/// Exactly those of [`route`].
+pub fn route_pooled(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+    pool: &WorkPool,
+) -> Result<RoutedCircuit, SabreError> {
     let n_log = circuit.num_qubits();
     let n_phys = graph.num_qubits();
     if n_log > n_phys {
@@ -189,26 +226,15 @@ pub fn route(
             .filter_map(|&g| circuit.gates()[g].pair())
             .collect();
 
-        let mut best: Option<(f64, (u32, u32))> = None;
-        for &(fa, fb) in &front_pairs {
-            for &p in [fa, fb].iter() {
-                for &q in graph.neighbors(p) {
-                    let cand = if p < q { (p, q) } else { (q, p) };
-                    let score = swap_score(
-                        cand,
-                        &mut layout,
-                        graph,
-                        &front_pairs,
-                        &ext_pairs,
-                        &decay,
-                        config,
-                    );
-                    if best.is_none_or(|(s, c)| score < s || (score == s && cand < c)) {
-                        best = Some((score, cand));
-                    }
-                }
-            }
-        }
+        let best = pick_swap(
+            pool,
+            &mut layout,
+            graph,
+            &front_pairs,
+            &ext_pairs,
+            &decay,
+            config,
+        );
         let Some((_, (a, b))) = best else {
             return Err(SabreError::Disconnected);
         };
@@ -236,6 +262,89 @@ pub fn route(
         final_layout,
         swaps_inserted: swaps,
     })
+}
+
+/// Selects the best swap among edges touching front-layer qubits: the
+/// candidate with the lowest [`swap_score`], ties broken by the smaller
+/// normalized pair (the order the sequential nested loop first visits
+/// it in).
+///
+/// On a parallel pool with enough candidates, scoring fans out in
+/// contiguous chunks over private layout clones; the per-chunk minima
+/// fold back with the same selection rule, which re-yields the
+/// sequential pick exactly (see `crates/par/tests/pool_properties.rs`).
+fn pick_swap(
+    pool: &WorkPool,
+    layout: &mut Layout,
+    graph: &CouplingGraph,
+    front_pairs: &[(u32, u32)],
+    ext_pairs: &[(Qubit, Qubit)],
+    decay: &[f64],
+    config: &SabreConfig,
+) -> Option<(f64, (u32, u32))> {
+    let less =
+        |a: &(f64, (u32, u32)), b: &(f64, (u32, u32))| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+    if pool.is_parallel() {
+        // Enumerate candidates in the exact order the sequential loop
+        // visits them (duplicates included — they score equally, and
+        // the strict comparator keeps the first occurrence).
+        let mut cands: Vec<(u32, u32)> = Vec::new();
+        for &(fa, fb) in front_pairs {
+            for &p in [fa, fb].iter() {
+                for &q in graph.neighbors(p) {
+                    cands.push(if p < q { (p, q) } else { (q, p) });
+                }
+            }
+        }
+        if cands.len() >= PAR_MIN_CANDIDATES {
+            let chunk = cands.len().div_ceil(pool.threads());
+            let chunks: Vec<&[(u32, u32)]> = cands.chunks(chunk).collect();
+            let snapshot = layout.clone();
+            let minima = pool.map("par.sabre.score", &chunks, |_, part| {
+                let mut scratch = snapshot.clone();
+                fold_min_by(
+                    part.iter().map(|&cand| {
+                        let score = swap_score(
+                            cand,
+                            &mut scratch,
+                            graph,
+                            front_pairs,
+                            ext_pairs,
+                            decay,
+                            config,
+                        );
+                        ((score, cand), ())
+                    }),
+                    less,
+                )
+            });
+            return fold_min_by(minima.into_iter().flatten(), less).map(|(k, ())| k);
+        }
+        return fold_min_by(
+            cands.iter().map(|&cand| {
+                let score = swap_score(cand, layout, graph, front_pairs, ext_pairs, decay, config);
+                ((score, cand), ())
+            }),
+            less,
+        )
+        .map(|(k, ())| k);
+    }
+    // The sequential twin: the original nested loop, no candidate
+    // buffer, scratch mutations on the live layout (scored and
+    // reverted in place).
+    let mut best: Option<(f64, (u32, u32))> = None;
+    for &(fa, fb) in front_pairs {
+        for &p in [fa, fb].iter() {
+            for &q in graph.neighbors(p) {
+                let cand = if p < q { (p, q) } else { (q, p) };
+                let score = swap_score(cand, layout, graph, front_pairs, ext_pairs, decay, config);
+                if best.is_none_or(|(s, c)| score < s || (score == s && cand < c)) {
+                    best = Some((score, cand));
+                }
+            }
+        }
+    }
+    best
 }
 
 /// Scores a candidate swap: lower is better.
@@ -494,6 +603,35 @@ mod tests {
         let r = route(&c, &g, &trivial_layout(4), &SabreConfig::default()).unwrap();
         assert_eq!(r.swaps_inserted, 1);
         verify_routing(&c, &r, &g).unwrap();
+    }
+
+    #[test]
+    fn pooled_routing_is_bit_identical() {
+        use rand::{RngExt, SeedableRng};
+        // Dense multipartite graph: each swap round enumerates well over
+        // PAR_MIN_CANDIDATES candidates, so the parallel path engages.
+        let g = CouplingGraph::complete_multipartite(&[8, 8, 8]);
+        let n = 24usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut c = Circuit::new(n);
+        for _ in 0..60 {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+        let cfg = SabreConfig::default();
+        let base = route(&c, &g, &trivial_layout(n), &cfg).unwrap();
+        verify_routing(&c, &base, &g).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::new(threads);
+            let r = route_pooled(&c, &g, &trivial_layout(n), &cfg, &pool).unwrap();
+            assert_eq!(r.circuit.gates(), base.circuit.gates(), "{threads} threads");
+            assert_eq!(r.final_layout, base.final_layout);
+            assert_eq!(r.swaps_inserted, base.swaps_inserted);
+        }
     }
 
     #[test]

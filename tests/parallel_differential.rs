@@ -1,0 +1,189 @@
+//! Parallel-compilation differential harness: a compile running on a
+//! multi-worker `raa-par` pool must be *observably identical* to the
+//! sequential compile it parallelizes — same schedule down to every
+//! line move, byte-identical lowered ISA, the same stage-span set, and
+//! every telemetry counter matching to the last increment. The pool
+//! only changes *which thread* evaluates each independent job (SABRE
+//! candidate scores, MAX k-Cut degrees, C1 scan shards, harness
+//! re-verifies), never the values or the merge order, so any divergence
+//! here is a determinism bug in a parallel stage.
+//!
+//! Coverage: the full small suite under the four router-relevant
+//! Atomique configurations (the same backend set as
+//! `tests/router_differential.rs`), each compiled at `threads` ∈
+//! {1, 2, 4, 8} with the 1-thread compile as the reference. Counter
+//! equality against the 1-thread run also transitively re-proves the
+//! committed baselines of `tests/trace_counters.rs` at every thread
+//! count (and CI's `ATOMIQUE_THREADS=4` leg checks them directly). A
+//! final test drives the whole-suite fan-out
+//! (`raa_bench::harness::compile_suite_pooled`): concurrent compiles
+//! own separate trace sessions, so per-compile counters must show no
+//! cross-talk.
+
+use atomique::{compile, AtomiqueConfig, CompiledProgram, LineMove, OptLevel};
+use raa_arch::RaaConfig;
+use raa_bench::harness::compile_suite_pooled;
+use raa_benchmarks::small_suite;
+use raa_isa::codec;
+use raa_par::WorkPool;
+
+/// The pool widths swept against the 1-thread reference.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// The four configurations the harness sweeps — the backend set of
+/// `tests/router_differential.rs`, here with the full pipeline enabled
+/// (aggressive ISA optimization, verification, detail tracing) so every
+/// parallel stage actually runs.
+fn configs() -> Vec<(&'static str, AtomiqueConfig)> {
+    let base = AtomiqueConfig {
+        emit_isa: true,
+        verify_isa: true,
+        opt_level: OptLevel::Aggressive,
+        trace: true,
+        threads: 1,
+        ..AtomiqueConfig::default()
+    };
+    vec![
+        ("default", base.clone()),
+        (
+            "serial",
+            AtomiqueConfig {
+                router_mode: atomique::RouterMode::Serial,
+                ..base.clone()
+            },
+        ),
+        ("ablation-baseline", base.clone().ablation_baseline()),
+        (
+            "three-aods",
+            AtomiqueConfig {
+                hardware: RaaConfig::square(10, 3).expect("valid machine"),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Bit-level line-move equality (unpark markers carry NaN coordinates,
+/// so `==` on the floats would never match them).
+fn moves_eq(a: &[LineMove], b: &[LineMove]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.aod == y.aod
+                && x.axis_row == y.axis_row
+                && x.line == y.line
+                && x.from_track.to_bits() == y.from_track.to_bits()
+                && x.to_track.to_bits() == y.to_track.to_bits()
+        })
+}
+
+/// The names of the compile root's direct children — the stage-span
+/// set. Parallel waves add `par.*` *detail* spans nested inside stages,
+/// but the stage level itself must be byte-for-byte stable.
+fn stage_span_names(out: &CompiledProgram) -> Vec<String> {
+    out.report
+        .root()
+        .map(|root| root.children.iter().map(|s| s.name.clone()).collect())
+        .unwrap_or_default()
+}
+
+fn assert_observably_identical(ctx: &str, seq: &CompiledProgram, par: &CompiledProgram) {
+    assert_eq!(
+        seq.stages.len(),
+        par.stages.len(),
+        "{ctx}: stage counts differ"
+    );
+    for (i, (s, p)) in seq.stages.iter().zip(par.stages.iter()).enumerate() {
+        assert_eq!(s.kind, p.kind, "{ctx}: stage {i} kind");
+        assert_eq!(s.gate_pairs, p.gate_pairs, "{ctx}: stage {i} gate pairs");
+        assert_eq!(
+            s.one_qubit_gates, p.one_qubit_gates,
+            "{ctx}: stage {i} 1Q gates"
+        );
+        assert!(moves_eq(&s.moves, &p.moves), "{ctx}: stage {i} moves");
+        assert!(
+            moves_eq(&s.retract_moves, &p.retract_moves),
+            "{ctx}: stage {i} retraction moves"
+        );
+    }
+    assert_eq!(seq.mapping, par.mapping, "{ctx}: atom mappings differ");
+    assert_eq!(
+        seq.stats.two_qubit_gates, par.stats.two_qubit_gates,
+        "{ctx}: gate counts differ"
+    );
+    assert_eq!(seq.stats.depth, par.stats.depth, "{ctx}: depths differ");
+    // The lowered instruction streams must be byte-identical.
+    let sb = codec::to_bytes(seq.isa.as_ref().expect("emit_isa set"));
+    let pb = codec::to_bytes(par.isa.as_ref().expect("emit_isa set"));
+    assert_eq!(sb, pb, "{ctx}: ISA streams differ");
+    // Same stage-span set: parallelism may nest detail spans, never
+    // add, drop or reorder pipeline stages.
+    assert_eq!(
+        stage_span_names(seq),
+        stage_span_names(par),
+        "{ctx}: stage-span sets differ"
+    );
+    // Every counter, to the last increment: worker increments land in
+    // the session's shared atomic store, and no parallel path may do
+    // different work than its sequential twin on an accepting compile.
+    assert_eq!(
+        seq.report.counters(),
+        par.report.counters(),
+        "{ctx}: counters differ"
+    );
+}
+
+#[test]
+fn parallel_compiles_are_bit_identical_on_the_small_suite() {
+    for b in small_suite() {
+        for (cfg_name, cfg) in configs() {
+            let seq =
+                compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}/{cfg_name}: {e}", b.name));
+            assert!(
+                seq.report.counter("route.try_add") > 0,
+                "{}/{cfg_name}: reference compile recorded no counters",
+                b.name
+            );
+            for t in THREADS {
+                let ctx = format!("{}/{cfg_name}/threads={t}", b.name);
+                let par = compile(
+                    &b.circuit,
+                    &AtomiqueConfig {
+                        threads: t,
+                        ..cfg.clone()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                assert_observably_identical(&ctx, &seq, &par);
+            }
+        }
+    }
+}
+
+/// The whole-suite fan-out: every small-suite benchmark compiled
+/// concurrently on one pool via `compile_suite_pooled`. Each job owns
+/// its trace session, so the per-compile counter tables must equal the
+/// sequential per-benchmark tables exactly — concurrent sessions may
+/// not bleed increments into each other — and results come back in
+/// submission order.
+#[test]
+fn suite_fanout_has_no_counter_cross_talk() {
+    let suite = small_suite();
+    let cfg = AtomiqueConfig {
+        emit_isa: true,
+        verify_isa: true,
+        opt_level: OptLevel::Aggressive,
+        trace: true,
+        threads: 1,
+        ..AtomiqueConfig::default()
+    };
+    let jobs: Vec<(&str, &raa_circuit::Circuit, AtomiqueConfig)> = suite
+        .iter()
+        .map(|b| (b.name, &b.circuit, cfg.clone()))
+        .collect();
+    let pooled = compile_suite_pooled(&jobs, &WorkPool::new(4));
+    assert_eq!(pooled.len(), suite.len());
+    for (b, p) in suite.iter().zip(&pooled) {
+        let seq = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_observably_identical(&format!("{}/suite-fanout", b.name), &seq, p);
+    }
+}

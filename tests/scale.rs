@@ -120,6 +120,74 @@ fn compiles_1024_atom_workloads_through_the_isa_oracle() {
     }
 }
 
+/// Nested-pool stress: the 1024-atom QAOA workload compiled 8× at once
+/// from 8 plain OS threads, each compile running its own 2-worker
+/// `raa-par` pool (so pool waves nest inside foreign threads the pool
+/// never spawned). Must not deadlock — pools are capacity descriptors
+/// whose workers are scoped per wave, so concurrent compiles never
+/// contend on shared pool state — and every compile must produce
+/// byte-identical ISA to a single-threaded reference with exactly the
+/// reference's counter table: trace sessions are per-thread, so eight
+/// concurrent detail-traced compiles may not bleed a single increment
+/// into each other. Release builds only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug; CI runs it via cargo test --release"
+)]
+fn concurrent_1024_atom_compiles_are_isolated_and_identical() {
+    use raa_isa::codec;
+
+    let [_, b] = scaling_pair("QSim-1024", "QAOA-regu3-1024", 1024);
+    let cfg = AtomiqueConfig {
+        emit_isa: true,
+        verify_isa: true,
+        trace: true,
+        threads: 1,
+        ..AtomiqueConfig::scaled_to(1024)
+    };
+    let reference = compile(&b.circuit, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let ref_bytes = codec::to_bytes(reference.isa.as_ref().expect("stream attached"));
+    let ref_counters = reference.report.counters().to_vec();
+    assert!(
+        ref_counters.iter().any(|(_, v)| *v > 0),
+        "{}: reference compile recorded no counters",
+        b.name
+    );
+
+    let nested_cfg = AtomiqueConfig {
+        threads: 2,
+        ..cfg.clone()
+    };
+    let outputs: Vec<atomique::CompiledProgram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let circuit = &b.circuit;
+                let nested_cfg = &nested_cfg;
+                scope.spawn(move || compile(circuit, nested_cfg).expect("concurrent compile"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(
+            codec::to_bytes(out.isa.as_ref().expect("stream attached")),
+            ref_bytes,
+            "{}: concurrent compile {i} ISA differs",
+            b.name
+        );
+        assert_eq!(
+            out.report.counters(),
+            &ref_counters[..],
+            "{}: concurrent compile {i} counter cross-talk",
+            b.name
+        );
+    }
+}
+
 /// The 1024-atom workloads under *both* router strategies, with a
 /// wall-clock guard: layered batching replans the whole schedule
 /// (compatibility scan + merged-pulse geometry per candidate) and an
