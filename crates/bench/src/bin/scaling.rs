@@ -17,10 +17,14 @@
 //! * every workload re-compiled at each extra `--threads` count on the
 //!   `raa-par` work-pool (schema 4 rows): stages and ISA bytes asserted
 //!   bit-identical to the single-threaded row, with pooled verify and
-//!   `-O2` harness timings.
+//!   `-O2` harness timings, and
+//! * the baseline and layered rows pushed through the `raa-serve`
+//!   batch-compilation engine cold and warm (schema 5 `serve`
+//!   columns): served bytes asserted bit-identical to the direct
+//!   compile, cache hit/miss and queue-depth counters recorded.
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
-//! [-- --oracle-max=N] [--sizes=N,N,…] [--threads=N,N,…]
+//! [-- --oracle-max=N] [--serve-max=N] [--sizes=N,N,…] [--threads=N,N,…]
 //! [--trace <path>] [--counters]`.
 //! The exhaustive paths are O(atoms²) per stage/pulse, so they only run
 //! up to `--oracle-max` qubits (default 1024 — pass a smaller value for
@@ -40,9 +44,13 @@
 //! grid queries, router admissions, optimizer rejections and
 //! incremental-verifier fallbacks — recorded from the same compile the
 //! timings came from. Schema 4 adds a `threads` column (the `raa-par`
-//! pool width the row ran at) and the per-thread-count rows. Measured
-//! numbers are recorded in EXPERIMENTS.md ("Router scaling", "Verifier
-//! scaling", "Counter telemetry" and "Parallel compilation").
+//! pool width the row ran at) and the per-thread-count rows. Schema 5
+//! adds a `serve` object (cold/warm service round trips, cache
+//! hit/miss counts, queue high-water mark; `null` on thread-sweep rows
+//! and above `--serve-max`). Measured numbers are recorded in
+//! EXPERIMENTS.md ("Router scaling", "Verifier scaling", "Counter
+//! telemetry", "Parallel compilation" and "Batch-compilation
+//! service").
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -51,7 +59,7 @@ use atomique::trace::{export, TraceReport};
 use atomique::{
     compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, RouterStrategy, StageKind,
 };
-use raa_bench::harness::{row, scaling_row, section, SCALING_COLUMNS};
+use raa_bench::harness::{row, scaling_row, section, serve_probe, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
 use raa_isa::{
     check_legality_mode, check_legality_with, codec, optimize_pooled, optimize_with, CheckMode,
@@ -61,6 +69,7 @@ use raa_par::WorkPool;
 
 struct Args {
     oracle_max: usize,
+    serve_max: usize,
     sizes: Vec<usize>,
     threads: Vec<usize>,
     trace_path: Option<String>,
@@ -70,6 +79,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut parsed = Args {
         oracle_max: 1024,
+        serve_max: 1024,
         sizes: vec![64, 128, 256, 512, 1024],
         threads: vec![1],
         trace_path: None,
@@ -85,6 +95,10 @@ fn parse_args() -> Args {
             parsed.oracle_max = v
                 .parse()
                 .unwrap_or_else(|_| die(format!("invalid --oracle-max value `{v}`")));
+        } else if let Some(v) = arg.strip_prefix("--serve-max=") {
+            parsed.serve_max = v
+                .parse()
+                .unwrap_or_else(|_| die(format!("invalid --serve-max value `{v}`")));
         } else if let Some(v) = arg.strip_prefix("--sizes=") {
             parsed.sizes = v
                 .split(',')
@@ -168,6 +182,55 @@ struct Measurement {
     opt_incremental_reverifies: usize,
     opt_full_fallbacks: usize,
     counters: CounterRow,
+    /// Schema-5 serving columns: the same workload pushed through the
+    /// `raa-serve` engine cold (miss) and warm (hit), served bytes
+    /// asserted bit-identical to this row's direct compile. `None` on
+    /// thread-sweep rows and above `--serve-max`.
+    serve: Option<ServeRow>,
+}
+
+/// The `serve` object of one schema-5 row.
+struct ServeRow {
+    cold_s: f64,
+    warm_s: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    max_queue_depth: u64,
+}
+
+impl ServeRow {
+    /// Probes the service with this row's workload and asserts the
+    /// served bytes match the direct compile's attached stream.
+    fn probed(
+        name: &str,
+        qubits: usize,
+        circuit: &raa_circuit::Circuit,
+        cfg: &AtomiqueConfig,
+        direct: &CompiledProgram,
+    ) -> ServeRow {
+        let probe = serve_probe(name, circuit, cfg);
+        let direct_bytes = codec::to_bytes(direct.isa.as_ref().expect("emit_isa attached"));
+        assert_eq!(
+            probe.isa_bytes, direct_bytes,
+            "{name}-{qubits}: served bytes diverge from direct compile"
+        );
+        assert_eq!(
+            (probe.cache_misses, probe.cache_hits),
+            (1, 1),
+            "{name}-{qubits}: serve probe cache counters off"
+        );
+        println!(
+            "  serve: cold {:.2}s, warm {:.4}s (hit; bytes bit-identical), queue depth {}",
+            probe.cold_s, probe.warm_s, probe.max_queue_depth
+        );
+        ServeRow {
+            cold_s: probe.cold_s,
+            warm_s: probe.warm_s,
+            cache_hits: probe.cache_hits,
+            cache_misses: probe.cache_misses,
+            max_queue_depth: probe.max_queue_depth,
+        }
+    }
 }
 
 /// The schema-3 counter columns, recorded from the same traced compile
@@ -203,8 +266,23 @@ fn json_opt_f(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), json_f)
 }
 
+fn json_serve(serve: &Option<ServeRow>) -> String {
+    match serve {
+        None => "null".into(),
+        Some(s) => format!(
+            "{{\"cold_s\": {}, \"warm_s\": {}, \"cache_hit\": {}, \"cache_miss\": {}, \
+             \"queue_depth\": {}}}",
+            json_f(s.cold_s),
+            json_f(s.warm_s),
+            s.cache_hits,
+            s.cache_misses,
+            s.max_queue_depth,
+        ),
+    }
+}
+
 fn write_json(measurements: &[Measurement]) {
-    let mut out = String::from("{\n  \"schema\": 4,\n  \"workloads\": [\n");
+    let mut out = String::from("{\n  \"schema\": 5,\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let t = &m.timings;
         let _ = write!(
@@ -219,7 +297,8 @@ fn write_json(measurements: &[Measurement]) {
                 "     \"opt_harness\": {{\"incremental_s\": {}, \"full_s\": {}, ",
                 "\"incremental_reverifies\": {}, \"full_fallbacks\": {}}},\n",
                 "     \"counters\": {{\"grid_query\": {}, \"route_try_add\": {}, ",
-                "\"pass_rejected\": {}, \"verify_fallback\": {}}}}}"
+                "\"pass_rejected\": {}, \"verify_fallback\": {}}},\n",
+                "     \"serve\": {}}}"
             ),
             m.name,
             m.qubits,
@@ -246,6 +325,7 @@ fn write_json(measurements: &[Measurement]) {
             m.counters.route_try_add,
             m.counters.pass_rejected,
             m.counters.verify_fallback,
+            json_serve(&m.serve),
         );
         out.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -395,6 +475,12 @@ fn main() {
                 opt_full_s.map_or_else(|| "-".into(), |s| format!("{s:.2}s")),
             );
 
+            // --- The service probe (schema 5): the same workload
+            // through the raa-serve engine cold and warm, served bytes
+            // asserted bit-identical to the compile above.
+            let serve =
+                (n <= args.serve_max).then(|| ServeRow::probed(b.name, n, &b.circuit, &cfg, &grid));
+
             measurements.push(Measurement {
                 name: b.name.to_string(),
                 qubits: n,
@@ -412,6 +498,7 @@ fn main() {
                 opt_incremental_reverifies: inc_report.incremental_reverifies,
                 opt_full_fallbacks: inc_report.full_reverifies,
                 counters: CounterRow::of(&grid.report),
+                serve,
             });
 
             // --- The same workload at every extra work-pool width
@@ -487,6 +574,7 @@ fn main() {
                     opt_incremental_reverifies: par_inc_report.incremental_reverifies,
                     opt_full_fallbacks: par_inc_report.full_reverifies,
                     counters: par_counters,
+                    serve: None,
                 });
             }
 
@@ -540,6 +628,8 @@ fn main() {
             if args.trace_path.is_some() {
                 traces.push((format!("{}-{n} layered", b.name), lay.report.trace.clone()));
             }
+            let lay_serve = (n <= args.serve_max)
+                .then(|| ServeRow::probed(b.name, n, &b.circuit, &lay_cfg, &lay));
             measurements.push(Measurement {
                 name: b.name.to_string(),
                 qubits: n,
@@ -557,6 +647,7 @@ fn main() {
                 opt_incremental_reverifies: lay_inc_report.incremental_reverifies,
                 opt_full_fallbacks: lay_inc_report.full_reverifies,
                 counters: CounterRow::of(&lay.report),
+                serve: lay_serve,
             });
         }
     }

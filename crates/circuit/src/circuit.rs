@@ -208,6 +208,62 @@ impl Circuit {
                 .map(|(a, b)| if a.0 <= b.0 { (a, b) } else { (b, a) })
         })
     }
+
+    /// A process- and platform-stable 64-bit content hash: FNV-1a over
+    /// the register size and every gate's kind, operands and exact
+    /// angle bits, in program order. Two circuits hash equal iff they
+    /// are equal up to float bit patterns — the identity the serving
+    /// layer's compile cache keys on (combined with a config
+    /// fingerprint), since compilation is a deterministic function of
+    /// exactly this content.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        let mut h = OFFSET;
+        let mut put = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+            }
+        };
+        put(self.num_qubits as u64);
+        for g in &self.gates {
+            match *g {
+                Gate::OneQ { kind, qubit } => {
+                    let (tag, params): (u64, [u64; 3]) = match kind {
+                        OneQubitKind::H => (0, [0; 3]),
+                        OneQubitKind::X => (1, [0; 3]),
+                        OneQubitKind::Y => (2, [0; 3]),
+                        OneQubitKind::Z => (3, [0; 3]),
+                        OneQubitKind::S => (4, [0; 3]),
+                        OneQubitKind::Sdg => (5, [0; 3]),
+                        OneQubitKind::T => (6, [0; 3]),
+                        OneQubitKind::Tdg => (7, [0; 3]),
+                        OneQubitKind::Rx(t) => (8, [t.to_bits(), 0, 0]),
+                        OneQubitKind::Ry(t) => (9, [t.to_bits(), 0, 0]),
+                        OneQubitKind::Rz(t) => (10, [t.to_bits(), 0, 0]),
+                        OneQubitKind::U(t, p, l) => (11, [t.to_bits(), p.to_bits(), l.to_bits()]),
+                    };
+                    put(tag);
+                    put(qubit.0 as u64);
+                    for p in params {
+                        put(p);
+                    }
+                }
+                Gate::TwoQ { kind, a, b } => {
+                    let (tag, param): (u64, u64) = match kind {
+                        TwoQubitKind::Cz => (12, 0),
+                        TwoQubitKind::Cx => (13, 0),
+                        TwoQubitKind::Zz(t) => (14, t.to_bits()),
+                        TwoQubitKind::Swap => (15, 0),
+                    };
+                    put(tag);
+                    put(a.0 as u64);
+                    put(b.0 as u64);
+                    put(param);
+                }
+            }
+        }
+        h
+    }
 }
 
 impl Extend<Gate> for Circuit {
@@ -405,6 +461,44 @@ mod tests {
     fn pulse_counts() {
         assert_eq!(pulse_count(&Gate::h(Qubit(0))), 1);
         assert_eq!(pulse_count(&Gate::cz(Qubit(0), Qubit(1))), 3);
+    }
+
+    #[test]
+    fn stable_hash_separates_content_not_representation() {
+        let c = bell();
+        assert_eq!(c.stable_hash(), bell().stable_hash());
+        assert_eq!(c.stable_hash(), c.clone().stable_hash());
+
+        // Register size, gate kind, operands, order and exact angle
+        // bits all separate.
+        let mut wide = Circuit::new(3);
+        wide.push(Gate::h(Qubit(0)));
+        wide.push(Gate::cx(Qubit(0), Qubit(1)));
+        assert_ne!(c.stable_hash(), wide.stable_hash());
+
+        let mut cz = Circuit::new(2);
+        cz.push(Gate::h(Qubit(0)));
+        cz.push(Gate::cz(Qubit(0), Qubit(1)));
+        assert_ne!(c.stable_hash(), cz.stable_hash());
+
+        let mut swapped = Circuit::new(2);
+        swapped.push(Gate::h(Qubit(1)));
+        swapped.push(Gate::cx(Qubit(0), Qubit(1)));
+        assert_ne!(c.stable_hash(), swapped.stable_hash());
+
+        let mut rz1 = Circuit::new(1);
+        rz1.push(Gate::rz(Qubit(0), 0.1));
+        let mut rz2 = Circuit::new(1);
+        rz2.push(Gate::rz(Qubit(0), 0.1 + f64::EPSILON));
+        assert_ne!(rz1.stable_hash(), rz2.stable_hash());
+
+        // -0.0 and 0.0 compare equal as floats but are distinct
+        // programs at the bit level; the cache key keeps them apart.
+        let mut neg = Circuit::new(1);
+        neg.push(Gate::rz(Qubit(0), -0.0));
+        let mut pos = Circuit::new(1);
+        pos.push(Gate::rz(Qubit(0), 0.0));
+        assert_ne!(neg.stable_hash(), pos.stable_hash());
     }
 
     #[test]

@@ -32,8 +32,20 @@ pub enum QasmError {
         /// The gate name.
         name: String,
     },
+    /// A second `qreg` declaration appeared. The parser supports one
+    /// quantum register; re-declaring it would reset the circuit and
+    /// silently discard every gate parsed so far, so it is an error.
+    DuplicateRegister {
+        /// 1-based line number of the second declaration.
+        line: usize,
+    },
     /// A gate referenced an invalid qubit.
-    Circuit(CircuitError),
+    Circuit {
+        /// 1-based line number of the gate.
+        line: usize,
+        /// The underlying validation failure.
+        source: CircuitError,
+    },
 }
 
 impl std::fmt::Display for QasmError {
@@ -44,18 +56,17 @@ impl std::fmt::Display for QasmError {
             QasmError::UnsupportedGate { line, name } => {
                 write!(f, "unsupported gate {name} at line {line}")
             }
-            QasmError::Circuit(e) => write!(f, "invalid gate: {e}"),
+            QasmError::DuplicateRegister { line } => {
+                write!(f, "duplicate qreg declaration at line {line}")
+            }
+            QasmError::Circuit { line, source } => {
+                write!(f, "invalid gate at line {line}: {source}")
+            }
         }
     }
 }
 
 impl std::error::Error for QasmError {}
-
-impl From<CircuitError> for QasmError {
-    fn from(e: CircuitError) -> Self {
-        QasmError::Circuit(e)
-    }
-}
 
 /// Serializes `circuit` as an OpenQASM 2.0 program.
 ///
@@ -208,6 +219,11 @@ fn parse_statement(
                 line,
                 text: stmt.into(),
             })?;
+        // A second declaration used to overwrite the circuit here,
+        // silently dropping every gate parsed before it.
+        if circuit.is_some() {
+            return Err(QasmError::DuplicateRegister { line });
+        }
         *circuit = Some(Circuit::new(n));
         return Ok(());
     }
@@ -237,7 +253,8 @@ fn parse_statement(
     };
     let qubits = parse_operands(operands, line, stmt)?;
     let gate = build_gate(name, &params, &qubits, line)?;
-    c.try_push(gate)?;
+    c.try_push(gate)
+        .map_err(|source| QasmError::Circuit { line, source })?;
     Ok(())
 }
 
@@ -496,7 +513,23 @@ mod tests {
         ));
         assert!(matches!(
             from_qasm("qreg q[1];\ncz q[0],q[0];"),
-            Err(QasmError::Circuit(_))
+            Err(QasmError::Circuit { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_qreg_errors_instead_of_discarding_gates() {
+        // A second qreg used to reset the circuit, silently throwing
+        // away every gate parsed before it.
+        let text = "qreg q[2];\nh q[0];\ncx q[0],q[1];\nqreg r[4];\nh q[3];\n";
+        assert_eq!(
+            from_qasm(text),
+            Err(QasmError::DuplicateRegister { line: 4 })
+        );
+        // Even a re-declaration of the same register errors.
+        assert!(matches!(
+            from_qasm("qreg q[2];\nqreg q[2];\n"),
+            Err(QasmError::DuplicateRegister { line: 2 })
         ));
     }
 

@@ -211,17 +211,115 @@ impl Default for AtomiqueConfig {
     }
 }
 
-/// Default worker count: `ATOMIQUE_THREADS` when set to a positive
-/// integer (clamped to 256), else 1. Read per call — it is a handful of
-/// nanoseconds against a compile, and tests that set the variable see
-/// it immediately.
+/// The largest worker count [`parse_threads`] accepts (and the
+/// fallback when `ATOMIQUE_THREADS` asks for more).
+pub const MAX_THREADS: usize = 256;
+
+/// Why a thread-count string (an `ATOMIQUE_THREADS` value, or a
+/// service request's `threads` override) was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsParseError {
+    /// The value is not an unsigned integer.
+    NotANumber {
+        /// The offending text.
+        value: String,
+    },
+    /// The value is `0`; waves need at least one worker.
+    Zero,
+    /// The value exceeds [`MAX_THREADS`].
+    TooLarge {
+        /// The requested count.
+        value: usize,
+    },
+}
+
+impl ThreadsParseError {
+    /// The safe worker count to run with when the requested one was
+    /// rejected: [`MAX_THREADS`] for an over-large request (the host
+    /// asked for parallelism — give it as much as supported), 1
+    /// otherwise.
+    pub fn fallback(&self) -> usize {
+        match self {
+            ThreadsParseError::TooLarge { .. } => MAX_THREADS,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsParseError::NotANumber { value } => {
+                write!(f, "`{value}` is not an unsigned integer")
+            }
+            ThreadsParseError::Zero => write!(f, "thread count must be at least 1"),
+            ThreadsParseError::TooLarge { value } => {
+                write!(
+                    f,
+                    "thread count {value} exceeds the supported maximum {MAX_THREADS}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadsParseError {}
+
+/// Parses a worker-thread count: an integer in `[1, MAX_THREADS]`,
+/// surrounding whitespace tolerated.
+///
+/// # Errors
+///
+/// [`ThreadsParseError`] describing exactly why the value was
+/// rejected; [`ThreadsParseError::fallback`] gives the safe count to
+/// degrade to.
+///
+/// # Examples
+///
+/// ```
+/// use atomique::{parse_threads, ThreadsParseError, MAX_THREADS};
+/// assert_eq!(parse_threads(" 8 "), Ok(8));
+/// assert_eq!(parse_threads("0"), Err(ThreadsParseError::Zero));
+/// assert_eq!(parse_threads("9999"), Err(ThreadsParseError::TooLarge { value: 9999 }));
+/// assert_eq!(parse_threads("abc").unwrap_err().fallback(), 1);
+/// assert_eq!(parse_threads("9999").unwrap_err().fallback(), MAX_THREADS);
+/// ```
+pub fn parse_threads(value: &str) -> Result<usize, ThreadsParseError> {
+    let trimmed = value.trim();
+    let n = trimmed
+        .parse::<usize>()
+        .map_err(|_| ThreadsParseError::NotANumber {
+            value: trimmed.to_string(),
+        })?;
+    if n == 0 {
+        return Err(ThreadsParseError::Zero);
+    }
+    if n > MAX_THREADS {
+        return Err(ThreadsParseError::TooLarge { value: n });
+    }
+    Ok(n)
+}
+
+/// Default worker count: `ATOMIQUE_THREADS` parsed by
+/// [`parse_threads`] when set, else 1. An invalid value no longer
+/// degrades silently — a misconfigured service host must not discover
+/// at traffic time that it has been running single-threaded — it
+/// emits one deterministic stderr warning per process and falls back
+/// to [`ThreadsParseError::fallback`]. Read per call — it is a
+/// handful of nanoseconds against a compile, and tests that set the
+/// variable see it immediately.
 fn threads_from_env() -> usize {
-    std::env::var("ATOMIQUE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .map(|n| n.min(256))
-        .unwrap_or(1)
+    match std::env::var("ATOMIQUE_THREADS") {
+        Err(_) => 1,
+        Ok(raw) => parse_threads(&raw).unwrap_or_else(|e| {
+            let fallback = e.fallback();
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: ignoring ATOMIQUE_THREADS={raw}: {e}; using {fallback}");
+            });
+            fallback
+        }),
+    }
 }
 
 impl AtomiqueConfig {
@@ -261,6 +359,31 @@ impl AtomiqueConfig {
         self.router_mode = RouterMode::Serial;
         self
     }
+
+    /// A process- and platform-stable 64-bit fingerprint covering
+    /// *every* field of the configuration, used (with
+    /// [`Circuit::stable_hash`](raa_circuit::Circuit::stable_hash)) as
+    /// the compile-cache key of the serving layer.
+    ///
+    /// Implemented as FNV-1a over a versioned salt plus the `Debug`
+    /// rendering of the whole struct. Rendering every field is
+    /// deliberately conservative: fields that provably do not change
+    /// output bytes (`threads`, `proximity_index`, `trace`) still
+    /// separate cache entries — an over-split cache costs a duplicate
+    /// compile, while an under-split one would serve stale results.
+    /// Because the rendering covers the struct exhaustively, a field
+    /// added later is automatically part of the key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for byte in b"atomique-config-v1"
+            .iter()
+            .copied()
+            .chain(format!("{self:?}").bytes())
+        {
+            h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +415,78 @@ mod tests {
     fn relaxation_default_enforces_all() {
         let r = Relaxation::default();
         assert!(!r.individual_addressing && !r.allow_order_violation && !r.allow_overlap);
+    }
+
+    #[test]
+    fn parse_threads_accepts_the_valid_range() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 16\n"), Ok(16));
+        assert_eq!(parse_threads("256"), Ok(256));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero() {
+        assert_eq!(parse_threads("0"), Err(ThreadsParseError::Zero));
+        assert_eq!(parse_threads("0").unwrap_err().fallback(), 1);
+    }
+
+    #[test]
+    fn parse_threads_rejects_non_numbers() {
+        for bad in ["abc", "", "-2", "1.5", "4 threads"] {
+            match parse_threads(bad) {
+                Err(ThreadsParseError::NotANumber { value }) => {
+                    assert_eq!(value, bad.trim());
+                }
+                other => panic!("`{bad}` parsed as {other:?}"),
+            }
+        }
+        assert_eq!(parse_threads("abc").unwrap_err().fallback(), 1);
+    }
+
+    #[test]
+    fn parse_threads_rejects_oversized_counts() {
+        assert_eq!(
+            parse_threads("9999"),
+            Err(ThreadsParseError::TooLarge { value: 9999 })
+        );
+        // An over-large request degrades to full supported
+        // parallelism, not to 1.
+        assert_eq!(parse_threads("9999").unwrap_err().fallback(), MAX_THREADS);
+        assert_eq!(parse_threads("257").unwrap_err().fallback(), MAX_THREADS);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_compilation_axis() {
+        let base = AtomiqueConfig::default();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        let mut opt = base.clone();
+        opt.opt_level = OptLevel::Aggressive;
+        let mut layered = base.clone();
+        layered.router_strategy = RouterStrategy::Layered;
+        let mut threads = base.clone();
+        threads.threads = 4;
+        let mut prox = base.clone();
+        prox.proximity_index = ProximityIndex::Exhaustive;
+        let mut gamma = base.clone();
+        gamma.gamma = 0.8;
+        let mut hw = base.clone();
+        hw.hardware = raa_arch::RaaConfig::square(20, 2).unwrap();
+
+        let prints = [
+            base.fingerprint(),
+            opt.fingerprint(),
+            layered.fingerprint(),
+            threads.fingerprint(),
+            prox.fingerprint(),
+            gamma.fingerprint(),
+            hw.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in prints.iter().skip(i + 1) {
+                assert_ne!(a, b, "two distinct configs share a fingerprint");
+            }
+        }
     }
 }

@@ -54,8 +54,8 @@ pub use array_mapper::{map_to_arrays, ArrayMapping};
 pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
 pub use compiler::compile;
 pub use config::{
-    ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation, RouterMode,
-    RouterStrategy,
+    parse_threads, ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation,
+    RouterMode, RouterStrategy, ThreadsParseError, MAX_THREADS,
 };
 pub use error::CompileError;
 pub use lower::emit_isa;

@@ -12,6 +12,7 @@
 use raa_circuit::{Circuit, Gate, OneQubitKind, Qubit, TwoQubitKind};
 
 use crate::error::{DecodeError, EncodeError};
+use crate::json::{self, structure, Value};
 use crate::program::{Instr, IsaProgram, ProgramHeader, SiteSpec, FORMAT_VERSION};
 
 // ---------------------------------------------------------------------
@@ -341,261 +342,35 @@ impl JsonWriter {
 // ---------------------------------------------------------------------
 // JSON decoding
 // ---------------------------------------------------------------------
+//
+// The JSON reader itself lives in [`crate::json`]; this section maps
+// parsed [`Value`] trees onto programs, gates and instructions.
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
+/// Decodes one gate from its JSON array form (e.g. `["cz", 0, 1]` or
+/// `["rz", 3, 0.25]`) — the same per-gate encoding [`to_json`] emits
+/// inside `reference.gates`, exposed for callers (such as the serving
+/// layer) that accept gate lists from JSON documents.
+///
+/// # Errors
+///
+/// [`DecodeError::Structure`] on unknown names, wrong arity or
+/// non-integer qubit indices.
+pub fn gate_from_json(value: &Value) -> Result<Gate, DecodeError> {
+    gate_from_value(value)
 }
 
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn err(&self, message: impl Into<String>) -> DecodeError {
-        DecodeError::Json {
-            offset: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), DecodeError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, DecodeError> {
-        match self.peek().ok_or(DecodeError::UnexpectedEnd)? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Value::Str(self.string()?)),
-            b't' => self.literal("true", Value::Bool(true)),
-            b'f' => self.literal("false", Value::Bool(false)),
-            b'n' => self.literal("null", Value::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            c => Err(self.err(format!("unexpected byte `{}`", c as char))),
-        }
-    }
-
-    fn literal(&mut self, text: &str, v: Value) -> Result<Value, DecodeError> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(v)
-        } else {
-            Err(self.err(format!("expected `{text}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, DecodeError> {
-        self.skip_ws();
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| DecodeError::BadUtf8)?;
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err(format!("bad number `{text}`")))
-    }
-
-    fn string(&mut self) -> Result<String, DecodeError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or(DecodeError::UnexpectedEnd)?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let e = *self.bytes.get(self.pos).ok_or(DecodeError::UnexpectedEnd)?;
-                    self.pos += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hi = self.hex4()?;
-                            let code = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair.
-                                if self.bytes.get(self.pos) == Some(&b'\\')
-                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
-                                {
-                                    self.pos += 2;
-                                    let lo = self.hex4()?;
-                                    if !(0xDC00..0xE000).contains(&lo) {
-                                        return Err(self.err("bad low surrogate"));
-                                    }
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
-                                } else {
-                                    return Err(self.err("lone surrogate"));
-                                }
-                            } else {
-                                hi
-                            };
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                }
-                _ => {
-                    // Re-borrow from the byte slice to keep UTF-8 intact.
-                    let start = self.pos - 1;
-                    let mut end = self.pos;
-                    while let Some(&c) = self.bytes.get(end) {
-                        if c == b'"' || c == b'\\' {
-                            break;
-                        }
-                        end += 1;
-                    }
-                    let chunk = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| DecodeError::BadUtf8)?;
-                    out.push_str(chunk);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, DecodeError> {
-        let chunk = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .ok_or(DecodeError::UnexpectedEnd)?;
-        let text = std::str::from_utf8(chunk).map_err(|_| DecodeError::BadUtf8)?;
-        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("bad hex"))?;
-        self.pos += 4;
-        Ok(v)
-    }
-
-    fn array(&mut self) -> Result<Value, DecodeError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, DecodeError> {
-        self.expect(b'{')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(items));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            items.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(items));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-}
-
-fn structure(message: impl Into<String>) -> DecodeError {
-    DecodeError::Structure {
-        message: message.into(),
-    }
-}
-
-impl Value {
-    fn num(&self) -> Result<f64, DecodeError> {
-        match self {
-            Value::Num(v) => Ok(*v),
-            _ => Err(structure("expected number")),
-        }
-    }
-
-    fn uint(&self, max: u64) -> Result<u64, DecodeError> {
-        let v = self.num()?;
-        if v.fract() != 0.0 || v < 0.0 || v > max as f64 {
-            return Err(structure(format!("expected integer in [0, {max}]")));
-        }
-        Ok(v as u64)
-    }
-
-    fn str(&self) -> Result<&str, DecodeError> {
-        match self {
-            Value::Str(s) => Ok(s),
-            _ => Err(structure("expected string")),
-        }
-    }
-
-    fn arr(&self) -> Result<&[Value], DecodeError> {
-        match self {
-            Value::Arr(items) => Ok(items),
-            _ => Err(structure("expected array")),
-        }
-    }
-
-    fn field<'a>(&'a self, key: &str) -> Result<&'a Value, DecodeError> {
-        match self {
-            Value::Obj(items) => items
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| structure(format!("missing field `{key}`"))),
-            _ => Err(structure("expected object")),
-        }
-    }
+/// Encodes one gate as the JSON array form accepted by
+/// [`gate_from_json`].
+///
+/// # Errors
+///
+/// [`EncodeError::NonFiniteNumber`] if a gate angle is NaN/infinite.
+pub fn gate_to_json(gate: &Gate) -> Result<String, EncodeError> {
+    let mut w = JsonWriter {
+        out: String::with_capacity(32),
+    };
+    w.gate(gate)?;
+    Ok(w.out)
 }
 
 fn gate_from_value(v: &Value) -> Result<Gate, DecodeError> {
@@ -693,7 +468,7 @@ fn gate_from_value(v: &Value) -> Result<Gate, DecodeError> {
             arity_ok(3)?;
             Gate::swap(q(1)?, q(2)?)
         }
-        other => return Err(DecodeError::BadTag { tag: other.into() }),
+        other => return Err(structure(format!("unknown gate tag `{other}`"))),
     })
 }
 
@@ -773,7 +548,7 @@ fn instr_from_value(v: &Value) -> Result<Instr, DecodeError> {
                 .map(|k| Ok(k.uint(u8::MAX as u64)? as u8))
                 .collect::<Result<Vec<_>, DecodeError>>()?,
         },
-        other => return Err(DecodeError::BadTag { tag: other.into() }),
+        other => return Err(structure(format!("unknown instruction tag `{other}`"))),
     })
 }
 
@@ -783,17 +558,7 @@ fn instr_from_value(v: &Value) -> Result<Instr, DecodeError> {
 ///
 /// [`DecodeError`] on syntax, tag or structure problems.
 pub fn from_json(text: &str) -> Result<IsaProgram, DecodeError> {
-    let mut parser = JsonParser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let root = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(DecodeError::TrailingData {
-            bytes: parser.bytes.len() - parser.pos,
-        });
-    }
+    let root = json::parse(text)?;
 
     if root.field("format")?.str()? != "raa-isa" {
         return Err(DecodeError::BadMagic);
@@ -1066,44 +831,56 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Reads `n` bytes for the field named by `context`. On truncation
+    /// the error carries the read position and the field name, so a
+    /// client can see *where* an untrusted stream went bad.
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
         let chunk = self
             .bytes
             .get(self.pos..self.pos + n)
-            .ok_or(DecodeError::UnexpectedEnd)?;
+            .ok_or(DecodeError::UnexpectedEnd {
+                offset: self.pos,
+                context,
+            })?;
         self.pos += n;
         Ok(chunk)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+    fn u8(&mut self, context: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, context)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    fn u16(&mut self, context: &'static str) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
     }
 
-    fn f64(&mut self) -> Result<f64, DecodeError> {
+    fn f64(&mut self, context: &'static str) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().unwrap(),
+            self.take(8, context)?.try_into().unwrap(),
         )))
     }
 
-    fn str(&mut self) -> Result<String, DecodeError> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    fn str(&mut self, context: &'static str) -> Result<String, DecodeError> {
+        let len = self.u32(context)? as usize;
+        let start = self.pos;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { offset: start })
     }
 
     fn gate(&mut self) -> Result<Gate, DecodeError> {
-        let tag = self.u8()?;
+        let tag_offset = self.pos;
+        let tag = self.u8("gate tag")?;
         Ok(match tag {
             0..=11 => {
-                let q = Qubit(self.u32()?);
+                let q = Qubit(self.u32("gate qubit")?);
                 match tag {
                     0 => Gate::h(q),
                     1 => Gate::x(q),
@@ -1113,72 +890,78 @@ impl<'a> Cursor<'a> {
                     5 => Gate::sdg(q),
                     6 => Gate::t(q),
                     7 => Gate::tdg(q),
-                    8 => Gate::rx(q, self.f64()?),
-                    9 => Gate::ry(q, self.f64()?),
-                    10 => Gate::rz(q, self.f64()?),
+                    8 => Gate::rx(q, self.f64("gate angle")?),
+                    9 => Gate::ry(q, self.f64("gate angle")?),
+                    10 => Gate::rz(q, self.f64("gate angle")?),
                     _ => {
-                        let (t, p, l) = (self.f64()?, self.f64()?, self.f64()?);
+                        let t = self.f64("gate angle")?;
+                        let p = self.f64("gate angle")?;
+                        let l = self.f64("gate angle")?;
                         Gate::u(q, t, p, l)
                     }
                 }
             }
             12..=15 => {
-                let a = Qubit(self.u32()?);
-                let b = Qubit(self.u32()?);
+                let a = Qubit(self.u32("gate qubit")?);
+                let b = Qubit(self.u32("gate qubit")?);
                 match tag {
                     12 => Gate::cz(a, b),
                     13 => Gate::cx(a, b),
-                    14 => Gate::zz(a, b, self.f64()?),
+                    14 => Gate::zz(a, b, self.f64("gate angle")?),
                     _ => Gate::swap(a, b),
                 }
             }
             other => {
                 return Err(DecodeError::BadTag {
                     tag: other.to_string(),
+                    offset: tag_offset,
                 })
             }
         })
     }
 
     fn instr(&mut self) -> Result<Instr, DecodeError> {
-        let tag = self.u8()?;
+        let tag_offset = self.pos;
+        let tag = self.u8("instr tag")?;
         Ok(match tag {
             0 => Instr::InitSlm {
-                rows: self.u16()?,
-                cols: self.u16()?,
+                rows: self.u16("islm rows")?,
+                cols: self.u16("islm cols")?,
             },
             1 => Instr::InitAod {
-                aod: self.u8()?,
-                rows: self.u16()?,
-                cols: self.u16()?,
-                fx: self.f64()?,
-                fy: self.f64()?,
+                aod: self.u8("iaod index")?,
+                rows: self.u16("iaod rows")?,
+                cols: self.u16("iaod cols")?,
+                fx: self.f64("iaod fx")?,
+                fy: self.f64("iaod fy")?,
             },
             2 => Instr::MoveRow {
-                aod: self.u8()?,
-                row: self.u16()?,
-                from: self.f64()?,
-                to: self.f64()?,
-                retract: self.u8()? != 0,
+                aod: self.u8("mrow aod")?,
+                row: self.u16("mrow row")?,
+                from: self.f64("mrow from")?,
+                to: self.f64("mrow to")?,
+                retract: self.u8("mrow retract")? != 0,
             },
             3 => Instr::MoveCol {
-                aod: self.u8()?,
-                col: self.u16()?,
-                from: self.f64()?,
-                to: self.f64()?,
-                retract: self.u8()? != 0,
+                aod: self.u8("mcol aod")?,
+                col: self.u16("mcol col")?,
+                from: self.f64("mcol from")?,
+                to: self.f64("mcol to")?,
+                retract: self.u8("mcol retract")? != 0,
             },
-            4 => Instr::Unpark { aod: self.u8()? },
+            4 => Instr::Unpark {
+                aod: self.u8("unpark aod")?,
+            },
             5 => {
-                let n = self.u32()? as usize;
+                let n = self.u32("pulse pair count")? as usize;
                 let mut pairs = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
-                    pairs.push((self.u32()?, self.u32()?));
+                    pairs.push((self.u32("pulse slot")?, self.u32("pulse slot")?));
                 }
                 Instr::RydbergPulse { pairs }
             }
             6 => {
-                let n = self.u32()? as usize;
+                let n = self.u32("raman gate count")? as usize;
                 let mut gates = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
                     gates.push(self.gate()?);
@@ -1186,19 +969,22 @@ impl<'a> Cursor<'a> {
                 Instr::RamanLayer { gates }
             }
             7 => Instr::Transfer {
-                a: self.u32()?,
-                b: self.u32()?,
+                a: self.u32("xfer slot")?,
+                b: self.u32("xfer slot")?,
             },
-            8 => Instr::Cool { aod: self.u8()? },
+            8 => Instr::Cool {
+                aod: self.u8("cool aod")?,
+            },
             9 => {
-                let n = self.u32()? as usize;
+                let n = self.u32("park count")? as usize;
                 Instr::Park {
-                    kept: self.take(n)?.to_vec(),
+                    kept: self.take(n, "park kept")?.to_vec(),
                 }
             }
             other => {
                 return Err(DecodeError::BadTag {
                     tag: other.to_string(),
+                    offset: tag_offset,
                 })
             }
         })
@@ -1212,40 +998,40 @@ impl<'a> Cursor<'a> {
 /// [`DecodeError`] on magic/version/structure problems.
 pub fn from_bytes(bytes: &[u8]) -> Result<IsaProgram, DecodeError> {
     let mut c = Cursor { bytes, pos: 0 };
-    if c.take(MAGIC.len())? != MAGIC {
+    if c.take(MAGIC.len(), "magic")? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = c.u32()?;
+    let version = c.u32("version")?;
     if version != FORMAT_VERSION {
         return Err(DecodeError::UnsupportedVersion { found: version });
     }
-    let backend = c.str()?;
-    let name = c.str()?;
-    let spacing_um = c.f64()?;
-    let rydberg_radius_um = c.f64()?;
-    let n = c.u32()? as usize;
+    let backend = c.str("header.backend")?;
+    let name = c.str("header.name")?;
+    let spacing_um = c.f64("header.spacing_um")?;
+    let rydberg_radius_um = c.f64("header.rydberg_radius_um")?;
+    let n = c.u32("slot_of_qubit count")? as usize;
     let mut slot_of_qubit = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        slot_of_qubit.push(c.u32()?);
+        slot_of_qubit.push(c.u32("slot_of_qubit entry")?);
     }
-    let n = c.u32()? as usize;
+    let n = c.u32("site count")? as usize;
     let mut sites = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         sites.push(SiteSpec {
-            array: c.u8()?,
-            row: c.u16()?,
-            col: c.u16()?,
+            array: c.u8("site array")?,
+            row: c.u16("site row")?,
+            col: c.u16("site col")?,
         });
     }
-    let num_slots = c.u32()? as usize;
-    let num_gates = c.u32()? as usize;
+    let num_slots = c.u32("reference slot count")? as usize;
+    let num_gates = c.u32("reference gate count")? as usize;
     let mut gates = Vec::with_capacity(num_gates.min(1 << 20));
     for _ in 0..num_gates {
         gates.push(c.gate()?);
     }
     let reference = Circuit::with_gates(num_slots, gates)
         .map_err(|e| structure(format!("invalid reference circuit: {e}")))?;
-    let num_instrs = c.u32()? as usize;
+    let num_instrs = c.u32("instr count")? as usize;
     let mut instrs = Vec::with_capacity(num_instrs.min(1 << 20));
     for _ in 0..num_instrs {
         instrs.push(c.instr()?);

@@ -36,7 +36,13 @@ pub enum DecodeError {
         found: u32,
     },
     /// The input ended mid-value.
-    UnexpectedEnd,
+    UnexpectedEnd {
+        /// Byte offset at which more input was needed (for truncated
+        /// input this is the input length).
+        offset: usize,
+        /// Which field or structure was being decoded.
+        context: &'static str,
+    },
     /// Bytes remained after the program was fully decoded.
     TrailingData {
         /// How many bytes remained.
@@ -46,9 +52,14 @@ pub enum DecodeError {
     BadTag {
         /// The offending tag byte or name.
         tag: String,
+        /// Byte offset of the tag.
+        offset: usize,
     },
     /// A string field held invalid UTF-8.
-    BadUtf8,
+    BadUtf8 {
+        /// Byte offset of the string field.
+        offset: usize,
+    },
     /// JSON-level syntax or structure problem.
     Json {
         /// Byte offset of the problem.
@@ -71,12 +82,18 @@ impl fmt::Display for DecodeError {
             DecodeError::UnsupportedVersion { found } => {
                 write!(f, "unsupported raa-isa format version {found}")
             }
-            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::UnexpectedEnd { offset, context } => {
+                write!(f, "unexpected end of input at byte {offset} (in {context})")
+            }
             DecodeError::TrailingData { bytes } => {
                 write!(f, "{bytes} trailing bytes after program")
             }
-            DecodeError::BadTag { tag } => write!(f, "unknown tag `{tag}`"),
-            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown tag `{tag}` at byte {offset}")
+            }
+            DecodeError::BadUtf8 { offset } => {
+                write!(f, "invalid UTF-8 in string field at byte {offset}")
+            }
             DecodeError::Json { offset, message } => {
                 write!(f, "JSON error at byte {offset}: {message}")
             }
@@ -267,6 +284,14 @@ pub enum LowerError {
         /// How many gates remained.
         remaining: usize,
     },
+    /// The lowerer's own bookkeeping went inconsistent (e.g. the
+    /// replay tracker and the stage list disagree on how many gates
+    /// executed). Always a bug in the caller or the lowerer, never a
+    /// property of the input circuit.
+    Internal {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -284,6 +309,9 @@ impl fmt::Display for LowerError {
             ),
             LowerError::Incomplete { remaining } => {
                 write!(f, "schedule left {remaining} two-qubit gates unexecuted")
+            }
+            LowerError::Internal { message } => {
+                write!(f, "lowering invariant violated: {message}")
             }
         }
     }

@@ -65,6 +65,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod json;
 pub mod opt;
 
 mod check;

@@ -88,14 +88,14 @@ pub fn lower_gate_schedule(
     }
     drain_one_qubit(reference, &mut sched, &mut instrs);
     if !sched.is_done() {
-        let remaining = reference
+        let total = reference
             .gates()
             .iter()
             .filter(|g| g.is_two_qubit())
-            .count()
-            .saturating_sub(stages.iter().map(|s| s.len()).sum());
+            .count();
+        let scheduled = stages.iter().map(|s| s.len()).sum();
         return Err(LowerError::Incomplete {
-            remaining: remaining.max(1),
+            remaining: reconcile_unexecuted(total, scheduled)?,
         });
     }
 
@@ -113,6 +113,30 @@ pub fn lower_gate_schedule(
         reference: reference.clone(),
         instrs,
     })
+}
+
+/// Reconciles an unfinished schedule's counts into the number of
+/// two-qubit gates it left unexecuted.
+///
+/// Reaching this point with `scheduled >= total` would mean the stage
+/// list claims to have executed at least every two-qubit gate while
+/// the replay tracker says some never ran — a bookkeeping
+/// contradiction, not a property of the input. A `saturating_sub` here
+/// would silently report such a miscount as "0 remaining" (then get
+/// clamped to 1), masking the bug; instead it is surfaced as
+/// [`LowerError::Internal`].
+fn reconcile_unexecuted(total: usize, scheduled: usize) -> Result<usize, LowerError> {
+    match total.checked_sub(scheduled) {
+        Some(remaining) if remaining > 0 => Ok(remaining),
+        Some(_) => Err(LowerError::Internal {
+            message: format!("schedule lists all {total} two-qubit gates but some never executed"),
+        }),
+        None => Err(LowerError::Internal {
+            message: format!(
+                "schedule lists {scheduled} two-qubit gates but the circuit has only {total}"
+            ),
+        }),
+    }
 }
 
 /// Emits every currently-executable one-qubit gate as Raman layers.
@@ -195,6 +219,29 @@ mod tests {
             lower_gate_schedule(&c, &[vec![0]], header()),
             Err(LowerError::Incomplete { remaining: 1 })
         );
+    }
+
+    #[test]
+    fn reconcile_reports_true_remainder() {
+        assert_eq!(reconcile_unexecuted(5, 2), Ok(3));
+        assert_eq!(reconcile_unexecuted(1, 0), Ok(1));
+    }
+
+    #[test]
+    fn reconcile_surfaces_miscounts_instead_of_masking_them() {
+        // `saturating_sub` would have returned 0 (clamped to 1) for
+        // both of these; they are contradictions and must say so.
+        assert!(matches!(
+            reconcile_unexecuted(2, 2),
+            Err(LowerError::Internal { .. })
+        ));
+        match reconcile_unexecuted(2, 5) {
+            Err(LowerError::Internal { message }) => {
+                assert!(message.contains("5"), "offending count in message");
+                assert!(message.contains("2"), "true total in message");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 
     #[test]

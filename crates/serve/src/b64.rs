@@ -1,0 +1,136 @@
+//! Standard (RFC 4648) base64, used to carry binary ISA streams inside
+//! JSON response bodies. Dependency-free like the rest of the
+//! workspace; padding is always emitted and always required.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as padded standard base64.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let word = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(word >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(word >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(word >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[word as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// The byte offset at which a base64 document stopped making sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBase64 {
+    /// Offset of the offending character (or `text.len()` for bad
+    /// overall length).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for InvalidBase64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid base64 at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for InvalidBase64 {}
+
+fn sextet(c: u8, offset: usize) -> Result<u32, InvalidBase64> {
+    match c {
+        b'A'..=b'Z' => Ok((c - b'A') as u32),
+        b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(InvalidBase64 { offset }),
+    }
+}
+
+/// Decodes padded standard base64.
+///
+/// # Errors
+///
+/// [`InvalidBase64`] (with the byte offset) on characters outside the
+/// alphabet, misplaced padding, or a length that is not a multiple of
+/// four.
+pub fn decode(text: &str) -> Result<Vec<u8>, InvalidBase64> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(InvalidBase64 {
+            offset: bytes.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (group, chunk) in bytes.chunks(4).enumerate() {
+        let base = group * 4;
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        // Padding may only be the final one or two characters of the
+        // final group.
+        if pad > 2 || (pad > 0 && base + 4 != bytes.len()) {
+            return Err(InvalidBase64 { offset: base });
+        }
+        if chunk[..4 - pad].contains(&b'=') {
+            return Err(InvalidBase64 { offset: base });
+        }
+        let mut word = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if i >= 4 - pad {
+                0
+            } else {
+                sextet(c, base + i)?
+            };
+            word = (word << 6) | v;
+        }
+        out.push((word >> 16) as u8);
+        if pad < 2 {
+            out.push((word >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_length_mod_three() {
+        for len in 0..48usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let text = encode(&data);
+            assert_eq!(text.len() % 4, 0);
+            assert_eq!(decode(&text).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(decode("Zg=").unwrap_err(), InvalidBase64 { offset: 3 });
+        assert_eq!(decode("Z!==").unwrap_err(), InvalidBase64 { offset: 1 });
+        assert_eq!(decode("====").unwrap_err(), InvalidBase64 { offset: 0 });
+        assert_eq!(decode("Zg==Zg==").unwrap_err(), InvalidBase64 { offset: 0 });
+        assert!(decode("Zm9v").is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! The `raa-serve` command-line front.
+//!
+//! ```text
+//! raa-serve serve [--addr 127.0.0.1:7417] [--workers N] [--queue N] [--cache N]
+//! raa-serve batch [--opt 0|1|2] [--strategy sequential|layered] [--threads N]
+//!                 [--workers N] [--out DIR] circuit.qasm [more.qasm ...]
+//! ```
+//!
+//! `serve` binds the HTTP/JSON front and runs until killed. `batch`
+//! drives the same engine in-process: it compiles each OpenQASM file
+//! and writes the verified binary ISA stream next to it (or into
+//! `--out DIR`) as `<stem>.isa`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use atomique::OptLevel;
+use atomique::RouterStrategy;
+use raa_circuit::qasm;
+use raa_serve::engine::{Engine, Job, ServeConfig};
+use raa_serve::http;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: raa-serve serve [--addr A] [--workers N] [--queue N] [--cache N]\n\
+         \x20      raa-serve batch [--opt N] [--strategy S] [--threads N] [--workers N] \
+         [--out DIR] FILE..."
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--flag value` into `out`; returns whether `arg` consumed
+/// the flag.
+fn flag_value<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+    arg: &str,
+    name: &str,
+    out: &mut T,
+) -> Result<bool, String> {
+    if arg != name {
+        return Ok(false);
+    }
+    let value = args.next().ok_or_else(|| format!("{name} needs a value"))?;
+    *out = value
+        .parse()
+        .map_err(|_| format!("bad value `{value}` for {name}"))?;
+    Ok(true)
+}
+
+fn cmd_serve(args: Vec<String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7417".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if flag_value(&mut args, &arg, "--addr", &mut addr)?
+            || flag_value(&mut args, &arg, "--workers", &mut cfg.workers)?
+            || flag_value(&mut args, &arg, "--queue", &mut cfg.queue_capacity)?
+            || flag_value(&mut args, &arg, "--cache", &mut cfg.cache_capacity)?
+        {
+            continue;
+        }
+        return Err(format!("unknown argument `{arg}`"));
+    }
+    let engine = Arc::new(Engine::new(cfg));
+    let server = http::serve(engine, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("raa-serve listening on http://{}", server.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_batch(args: Vec<String>) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut opt = 0usize;
+    let mut strategy = "sequential".to_string();
+    let mut threads = 1usize;
+    let mut out_dir = String::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if flag_value(&mut args, &arg, "--opt", &mut opt)?
+            || flag_value(&mut args, &arg, "--strategy", &mut strategy)?
+            || flag_value(&mut args, &arg, "--threads", &mut threads)?
+            || flag_value(&mut args, &arg, "--workers", &mut cfg.workers)?
+            || flag_value(&mut args, &arg, "--out", &mut out_dir)?
+        {
+            continue;
+        }
+        if arg.starts_with('-') {
+            return Err(format!("unknown argument `{arg}`"));
+        }
+        files.push(arg);
+    }
+    if files.is_empty() {
+        return Err("batch needs at least one QASM file".into());
+    }
+    cfg.base.opt_level = match opt {
+        0 => OptLevel::None,
+        1 => OptLevel::Basic,
+        2 => OptLevel::Aggressive,
+        other => return Err(format!("bad --opt {other} (expected 0, 1 or 2)")),
+    };
+    cfg.base.router_strategy = match strategy.as_str() {
+        "sequential" => RouterStrategy::Sequential,
+        "layered" => RouterStrategy::Layered,
+        other => return Err(format!("bad --strategy {other}")),
+    };
+    cfg.base.threads =
+        atomique::parse_threads(&threads.to_string()).map_err(|e| format!("bad --threads: {e}"))?;
+
+    let mut jobs = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+        let circuit = qasm::from_qasm(&text).map_err(|e| format!("parse {file}: {e}"))?;
+        jobs.push(Job {
+            name: file.clone(),
+            circuit,
+        });
+    }
+
+    let engine = Engine::new(cfg);
+    let outcomes = engine
+        .submit(engine.base(), &jobs)
+        .map_err(|e| e.to_string())?;
+    let mut failed = false;
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(result) => {
+                let stem = std::path::Path::new(&outcome.name)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "out".into());
+                let target = if out_dir.is_empty() {
+                    std::path::Path::new(&outcome.name).with_extension("isa")
+                } else {
+                    std::path::Path::new(&out_dir).join(format!("{stem}.isa"))
+                };
+                std::fs::write(&target, &result.entry.isa_bytes)
+                    .map_err(|e| format!("write {}: {e}", target.display()))?;
+                println!(
+                    "{}: {} bytes -> {} ({}, fidelity {:.4}, {:.2}s)",
+                    outcome.name,
+                    result.entry.isa_bytes.len(),
+                    target.display(),
+                    result.status.as_str(),
+                    result.entry.fidelity,
+                    result.entry.stats.compile_time_s,
+                );
+            }
+            Err(e) => {
+                eprintln!("{}: error: {e}", outcome.name);
+                failed = true;
+            }
+        }
+    }
+    let stats = engine.stats();
+    println!(
+        "batch done: {} compiled, {} hits, {} coalesced",
+        stats.compiles, stats.hits, stats.coalesced
+    );
+    if failed {
+        Err("some jobs failed".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let run = match cmd.as_str() {
+        "serve" => cmd_serve(args),
+        "batch" => cmd_batch(args),
+        _ => return usage(),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("raa-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! The batch-compilation engine: a bounded admission queue, a
+//! single-flight compile cache keyed on circuit hash × config
+//! fingerprint, and worker fan-out over [`raa_par::WorkPool`].
+//!
+//! The engine is transport-agnostic — the HTTP front
+//! ([`crate::http`]) and the CLI both drive [`Engine::submit`]
+//! directly, so every invariant (backpressure, single-flight, LRU
+//! eviction, telemetry counters) is testable without a socket.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use atomique::{AtomiqueConfig, CompileStats, StageTimings};
+use raa_circuit::Circuit;
+use raa_isa::codec;
+use raa_par::WorkPool;
+use raa_trace::Counter;
+
+use crate::ServeError;
+
+static HIT: Counter = Counter::new("serve.cache.hit");
+static MISS: Counter = Counter::new("serve.cache.miss");
+static COALESCED: Counter = Counter::new("serve.cache.coalesced");
+static COMPILE: Counter = Counter::new("serve.compile");
+static REJECT: Counter = Counter::new("serve.queue.reject");
+static EVICT: Counter = Counter::new("serve.cache.evict");
+
+/// Sizing knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads compiling jobs concurrently (the inter-job
+    /// fan-out; each compile may additionally use
+    /// [`AtomiqueConfig::threads`] internally).
+    pub workers: usize,
+    /// Maximum jobs admitted at once across all batches; a batch that
+    /// would push the in-flight count past this bound is rejected
+    /// whole with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum cached compile results; least-recently-used entries are
+    /// evicted past this bound. `0` disables caching.
+    pub cache_capacity: usize,
+    /// Maximum accepted HTTP request-body size, bytes.
+    pub max_body_bytes: usize,
+    /// The compilation config jobs start from; per-request overrides
+    /// are applied on top. `emit_isa` and `verify_isa` are forced on —
+    /// the service only ever returns verified ISA streams.
+    pub base: AtomiqueConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            max_body_bytes: 16 << 20,
+            base: AtomiqueConfig::default(),
+        }
+    }
+}
+
+/// How a job's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the compile cache without compiling.
+    Hit,
+    /// Compiled by this batch (the single-flight leader).
+    Miss,
+    /// Waited on an identical in-flight compile instead of repeating
+    /// it.
+    Coalesced,
+}
+
+impl CacheStatus {
+    /// The wire name used in JSON responses (`"hit"` / `"miss"` /
+    /// `"coalesced"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One cached compile result: the verified ISA stream (binary-codec
+/// bytes) plus the telemetry captured while producing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// `raa_isa::codec::to_bytes` of the verified stream.
+    pub isa_bytes: Vec<u8>,
+    /// Per-stage wall-clock breakdown of the original compile.
+    pub timings: StageTimings,
+    /// Estimated total fidelity.
+    pub fidelity: f64,
+    /// The compile's summary statistics.
+    pub stats: CompileStats,
+    /// Every telemetry counter the compile incremented (detail tracing
+    /// is forced on for served compiles), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One named compilation job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Client-chosen label, echoed back in the response.
+    pub name: String,
+    /// The circuit to compile.
+    pub circuit: Circuit,
+}
+
+/// A job's result: where it came from and the cached payload.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Hit / miss / coalesced.
+    pub status: CacheStatus,
+    /// The (possibly shared) compile result.
+    pub entry: Arc<CacheEntry>,
+}
+
+/// One job's outcome within a batch. Per-job failures (compile errors)
+/// land here; batch-level failures (queue full) fail
+/// [`Engine::submit`] itself.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's `name`, echoed from the request.
+    pub name: String,
+    /// The result or the per-job error.
+    pub result: Result<JobResult, ServeError>,
+}
+
+/// A monotonic snapshot of the engine's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Jobs served from cache.
+    pub hits: u64,
+    /// Jobs that led a compile.
+    pub misses: u64,
+    /// Jobs that waited on an identical in-flight compile.
+    pub coalesced: u64,
+    /// Compiles actually executed (= `misses`, counted at execution).
+    pub compiles: u64,
+    /// Jobs rejected by queue backpressure.
+    pub rejected: u64,
+    /// Cache entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// High-water mark of concurrently admitted jobs.
+    pub max_queue_depth: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// Jobs currently admitted.
+    pub queue_depth: usize,
+}
+
+type Key = (u64, u64);
+
+/// The single-flight rendezvous for one cache key: the leader fills
+/// `slot` and notifies; followers wait instead of recompiling.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<CacheEntry>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<CacheEntry>, ServeError>) {
+        *self.slot.lock().expect("flight slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CacheEntry>, ServeError> {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("flight slot poisoned");
+        }
+    }
+}
+
+struct State {
+    cache: HashMap<Key, Arc<CacheEntry>>,
+    /// Keys of `cache` in recency order: front = coldest, back =
+    /// hottest.
+    lru: Vec<Key>,
+    in_flight: HashMap<Key, Arc<Flight>>,
+}
+
+#[derive(Default)]
+struct Tallies {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    compiles: AtomicU64,
+    rejected: AtomicU64,
+    evictions: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+/// Decrements the admission count when a batch leaves the engine,
+/// whatever path it took out.
+struct AdmitGuard<'a> {
+    depth: &'a AtomicUsize,
+    n: usize,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(self.n, Ordering::AcqRel);
+    }
+}
+
+/// What [`Engine::submit`] decided to do with one job, in batch order.
+enum Plan {
+    Ready(Arc<CacheEntry>),
+    Lead(Arc<Flight>),
+    Follow(Arc<Flight>),
+}
+
+/// The batch-compilation engine. Cheap to share behind an [`Arc`];
+/// every method takes `&self`.
+pub struct Engine {
+    base: AtomiqueConfig,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    pool: WorkPool,
+    state: Mutex<State>,
+    depth: AtomicUsize,
+    tallies: Tallies,
+    max_body_bytes: usize,
+}
+
+impl Engine {
+    /// Builds an engine. The base config's `emit_isa`, `verify_isa`
+    /// and `trace` flags are forced on (the service only returns
+    /// verified streams, with per-request telemetry).
+    pub fn new(config: ServeConfig) -> Engine {
+        Engine {
+            base: force_serving_flags(config.base),
+            queue_capacity: config.queue_capacity.max(1),
+            cache_capacity: config.cache_capacity,
+            pool: WorkPool::new(config.workers),
+            state: Mutex::new(State {
+                cache: HashMap::new(),
+                lru: Vec::new(),
+                in_flight: HashMap::new(),
+            }),
+            depth: AtomicUsize::new(0),
+            tallies: Tallies::default(),
+            max_body_bytes: config.max_body_bytes,
+        }
+    }
+
+    /// The effective base config (with the serving flags forced on);
+    /// per-request overrides are applied on top of this.
+    pub fn base(&self) -> &AtomiqueConfig {
+        &self.base
+    }
+
+    /// The HTTP request-body cap, bytes.
+    pub fn max_body_bytes(&self) -> usize {
+        self.max_body_bytes
+    }
+
+    /// Compiles a batch of jobs under `config` (usually
+    /// [`Engine::base`] with request overrides applied).
+    ///
+    /// Jobs whose `(circuit, config)` pair is cached are served
+    /// without compiling; identical uncached jobs — within this batch
+    /// or racing across batches — compile exactly once (single
+    /// flight), with every duplicate waiting on the leader. Results
+    /// come back in batch order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] if admitting the whole batch would
+    /// exceed the queue bound — no job in the batch runs. Per-job
+    /// compile failures are reported inside the returned outcomes (and
+    /// are never cached).
+    pub fn submit(
+        &self,
+        config: &AtomiqueConfig,
+        jobs: &[Job],
+    ) -> Result<Vec<JobOutcome>, ServeError> {
+        let n = jobs.len();
+        let _guard = self.admit(n)?;
+
+        let cfg = force_serving_flags(config.clone());
+        let fp = cfg.fingerprint();
+
+        // Classify each job under one lock pass. A duplicate inside
+        // the batch sees the leader's flight already in `in_flight`
+        // and becomes a follower, exactly like a cross-batch race.
+        let mut plans: Vec<Plan> = Vec::with_capacity(n);
+        let mut leads: Vec<(usize, Key)> = Vec::new();
+        {
+            let mut st = self.state.lock().expect("engine state poisoned");
+            for (i, job) in jobs.iter().enumerate() {
+                let key = (job.circuit.stable_hash(), fp);
+                if let Some(entry) = st.cache.get(&key).cloned() {
+                    touch(&mut st.lru, key);
+                    HIT.incr();
+                    self.tallies.hits.fetch_add(1, Ordering::Relaxed);
+                    plans.push(Plan::Ready(entry));
+                } else if let Some(flight) = st.in_flight.get(&key).cloned() {
+                    COALESCED.incr();
+                    self.tallies.coalesced.fetch_add(1, Ordering::Relaxed);
+                    plans.push(Plan::Follow(flight));
+                } else {
+                    let flight = Arc::new(Flight::new());
+                    st.in_flight.insert(key, flight.clone());
+                    MISS.incr();
+                    self.tallies.misses.fetch_add(1, Ordering::Relaxed);
+                    leads.push((i, key));
+                    plans.push(Plan::Lead(flight));
+                }
+            }
+        }
+
+        // Compile the leaders, fanned out over the worker pool.
+        // `WorkPool::map` links workers into this thread's trace
+        // session, so `serve.compile` (and the compiler's own
+        // counters) land with the submitter.
+        let results = self.pool.map("par.serve", &leads, |_, &(i, _)| {
+            self.compile_one(&jobs[i].circuit, &cfg)
+        });
+
+        // Publish: fill caches, resolve flights, wake followers.
+        {
+            let mut st = self.state.lock().expect("engine state poisoned");
+            for (&(_, key), result) in leads.iter().zip(results) {
+                if let Ok(entry) = &result {
+                    if self.cache_capacity > 0 {
+                        st.cache.insert(key, entry.clone());
+                        st.lru.push(key);
+                        while st.cache.len() > self.cache_capacity {
+                            let coldest = st.lru.remove(0);
+                            st.cache.remove(&coldest);
+                            EVICT.incr();
+                            self.tallies.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let flight = st
+                    .in_flight
+                    .remove(&key)
+                    .expect("single-flight entry vanished");
+                flight.publish(result);
+            }
+        }
+
+        Ok(jobs
+            .iter()
+            .zip(plans)
+            .map(|(job, plan)| {
+                let result = match plan {
+                    Plan::Ready(entry) => Ok(JobResult {
+                        status: CacheStatus::Hit,
+                        entry,
+                    }),
+                    Plan::Lead(flight) => flight.wait().map(|entry| JobResult {
+                        status: CacheStatus::Miss,
+                        entry,
+                    }),
+                    Plan::Follow(flight) => flight.wait().map(|entry| JobResult {
+                        status: CacheStatus::Coalesced,
+                        entry,
+                    }),
+                };
+                JobOutcome {
+                    name: job.name.clone(),
+                    result,
+                }
+            })
+            .collect())
+    }
+
+    /// A point-in-time snapshot of the lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        let (cache_entries, _) = {
+            let st = self.state.lock().expect("engine state poisoned");
+            (st.cache.len(), ())
+        };
+        EngineStats {
+            hits: self.tallies.hits.load(Ordering::Relaxed),
+            misses: self.tallies.misses.load(Ordering::Relaxed),
+            coalesced: self.tallies.coalesced.load(Ordering::Relaxed),
+            compiles: self.tallies.compiles.load(Ordering::Relaxed),
+            rejected: self.tallies.rejected.load(Ordering::Relaxed),
+            evictions: self.tallies.evictions.load(Ordering::Relaxed),
+            max_queue_depth: self.tallies.max_depth.load(Ordering::Relaxed),
+            cache_entries,
+            queue_depth: self.depth.load(Ordering::Acquire),
+        }
+    }
+
+    /// Admits `n` jobs or rejects the whole batch.
+    fn admit(&self, n: usize) -> Result<AdmitGuard<'_>, ServeError> {
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            if cur + n > self.queue_capacity {
+                REJECT.add(n as u64);
+                self.tallies.rejected.fetch_add(n as u64, Ordering::Relaxed);
+                return Err(ServeError::QueueFull {
+                    depth: cur,
+                    capacity: self.queue_capacity,
+                });
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.tallies
+            .max_depth
+            .fetch_max((cur + n) as u64, Ordering::Relaxed);
+        Ok(AdmitGuard {
+            depth: &self.depth,
+            n,
+        })
+    }
+
+    fn compile_one(
+        &self,
+        circuit: &Circuit,
+        cfg: &AtomiqueConfig,
+    ) -> Result<Arc<CacheEntry>, ServeError> {
+        COMPILE.incr();
+        self.tallies.compiles.fetch_add(1, Ordering::Relaxed);
+        let out = atomique::compile(circuit, cfg).map_err(|e| ServeError::Compile {
+            message: e.to_string(),
+        })?;
+        let isa = out.isa.as_ref().ok_or_else(|| ServeError::Compile {
+            message: "compiler did not attach an ISA stream".into(),
+        })?;
+        Ok(Arc::new(CacheEntry {
+            isa_bytes: codec::to_bytes(isa),
+            timings: out.timings,
+            fidelity: out.total_fidelity(),
+            stats: out.stats,
+            counters: out.report.counters().to_vec(),
+        }))
+    }
+}
+
+/// The invariants the service imposes on every compile: the stream is
+/// attached, independently verified, and detail-traced (per-request
+/// counters).
+fn force_serving_flags(mut cfg: AtomiqueConfig) -> AtomiqueConfig {
+    cfg.emit_isa = true;
+    cfg.verify_isa = true;
+    cfg.trace = true;
+    cfg
+}
+
+/// Moves `key` to the hot end of the recency order.
+fn touch(lru: &mut Vec<Key>, key: Key) {
+    if let Some(pos) = lru.iter().position(|&k| k == key) {
+        lru.remove(pos);
+    }
+    lru.push(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_circuit::{Gate, Qubit};
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::h(Qubit(0)));
+        for i in 0..n - 1 {
+            c.push(Gate::cx(Qubit(i as u32), Qubit(i as u32 + 1)));
+        }
+        c
+    }
+
+    fn job(name: &str, circuit: Circuit) -> Job {
+        Job {
+            name: name.into(),
+            circuit,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_returns_identical_bytes_without_recompiling() {
+        let engine = Engine::new(ServeConfig::default());
+        let cfg = engine.base().clone();
+        let jobs = [job("ghz", ghz(4))];
+        let cold = engine.submit(&cfg, &jobs).unwrap();
+        let warm = engine.submit(&cfg, &jobs).unwrap();
+        let cold = cold[0].result.as_ref().unwrap();
+        let warm = warm[0].result.as_ref().unwrap();
+        assert_eq!(cold.status, CacheStatus::Miss);
+        assert_eq!(warm.status, CacheStatus::Hit);
+        assert_eq!(cold.entry.isa_bytes, warm.entry.isa_bytes);
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses, stats.compiles), (1, 1, 1));
+        assert_eq!(stats.cache_entries, 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn batches_beyond_the_queue_bound_are_rejected_whole() {
+        let engine = Engine::new(ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let cfg = engine.base().clone();
+        let jobs = [job("a", ghz(3)), job("b", ghz(4)), job("c", ghz(5))];
+        match engine.submit(&cfg, &jobs) {
+            Err(ServeError::QueueFull { depth, capacity }) => {
+                assert_eq!((depth, capacity), (0, 2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.compiles, 0);
+        // A batch that fits still goes through afterwards.
+        assert!(engine.submit(&cfg, &jobs[..2]).is_ok());
+        assert_eq!(engine.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn compile_errors_propagate_and_are_never_cached() {
+        let engine = Engine::new(ServeConfig::default());
+        let cfg = engine.base().clone();
+        // A circuit far larger than the default machine fails the
+        // capacity check inside `compile`.
+        let huge = Circuit::new(100_000);
+        let out = engine.submit(&cfg, &[job("too-big", huge)]).unwrap();
+        let err = out[0].result.as_ref().unwrap_err();
+        assert_eq!(err.kind(), "compile");
+        assert_eq!(engine.stats().cache_entries, 0);
+        // The failure was not cached: submitting again compiles again.
+        let before = engine.stats().compiles;
+        let huge = Circuit::new(100_000);
+        let _ = engine.submit(&cfg, &[job("too-big", huge)]).unwrap();
+        assert_eq!(engine.stats().compiles, before + 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let engine = Engine::new(ServeConfig {
+            cache_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let cfg = engine.base().clone();
+        for (name, n) in [("a", 3), ("b", 4), ("a", 3), ("c", 5)] {
+            engine.submit(&cfg, &[job(name, ghz(n))]).unwrap();
+        }
+        // a, b cached; touching a made b the coldest; c evicted b.
+        let stats = engine.stats();
+        assert_eq!(stats.cache_entries, 2);
+        assert_eq!(stats.evictions, 1);
+        let out = engine.submit(&cfg, &[job("a", ghz(3))]).unwrap();
+        assert_eq!(out[0].result.as_ref().unwrap().status, CacheStatus::Hit);
+        let out = engine.submit(&cfg, &[job("b", ghz(4))]).unwrap();
+        assert_eq!(out[0].result.as_ref().unwrap().status, CacheStatus::Miss);
+    }
+}

@@ -1,0 +1,286 @@
+//! A deliberately small blocking HTTP/1.1 front over the engine —
+//! `std::net` only, one thread per connection, `Connection: close`.
+//! It exists to put the batch engine on a socket, not to be a web
+//! server: no TLS, no keep-alive, no chunked bodies.
+//!
+//! Routes:
+//!
+//! | method | path          | body                                   |
+//! |--------|---------------|----------------------------------------|
+//! | GET    | `/v1/health`  | `{"ok":true}`                          |
+//! | GET    | `/v1/stats`   | engine counter snapshot                |
+//! | POST   | `/v1/compile` | batch request → per-job results        |
+//!
+//! Error statuses: 400 (malformed body), 404, 405, 413 (body over
+//! [`Engine::max_body_bytes`]), 429 (queue full), 500.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::{api, ServeError};
+
+/// Total header-block size cap, bytes.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A running server: the bound address plus the accept-loop handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. In-flight connection
+    /// threads finish on their own.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `engine` until the
+/// handle is stopped or dropped.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = stop.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(&engine, stream);
+            });
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// One parsed request head.
+struct RequestHead {
+    method: String,
+    path: String,
+    content_length: Option<usize>,
+}
+
+/// Reads the request line + headers; returns `None` on malformed or
+/// oversized heads (the connection is answered with 400 upstream).
+fn read_head(reader: &mut BufReader<TcpStream>) -> Option<RequestHead> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    reader.read_line(&mut line).ok()?;
+    total += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        total += header.len();
+        if total > MAX_HEADER_BYTES {
+            return None;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    Some(RequestHead {
+        method,
+        path,
+        content_length,
+    })
+}
+
+fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let Some(head) = read_head(&mut reader) else {
+        return respond(
+            reader.into_inner(),
+            400,
+            "{\"error\":{\"kind\":\"bad_request\",\"message\":\"malformed request head\"}}",
+        );
+    };
+
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/v1/health") => respond(reader.into_inner(), 200, "{\"ok\":true}"),
+        ("GET", "/v1/stats") => {
+            let body = api::render_stats(&engine.stats());
+            respond(reader.into_inner(), 200, &body)
+        }
+        ("POST", "/v1/compile") => {
+            let Some(len) = head.content_length else {
+                return respond(
+                    reader.into_inner(),
+                    411,
+                    "{\"error\":{\"kind\":\"bad_request\",\"message\":\"Content-Length required\"}}",
+                );
+            };
+            if len > engine.max_body_bytes() {
+                return respond(
+                    reader.into_inner(),
+                    413,
+                    "{\"error\":{\"kind\":\"bad_request\",\"message\":\"request body too large\"}}",
+                );
+            }
+            let mut body = vec![0u8; len];
+            if reader.read_exact(&mut body).is_err() {
+                return respond(
+                    reader.into_inner(),
+                    400,
+                    "{\"error\":{\"kind\":\"bad_request\",\"message\":\"truncated body\"}}",
+                );
+            }
+            let Ok(body) = String::from_utf8(body) else {
+                return respond(
+                    reader.into_inner(),
+                    400,
+                    "{\"error\":{\"kind\":\"bad_request\",\"message\":\"body is not UTF-8\"}}",
+                );
+            };
+            match api::run(engine, &body) {
+                Ok(rendered) => respond(reader.into_inner(), 200, &rendered),
+                Err(e) => respond(reader.into_inner(), status_of(&e), &api::render_error(&e)),
+            }
+        }
+        ("GET" | "POST", _) => respond(
+            reader.into_inner(),
+            404,
+            "{\"error\":{\"kind\":\"bad_request\",\"message\":\"no such endpoint\"}}",
+        ),
+        _ => respond(
+            reader.into_inner(),
+            405,
+            "{\"error\":{\"kind\":\"bad_request\",\"message\":\"method not allowed\"}}",
+        ),
+    }
+}
+
+/// The HTTP status for a batch-level failure.
+fn status_of(e: &ServeError) -> u16 {
+    match e {
+        ServeError::QueueFull { .. } => 429,
+        ServeError::BadRequest { .. } | ServeError::Qasm(_) | ServeError::Circuit(_) => 400,
+        ServeError::Decode(_) => 400,
+        ServeError::Compile { .. } => 500,
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(mut stream: TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+
+    /// A minimal blocking HTTP client for tests and the CLI.
+    pub(crate) fn roundtrip(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> (u16, String) {
+        crate::request(addr, method, path, body).expect("http roundtrip failed")
+    }
+
+    #[test]
+    fn health_stats_and_error_statuses() {
+        let engine = Arc::new(Engine::new(ServeConfig::default()));
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        assert_eq!(
+            roundtrip(addr, "GET", "/v1/health", None),
+            (200, "{\"ok\":true}".into())
+        );
+        let (status, stats) = roundtrip(addr, "GET", "/v1/stats", None);
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"compiles\":0"), "{stats}");
+
+        let (status, _) = roundtrip(addr, "GET", "/v1/nope", None);
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, "DELETE", "/v1/compile", None);
+        assert_eq!(status, 405);
+        let (status, body) = roundtrip(addr, "POST", "/v1/compile", Some("{not json"));
+        assert_eq!(status, 400);
+        assert!(body.contains("\"kind\":\"decode\""), "{body}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_with_413() {
+        let engine = Arc::new(Engine::new(ServeConfig {
+            max_body_bytes: 64,
+            ..ServeConfig::default()
+        }));
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let big = "x".repeat(65);
+        let (status, _) = roundtrip(server.addr(), "POST", "/v1/compile", Some(&big));
+        assert_eq!(status, 413);
+    }
+}

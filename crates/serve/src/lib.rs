@@ -1,0 +1,110 @@
+//! **raa-serve** — the batch-compilation service for the Atomique
+//! (ISCA 2024) reproduction.
+//!
+//! The compiler itself ([`atomique::compile`]) is a pure function; in
+//! practice it is driven over many circuits and many configurations —
+//! design-space sweeps, CI suites, notebook sessions — with heavy
+//! repetition. This crate packages it as a long-lived engine:
+//!
+//! * [`engine::Engine`] — a bounded admission queue (backpressure is
+//!   an explicit [`ServeError::QueueFull`] rejection, not an unbounded
+//!   pile-up), worker fan-out over [`raa_par::WorkPool`], and a
+//!   single-flight LRU compile cache keyed on
+//!   `(Circuit::stable_hash, AtomiqueConfig::fingerprint)` — identical
+//!   concurrent submissions compile exactly once.
+//! * [`api`] — the JSON request/response layer (QASM or gate-list
+//!   jobs in; base64 binary-codec ISA bytes, stats, per-stage timings
+//!   and telemetry counters out).
+//! * [`http`] — a dependency-free blocking HTTP/1.1 front
+//!   (`std::net` only), plus the `raa-serve` CLI binary.
+//!
+//! Every served stream is the *verified* ISA: the engine forces
+//! `emit_isa` + `verify_isa` on, so bytes only leave the service after
+//! the independent legality/replay oracle has passed them. Telemetry
+//! rides `raa-trace`: `serve.cache.hit` / `serve.cache.miss` /
+//! `serve.cache.coalesced` / `serve.compile` / `serve.queue.reject` /
+//! `serve.cache.evict`.
+//!
+//! ```
+//! use raa_serve::engine::{Engine, Job, ServeConfig};
+//! use raa_circuit::{Circuit, Gate, Qubit};
+//!
+//! let engine = Engine::new(ServeConfig::default());
+//! let mut bell = Circuit::new(2);
+//! bell.push(Gate::h(Qubit(0)));
+//! bell.push(Gate::cx(Qubit(0), Qubit(1)));
+//! let jobs = [Job { name: "bell".into(), circuit: bell }];
+//! let out = engine.submit(engine.base(), &jobs)?;
+//! let result = out[0].result.as_ref().unwrap();
+//! assert!(result.entry.isa_bytes.starts_with(b"RAA-ISA\0"));
+//! # Ok::<(), raa_serve::ServeError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod b64;
+pub mod engine;
+mod error;
+pub mod http;
+
+pub use error::ServeError;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A minimal blocking HTTP/1.1 client request against a served
+/// engine: returns `(status, body)`. Shared by the CLI, the tests and
+/// the bench harness — it speaks exactly the dialect [`http`] serves
+/// (`Connection: close`, explicit `Content-Length`).
+///
+/// # Errors
+///
+/// Propagates socket failures; a response without a parsable status
+/// line or `Content-Length` is reported as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let len = content_length.ok_or_else(|| bad("missing Content-Length"))?;
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf).map_err(|_| bad("non-UTF-8 body"))?;
+    Ok((status, text))
+}
