@@ -365,24 +365,164 @@ impl AtomiqueConfig {
     /// [`Circuit::stable_hash`](raa_circuit::Circuit::stable_hash)) as
     /// the compile-cache key of the serving layer.
     ///
-    /// Implemented as FNV-1a over a versioned salt plus the `Debug`
-    /// rendering of the whole struct. Rendering every field is
-    /// deliberately conservative: fields that provably do not change
-    /// output bytes (`threads`, `proximity_index`, `trace`) still
-    /// separate cache entries — an over-split cache costs a duplicate
-    /// compile, while an under-split one would serve stale results.
-    /// Because the rendering covers the struct exhaustively, a field
-    /// added later is automatically part of the key.
+    /// Implemented as FNV-1a over a versioned salt plus each field's
+    /// canonical encoding — `f64::to_bits` for floats (so NaNs with
+    /// different payloads, and `-0.0` vs `0.0`, separate), explicit
+    /// tags for enums — exactly like `Circuit::stable_hash`. Hashing
+    /// every field is deliberately conservative: fields that provably
+    /// do not change output bytes (`threads`, `proximity_index`,
+    /// `trace`) still separate cache entries — an over-split cache
+    /// costs a duplicate compile, while an under-split one would serve
+    /// stale results. The exhaustive destructuring below makes a field
+    /// added later a compile error until it joins the key.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for byte in b"atomique-config-v1"
-            .iter()
-            .copied()
-            .chain(format!("{self:?}").bytes())
-        {
-            h = (h ^ byte as u64).wrapping_mul(0x100000001b3);
+        let AtomiqueConfig {
+            hardware,
+            params,
+            gamma,
+            relaxation,
+            array_mapper,
+            atom_mapper,
+            router_mode,
+            router_strategy,
+            proximity_index,
+            sabre,
+            seed,
+            emit_isa,
+            verify_isa,
+            opt_level,
+            threads,
+            trace,
+        } = self;
+        let HardwareParams {
+            two_qubit_fidelity,
+            one_qubit_fidelity,
+            two_qubit_time_s,
+            one_qubit_time_s,
+            coherence_time_s,
+            atom_distance_um,
+            t_move_s,
+            t_transfer_s,
+            transfer_loss_prob,
+            x_zpf_m,
+            omega0_rad_s,
+            lambda,
+            n_vib_max,
+            n_vib_cool_threshold,
+        } = params;
+        let Relaxation {
+            individual_addressing,
+            allow_order_violation,
+            allow_overlap,
+        } = relaxation;
+        let SabreConfig {
+            extended_set_size,
+            extended_set_weight,
+            decay_increment,
+            decay_reset_interval,
+        } = sabre;
+
+        let mut h = Fnv::new(b"atomique-config-v2");
+        // Hardware: array shapes + physics. The AOD home offsets are a
+        // pure function of the AOD count, so the shapes cover them.
+        h.put(hardware.slm.rows as u64);
+        h.put(hardware.slm.cols as u64);
+        h.put(hardware.aods.len() as u64);
+        for dims in &hardware.aods {
+            h.put(dims.rows as u64);
+            h.put(dims.cols as u64);
+        }
+        h.put_f64(hardware.spacing_um);
+        h.put_f64(hardware.rydberg_radius_um);
+        for &v in &[
+            two_qubit_fidelity,
+            one_qubit_fidelity,
+            two_qubit_time_s,
+            one_qubit_time_s,
+            coherence_time_s,
+            atom_distance_um,
+            t_move_s,
+            t_transfer_s,
+            transfer_loss_prob,
+            x_zpf_m,
+            omega0_rad_s,
+            lambda,
+            n_vib_max,
+            n_vib_cool_threshold,
+        ] {
+            h.put_f64(*v);
+        }
+        h.put_f64(*gamma);
+        h.put(*individual_addressing as u64);
+        h.put(*allow_order_violation as u64);
+        h.put(*allow_overlap as u64);
+        h.put(match array_mapper {
+            ArrayMapperKind::MaxKCut => 0,
+            ArrayMapperKind::Dense => 1,
+        });
+        h.put(match atom_mapper {
+            AtomMapperKind::LoadBalance => 0,
+            AtomMapperKind::Random => 1,
+        });
+        h.put(match router_mode {
+            RouterMode::Parallel => 0,
+            RouterMode::Serial => 1,
+        });
+        h.put(match router_strategy {
+            RouterStrategy::Sequential => 0,
+            RouterStrategy::Layered => 1,
+        });
+        h.put(match proximity_index {
+            ProximityIndex::Grid => 0,
+            ProximityIndex::Exhaustive => 1,
+        });
+        h.put(*extended_set_size as u64);
+        h.put_f64(*extended_set_weight);
+        h.put_f64(*decay_increment);
+        h.put(*decay_reset_interval as u64);
+        h.put(*seed);
+        h.put(*emit_isa as u64);
+        h.put(*verify_isa as u64);
+        h.put(match opt_level {
+            OptLevel::None => 0,
+            OptLevel::Basic => 1,
+            OptLevel::Aggressive => 2,
+        });
+        h.put(*threads as u64);
+        h.put(*trace as u64);
+        h.finish()
+    }
+}
+
+/// FNV-1a accumulator over canonical little-endian field encodings
+/// (the same scheme as `Circuit::stable_hash`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(salt: &[u8]) -> Fnv {
+        let mut h = Fnv(0xcbf29ce484222325);
+        for &b in salt {
+            h.byte(b);
         }
         h
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+
+    fn put(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -488,5 +628,25 @@ mod tests {
                 assert_ne!(a, b, "two distinct configs share a fingerprint");
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_hashes_exact_float_bits_not_renderings() {
+        // NaNs with different payloads render identically (`NaN`) but
+        // are different bit patterns; the key must keep them apart.
+        let with_gamma = |gamma: f64| AtomiqueConfig {
+            gamma,
+            ..AtomiqueConfig::default()
+        };
+        let a = with_gamma(f64::from_bits(0x7ff8_0000_0000_0001));
+        let b = with_gamma(f64::from_bits(0x7ff8_0000_0000_0002));
+        assert!(a.gamma.is_nan() && b.gamma.is_nan());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Same for the sign of zero, which `==` would conflate.
+        assert_ne!(
+            with_gamma(-0.0).fingerprint(),
+            with_gamma(0.0).fingerprint()
+        );
     }
 }

@@ -150,6 +150,7 @@ pub fn parse(text: &str) -> Result<Value, DecodeError> {
     let mut parser = JsonParser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let root = parser.value()?;
     parser.skip_ws();
@@ -161,9 +162,18 @@ pub fn parse(text: &str) -> Result<Value, DecodeError> {
     Ok(root)
 }
 
+/// Maximum container (array/object) nesting the parser accepts.
+/// Parsing recurses per level, and the serving layer feeds this parser
+/// untrusted multi-megabyte bodies — without a bound, a document of
+/// nothing but `[` would overflow the connection thread's stack. 128
+/// is far beyond any legitimate document of ours (the codec's streams
+/// nest fewer than 10 deep).
+const MAX_DEPTH: usize = 128;
+
 struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl JsonParser<'_> {
@@ -205,10 +215,23 @@ impl JsonParser<'_> {
         }
     }
 
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Value, DecodeError>,
+    ) -> Result<Value, DecodeError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
+    }
+
     fn value(&mut self) -> Result<Value, DecodeError> {
         match self.peek().ok_or_else(|| self.end())? {
-            b'{' => self.object(),
-            b'[' => self.array(),
+            b'{' => self.nested(Self::object),
+            b'[' => self.nested(Self::array),
             b'"' => Ok(Value::Str(self.string()?)),
             b't' => self.literal("true", Value::Bool(true)),
             b'f' => self.literal("false", Value::Bool(false)),
@@ -389,6 +412,29 @@ mod tests {
                 Err(_) => {}
                 Ok(v) => panic!("truncated doc `{doc}` parsed as {v:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn nesting_at_the_bound_parses_and_past_it_errors() {
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(matches!(parse(&over), Err(DecodeError::Json { .. })));
+        let objects = "{\"k\":".repeat(MAX_DEPTH + 1);
+        assert!(matches!(parse(&objects), Err(DecodeError::Json { .. })));
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing_the_stack() {
+        // A megabyte of `[` recursed once per byte before the depth
+        // bound existed — enough to overflow an 8 MiB thread stack.
+        for doc in ["[".repeat(1 << 20), "{\"a\":".repeat(200_000)] {
+            assert!(matches!(parse(&doc), Err(DecodeError::Json { .. })));
         }
     }
 

@@ -144,6 +144,21 @@ fn every_prefix_of_the_json_document_errors() {
 }
 
 #[test]
+fn deeply_nested_json_errors_instead_of_overflowing_the_stack() {
+    // Nesting depth is an input-edge hazard distinct from truncation:
+    // an unbounded recursive parser turns `[[[[...` into a stack
+    // overflow, which aborts the whole serving process. The parser
+    // bounds depth, so a megabyte of open brackets (and the object
+    // equivalent) must come back as an ordinary decode error.
+    for doc in ["[".repeat(1 << 20), "{\"instrs\":".repeat(300_000)] {
+        assert!(
+            matches!(codec::from_json(&doc), Err(DecodeError::Json { .. })),
+            "deeply nested document must fail with a JSON error"
+        );
+    }
+}
+
+#[test]
 fn single_byte_corruption_never_panics() {
     let bytes = codec::to_bytes(&full_coverage_program());
     for i in 0..bytes.len() {

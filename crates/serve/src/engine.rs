@@ -8,6 +8,7 @@
 //! eviction, telemetry counters) is testable without a socket.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -218,6 +219,40 @@ impl Drop for AdmitGuard<'_> {
     }
 }
 
+/// Unwind protection for the window between registering lead flights
+/// and publishing their results: if [`Engine::submit`] panics in that
+/// window (a worker-pool bug, a poisoned publish), every still-
+/// registered lead flight gets an error published and is removed from
+/// `in_flight`, so followers — and every future identical job — fail
+/// fast instead of blocking forever on an abandoned flight.
+struct LeadGuard<'a> {
+    engine: &'a Engine,
+    keys: Vec<Key>,
+    armed: bool,
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Recover the state even if the panic poisoned the lock —
+        // in_flight removal must happen regardless.
+        let mut st = self
+            .engine
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for key in &self.keys {
+            if let Some(flight) = st.in_flight.remove(key) {
+                flight.publish(Err(ServeError::Compile {
+                    message: "compile abandoned: the submitting batch panicked".into(),
+                }));
+            }
+        }
+    }
+}
+
 /// What [`Engine::submit`] decided to do with one job, in batch order.
 enum Plan {
     Ready(Arc<CacheEntry>),
@@ -329,6 +364,11 @@ impl Engine {
         // `WorkPool::map` links workers into this thread's trace
         // session, so `serve.compile` (and the compiler's own
         // counters) land with the submitter.
+        let mut lead_guard = LeadGuard {
+            engine: self,
+            keys: leads.iter().map(|&(_, key)| key).collect(),
+            armed: true,
+        };
         let results = self.pool.map("par.serve", &leads, |_, &(i, _)| {
             self.compile_one(&jobs[i].circuit, &cfg)
         });
@@ -356,6 +396,7 @@ impl Engine {
                 flight.publish(result);
             }
         }
+        lead_guard.armed = false;
 
         Ok(jobs
             .iter()
@@ -440,9 +481,17 @@ impl Engine {
     ) -> Result<Arc<CacheEntry>, ServeError> {
         COMPILE.incr();
         self.tallies.compiles.fetch_add(1, Ordering::Relaxed);
-        let out = atomique::compile(circuit, cfg).map_err(|e| ServeError::Compile {
-            message: e.to_string(),
-        })?;
+        // A panic on an adversarial circuit must become a per-job error,
+        // not unwind through `WorkPool::map` and `submit` — an escaped
+        // panic would skip the publish step and leave this key's flight
+        // wedged in `in_flight` forever.
+        let out = catch_unwind(AssertUnwindSafe(|| atomique::compile(circuit, cfg)))
+            .map_err(|payload| ServeError::Compile {
+                message: format!("compiler panicked: {}", panic_message(payload.as_ref())),
+            })?
+            .map_err(|e| ServeError::Compile {
+                message: e.to_string(),
+            })?;
         let isa = out.isa.as_ref().ok_or_else(|| ServeError::Compile {
             message: "compiler did not attach an ISA stream".into(),
         })?;
@@ -454,6 +503,17 @@ impl Engine {
             counters: out.report.counters().to_vec(),
         }))
     }
+}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` produces `&str` or `String`; anything else gets a
+/// placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// The invariants the service imposes on every compile: the stream is
@@ -551,6 +611,57 @@ mod tests {
         let huge = Circuit::new(100_000);
         let _ = engine.submit(&cfg, &[job("too-big", huge)]).unwrap();
         assert_eq!(engine.stats().compiles, before + 1);
+    }
+
+    #[test]
+    fn abandoned_lead_flights_fail_fast_instead_of_wedging() {
+        // Simulates `submit` unwinding between flight registration and
+        // publication: dropping an armed LeadGuard must publish an
+        // error to the flight and clear `in_flight`, so followers (and
+        // future identical jobs) never block forever.
+        let engine = Engine::new(ServeConfig::default());
+        let key = (1u64, 2u64);
+        let flight = Arc::new(Flight::new());
+        engine
+            .state
+            .lock()
+            .unwrap()
+            .in_flight
+            .insert(key, flight.clone());
+        drop(LeadGuard {
+            engine: &engine,
+            keys: vec![key],
+            armed: true,
+        });
+        match flight.wait() {
+            Err(ServeError::Compile { message }) => assert!(message.contains("abandoned")),
+            other => panic!("expected published compile error, got {other:?}"),
+        }
+        assert!(engine.state.lock().unwrap().in_flight.is_empty());
+        // A disarmed guard (the normal path) touches nothing.
+        let flight = Arc::new(Flight::new());
+        engine
+            .state
+            .lock()
+            .unwrap()
+            .in_flight
+            .insert(key, flight.clone());
+        drop(LeadGuard {
+            engine: &engine,
+            keys: vec![key],
+            armed: false,
+        });
+        assert!(engine.state.lock().unwrap().in_flight.contains_key(&key));
+    }
+
+    #[test]
+    fn panic_messages_are_extracted_from_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s.as_ref()), "boom");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(owned.as_ref()), "kaboom");
+        let other: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(other.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -14,17 +14,25 @@
 //! Error statuses: 400 (malformed body), 404, 405, 413 (body over
 //! [`Engine::max_body_bytes`]), 429 (queue full), 500.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Read, Take, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::{api, ServeError};
 
-/// Total header-block size cap, bytes.
+/// Total header-block size cap, bytes. Enforced with `Read::take`, so
+/// a client sending one endless header line cannot buffer more than
+/// this before being rejected.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Per-socket read/write timeout. Connections that stall mid-request
+/// (or never send one) error out instead of pinning their thread
+/// forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A running server: the bound address plus the accept-loop handle.
 pub struct ServerHandle {
@@ -101,22 +109,19 @@ struct RequestHead {
 
 /// Reads the request line + headers; returns `None` on malformed or
 /// oversized heads (the connection is answered with 400 upstream).
-fn read_head(reader: &mut BufReader<TcpStream>) -> Option<RequestHead> {
-    let mut line = String::new();
-    let mut total = 0usize;
-    reader.read_line(&mut line).ok()?;
-    total += line.len();
+///
+/// The reader's `take` limit bounds how much a hostile client can make
+/// us buffer: once the limit is exhausted, lines come back without a
+/// trailing newline and the head is rejected — including a single
+/// endless line that never contains `\n` at all.
+fn read_head(reader: &mut Take<BufReader<TcpStream>>) -> Option<RequestHead> {
+    let line = read_head_line(reader)?;
     let mut parts = line.split_whitespace();
     let method = parts.next()?.to_string();
     let path = parts.next()?.to_string();
     let mut content_length = None;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header).ok()?;
-        total += header.len();
-        if total > MAX_HEADER_BYTES {
-            return None;
-        }
+        let header = read_head_line(reader)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -134,9 +139,25 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> Option<RequestHead> {
     })
 }
 
+/// Reads one `\n`-terminated head line within the reader's byte
+/// budget; `None` on I/O error (including timeout) or when the budget
+/// ran out before a newline arrived.
+fn read_head_line(reader: &mut Take<BufReader<TcpStream>>) -> Option<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    if !line.ends_with('\n') {
+        return None;
+    }
+    Some(line)
+}
+
 fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let Some(head) = read_head(&mut reader) else {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut head_reader = BufReader::new(stream).take(MAX_HEADER_BYTES as u64);
+    let head = read_head(&mut head_reader);
+    let mut reader = head_reader.into_inner();
+    let Some(head) = head else {
         return respond(
             reader.into_inner(),
             400,
@@ -185,15 +206,16 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> 
                 Err(e) => respond(reader.into_inner(), status_of(&e), &api::render_error(&e)),
             }
         }
-        ("GET" | "POST", _) => respond(
-            reader.into_inner(),
-            404,
-            "{\"error\":{\"kind\":\"bad_request\",\"message\":\"no such endpoint\"}}",
-        ),
-        _ => respond(
+        // Known path, wrong method → 405; unknown path → 404.
+        (_, "/v1/health" | "/v1/stats" | "/v1/compile") => respond(
             reader.into_inner(),
             405,
             "{\"error\":{\"kind\":\"bad_request\",\"message\":\"method not allowed\"}}",
+        ),
+        _ => respond(
+            reader.into_inner(),
+            404,
+            "{\"error\":{\"kind\":\"bad_request\",\"message\":\"no such endpoint\"}}",
         ),
     }
 }
@@ -261,13 +283,42 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"compiles\":0"), "{stats}");
 
+        // Unknown paths are 404 whatever the method; known paths with
+        // the wrong method are 405.
         let (status, _) = roundtrip(addr, "GET", "/v1/nope", None);
         assert_eq!(status, 404);
-        let (status, _) = roundtrip(addr, "DELETE", "/v1/compile", None);
-        assert_eq!(status, 405);
+        let (status, _) = roundtrip(addr, "DELETE", "/v1/nope", None);
+        assert_eq!(status, 404);
+        for (method, path) in [
+            ("DELETE", "/v1/compile"),
+            ("GET", "/v1/compile"),
+            ("POST", "/v1/health"),
+            ("POST", "/v1/stats"),
+        ] {
+            let (status, _) = roundtrip(addr, method, path, None);
+            assert_eq!(status, 405, "{method} {path}");
+        }
         let (status, body) = roundtrip(addr, "POST", "/v1/compile", Some("{not json"));
         assert_eq!(status, 400);
         assert!(body.contains("\"kind\":\"decode\""), "{body}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn endless_header_lines_are_bounded_and_rejected() {
+        let engine = Arc::new(Engine::new(ServeConfig::default()));
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+
+        // One request line with no newline, exactly the header budget:
+        // the server must reject with 400 after buffering at most
+        // MAX_HEADER_BYTES, not wait for (or buffer) an endless line.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&vec![b'x'; MAX_HEADER_BYTES]).unwrap();
+        stream.flush().unwrap();
+        let mut status_line = String::new();
+        BufReader::new(stream).read_line(&mut status_line).unwrap();
+        assert!(status_line.contains("400"), "{status_line:?}");
 
         server.stop();
     }
