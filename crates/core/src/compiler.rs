@@ -9,9 +9,11 @@
 //! implementation kept two independent `Instant::now` ladders that
 //! could).
 
+use std::time::Instant;
+
 use raa_circuit::Circuit;
 use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
-use raa_trace::Level;
+use raa_trace::{Counter, Level};
 
 use crate::array_mapper::map_to_arrays_pooled;
 use crate::atom_mapper::map_to_atoms;
@@ -20,6 +22,72 @@ use crate::error::CompileError;
 use crate::program::{CompileReport, CompileStats, CompiledProgram};
 use crate::router::route_movements;
 use crate::transpile::transpile_pooled;
+
+/// Detail-level telemetry: faults injected into compile stage gates by
+/// an armed `raa-fault` schedule (always 0 in production).
+static FAULT_INJECTED: Counter = Counter::new("compile.fault.injected");
+
+/// Caller-imposed resource limits for one compile.
+///
+/// Deliberately *not* part of [`AtomiqueConfig`]: limits shape when a
+/// compile is allowed to finish, never what it produces, so they must
+/// stay out of the config fingerprint that keys the serve cache —
+/// otherwise two requests for the same artifact with different
+/// deadlines would compile twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileLimits {
+    /// Absolute wall-clock deadline. Checked at stage boundaries (the
+    /// granularity at which partial work can be abandoned cleanly);
+    /// once passed, the compile returns [`CompileError::Deadline`]
+    /// naming the stage where the overrun was observed.
+    pub deadline: Option<Instant>,
+}
+
+impl CompileLimits {
+    /// No limits: the compile runs to completion.
+    pub const fn none() -> CompileLimits {
+        CompileLimits { deadline: None }
+    }
+}
+
+/// Stage-boundary gate: evaluates the stage's `raa-fault` point, then
+/// the caller deadline. With no schedule armed and no deadline set this
+/// is one relaxed atomic load and a `None` check.
+fn stage_gate(stage: &'static str, limits: &CompileLimits) -> Result<(), CompileError> {
+    let point = match stage {
+        "transpile" => "compile.transpile",
+        "map" => "compile.map",
+        "route" => "compile.route",
+        "lower" => "compile.lower",
+        "opt" => "compile.opt",
+        _ => "compile.verify",
+    };
+    match raa_fault::evaluate(point) {
+        raa_fault::Action::None => {}
+        raa_fault::Action::Delay(d) => {
+            FAULT_INJECTED.incr();
+            std::thread::sleep(d);
+        }
+        raa_fault::Action::Error => {
+            FAULT_INJECTED.incr();
+            return Err(CompileError::Injected { point });
+        }
+        raa_fault::Action::Panic => {
+            FAULT_INJECTED.incr();
+            panic!("injected fault at {point}");
+        }
+        raa_fault::Action::Deadline => {
+            FAULT_INJECTED.incr();
+            return Err(CompileError::Deadline { stage });
+        }
+    }
+    if let Some(deadline) = limits.deadline {
+        if Instant::now() >= deadline {
+            return Err(CompileError::Deadline { stage });
+        }
+    }
+    Ok(())
+}
 
 /// Compiles `circuit` for the configured reconfigurable atom array.
 ///
@@ -46,6 +114,27 @@ pub fn compile(
     circuit: &Circuit,
     config: &AtomiqueConfig,
 ) -> Result<CompiledProgram, CompileError> {
+    compile_with_limits(circuit, config, CompileLimits::none())
+}
+
+/// [`compile`] under caller-imposed [`CompileLimits`].
+///
+/// The deadline is enforced at stage boundaries: the pipeline finishes
+/// the stage it is in, checks the clock, and aborts with
+/// [`CompileError::Deadline`] if the deadline has passed. A compile
+/// that completes within its deadline is bit-identical to an unlimited
+/// one — limits never change what is produced, only whether.
+///
+/// # Errors
+///
+/// Everything [`compile`] can return, plus [`CompileError::Deadline`]
+/// on overrun and [`CompileError::Injected`] when an armed `raa-fault`
+/// schedule fires at a `compile.<stage>` point.
+pub fn compile_with_limits(
+    circuit: &Circuit,
+    config: &AtomiqueConfig,
+    limits: CompileLimits,
+) -> Result<CompiledProgram, CompileError> {
     // Record into the caller's raa-trace session when one is active
     // (the scaling bench owns one session across a whole suite, so all
     // its compiles share a clock); otherwise run a session of our own.
@@ -59,7 +148,7 @@ pub fn compile(
         raa_trace::begin(level);
     }
     let mark = raa_trace::mark();
-    let result = compile_under_trace(circuit, config);
+    let result = compile_under_trace(circuit, config, &limits);
     let trace = if owns_session {
         raa_trace::end()
     } else {
@@ -79,6 +168,7 @@ pub fn compile(
 fn compile_under_trace(
     circuit: &Circuit,
     config: &AtomiqueConfig,
+    limits: &CompileLimits,
 ) -> Result<CompiledProgram, CompileError> {
     let _compile_span = raa_trace::span_at("compile", Level::Stages);
 
@@ -113,6 +203,7 @@ fn compile_under_trace(
         let _s = raa_trace::span_at("transpile", Level::Stages);
         transpile_pooled(circuit, &array_mapping, &config.sabre, &pool)?
     };
+    stage_gate("transpile", limits)?;
 
     // 3. Qubit-atom mapper (Figs. 6–7).
     let atom_mapping = {
@@ -124,6 +215,7 @@ fn compile_under_trace(
             config.seed,
         )?
     };
+    stage_gate("map", limits)?;
 
     // 4. High-parallelism router (Figs. 8–11).
     let routed = {
@@ -139,6 +231,7 @@ fn compile_under_trace(
             config.proximity_index,
         )?
     };
+    stage_gate("route", limits)?;
 
     // 5. Fidelity estimation (Sec. V-A).
     let finalize_span = raa_trace::span_at("finalize", Level::Stages);
@@ -207,6 +300,7 @@ fn compile_under_trace(
             let _s = raa_trace::span_at("lower", Level::Stages);
             crate::lower::emit_isa(&out, &config.hardware, "")
         };
+        stage_gate("lower", limits)?;
         // Optimize only when the stream is attached (emit_isa): with
         // verify_isa alone the optimized result would be discarded and
         // the fixpoint run would be pure wasted compile time.
@@ -222,12 +316,15 @@ fn compile_under_trace(
                 &pool,
             )
             .0;
+            stage_gate("opt", limits)?;
         }
         if config.verify_isa {
             let _s = raa_trace::span_at("verify", Level::Stages);
             raa_isa::check_legality_with(&isa, raa_isa::CheckMode::default(), pool)
                 .map_err(CompileError::IsaLegality)?;
             raa_isa::replay_verify(&isa).map_err(CompileError::IsaReplay)?;
+            drop(_s);
+            stage_gate("verify", limits)?;
         }
         if config.emit_isa {
             out.isa = Some(isa);
@@ -462,6 +559,37 @@ mod tests {
         assert!(plain.report.counters().is_empty());
         assert!(plain.report.root().is_some());
         assert_eq!(plain.timings, plain.report.stage_timings());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_the_first_stage_boundary() {
+        let c = random_circuit(10, 30, 11);
+        let limits = CompileLimits {
+            deadline: Some(Instant::now()),
+        };
+        match compile_with_limits(&c, &AtomiqueConfig::default(), limits) {
+            Err(CompileError::Deadline { stage }) => assert_eq!(stage, "transpile"),
+            other => panic!("expected a deadline overrun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let c = random_circuit(12, 40, 12);
+        let cfg = AtomiqueConfig {
+            emit_isa: true,
+            verify_isa: true,
+            ..AtomiqueConfig::default()
+        };
+        let limits = CompileLimits {
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        };
+        let plain = compile(&c, &cfg).unwrap();
+        let limited = compile_with_limits(&c, &cfg, limits).unwrap();
+        assert_eq!(
+            raa_isa::codec::to_bytes(plain.isa.as_ref().unwrap()),
+            raa_isa::codec::to_bytes(limited.isa.as_ref().unwrap()),
+        );
     }
 
     #[test]

@@ -35,6 +35,20 @@ pub enum CompileError {
     /// The emitted instruction stream failed the replay verifier
     /// (requested via `AtomiqueConfig::verify_isa`).
     IsaReplay(raa_isa::ReplayError),
+    /// The compile exceeded the caller-imposed wall-clock deadline
+    /// (see [`CompileLimits`](crate::CompileLimits)); names the stage
+    /// boundary where the overrun was observed.
+    Deadline {
+        /// Stage boundary at which the overrun was detected.
+        stage: &'static str,
+    },
+    /// A deterministic fault schedule (`raa-fault`) injected a failure
+    /// at the named fault point. Only ever produced while a schedule is
+    /// armed; callers classify it as transient and may retry.
+    Injected {
+        /// The fault point that fired.
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -53,6 +67,10 @@ impl fmt::Display for CompileError {
             ),
             CompileError::IsaLegality(e) => write!(f, "ISA legality check failed: {e}"),
             CompileError::IsaReplay(e) => write!(f, "ISA replay verification failed: {e}"),
+            CompileError::Deadline { stage } => {
+                write!(f, "compile deadline exceeded at stage `{stage}`")
+            }
+            CompileError::Injected { point } => write!(f, "injected fault at {point}"),
         }
     }
 }

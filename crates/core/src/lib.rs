@@ -52,7 +52,7 @@ mod validate;
 
 pub use array_mapper::{map_to_arrays, ArrayMapping};
 pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
-pub use compiler::compile;
+pub use compiler::{compile, compile_with_limits, CompileLimits};
 pub use config::{
     parse_threads, ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation,
     RouterMode, RouterStrategy, ThreadsParseError, MAX_THREADS,

@@ -202,10 +202,25 @@ where
 
 /// Runs the contiguous chunk `[start, start + len)` (clamped to the job
 /// list), tagging each result with its submission index.
+///
+/// This is the per-worker seam for the `par.worker` fault point: an
+/// armed `raa-fault` schedule can delay a chunk or kill it outright.
+/// `error` escalates to a panic here — a worker has no error channel,
+/// and the wave's join/`resume_unwind` path is exactly what the chaos
+/// suite needs to exercise. The sequential fast path in
+/// [`WorkPool::map`] (one worker or ≤ 1 job) deliberately bypasses the
+/// seam: it is the reference loop outputs are compared against.
 fn run_range<I, O, F>(start: usize, len: usize, jobs: &[I], f: &F) -> Vec<(usize, O)>
 where
     F: Fn(usize, &I) -> O,
 {
+    match raa_fault::evaluate("par.worker") {
+        raa_fault::Action::None | raa_fault::Action::Deadline => {}
+        raa_fault::Action::Delay(d) => std::thread::sleep(d),
+        raa_fault::Action::Error | raa_fault::Action::Panic => {
+            panic!("injected fault at par.worker")
+        }
+    }
     let end = (start + len).min(jobs.len());
     let start = start.min(end);
     (start..end).map(|i| (i, f(i, &jobs[i]))).collect()

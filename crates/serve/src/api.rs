@@ -128,6 +128,9 @@ pub struct ParsedJob {
 pub struct Request {
     /// The `config` override block (defaults when absent).
     pub overrides: Overrides,
+    /// Per-attempt compile deadline, milliseconds (JSON `deadline_ms`);
+    /// `None` uses the engine default.
+    pub deadline_ms: Option<u64>,
     /// The jobs, in request order.
     pub jobs: Vec<ParsedJob>,
 }
@@ -146,6 +149,16 @@ pub fn parse_request(text: &str) -> Result<Request, ServeError> {
         Some(config) => Overrides::parse(config)?,
         None => Overrides::default(),
     };
+    let deadline_ms = match root.opt_field("deadline_ms").map_err(shape)? {
+        Some(v) => {
+            let ms = v.uint(u64::MAX).map_err(shape)?;
+            if ms == 0 {
+                return Err(bad("deadline_ms must be positive"));
+            }
+            Some(ms)
+        }
+        None => None,
+    };
     let mut jobs = Vec::new();
     for job in root.field("jobs").map_err(shape)?.arr().map_err(shape)? {
         let name = job
@@ -158,7 +171,11 @@ pub fn parse_request(text: &str) -> Result<Request, ServeError> {
             circuit: parse_circuit_source(job),
         });
     }
-    Ok(Request { overrides, jobs })
+    Ok(Request {
+        overrides,
+        deadline_ms,
+        jobs,
+    })
 }
 
 /// Extracts a job's circuit from its `qasm` or `circuit` field.
@@ -206,7 +223,7 @@ pub fn run(engine: &Engine, body: &str) -> Result<String, ServeError> {
             Err(e) => slots.push(Err(e.clone())),
         }
     }
-    let compiled = engine.submit(&cfg, &good)?;
+    let compiled = engine.submit_with(&cfg, &good, request.deadline_ms)?;
     let outcomes: Vec<JobOutcome> = request
         .jobs
         .iter()
@@ -264,6 +281,13 @@ fn render_result(out: &mut String, result: &JobResult) {
         quote(&b64::encode(&e.isa_bytes)),
         num(e.fidelity),
     ));
+    match &e.degraded {
+        Some(label) => out.push_str(&format!(
+            ",\"degraded\":true,\"degraded_config\":{}",
+            quote(label)
+        )),
+        None => out.push_str(",\"degraded\":false"),
+    }
     let t = &e.timings;
     out.push_str(&format!(
         ",\"timings\":{{\"transpile_s\":{},\"map_s\":{},\"route_s\":{},\"lower_s\":{},\"opt_s\":{},\"verify_s\":{},\"sum_s\":{}}}",
@@ -340,7 +364,9 @@ fn render_error_obj(e: &ServeError) -> String {
 pub fn render_stats(s: &EngineStats) -> String {
     format!(
         "{{\"hits\":{},\"misses\":{},\"coalesced\":{},\"compiles\":{},\"rejected\":{},\
-         \"evictions\":{},\"max_queue_depth\":{},\"cache_entries\":{},\"queue_depth\":{}}}",
+         \"evictions\":{},\"max_queue_depth\":{},\"retries\":{},\"degraded\":{},\
+         \"deadline_exceeded\":{},\"breaker_opens\":{},\"shed\":{},\"breaker_state\":{},\
+         \"draining\":{},\"cache_entries\":{},\"queue_depth\":{}}}",
         s.hits,
         s.misses,
         s.coalesced,
@@ -348,6 +374,13 @@ pub fn render_stats(s: &EngineStats) -> String {
         s.rejected,
         s.evictions,
         s.max_queue_depth,
+        s.retries,
+        s.degraded,
+        s.deadline_exceeded,
+        s.breaker_opens,
+        s.shed,
+        quote(s.breaker_state.as_str()),
+        s.draining,
         s.cache_entries,
         s.queue_depth
     )

@@ -2,17 +2,26 @@
 //!
 //! ```text
 //! raa-serve serve [--addr 127.0.0.1:7417] [--workers N] [--queue N] [--cache N]
+//!                 [--deadline-ms N] [--drain-ms N]
 //! raa-serve batch [--opt 0|1|2] [--strategy sequential|layered] [--threads N]
 //!                 [--workers N] [--out DIR] circuit.qasm [more.qasm ...]
 //! ```
 //!
-//! `serve` binds the HTTP/JSON front and runs until killed. `batch`
-//! drives the same engine in-process: it compiles each OpenQASM file
-//! and writes the verified binary ISA stream next to it (or into
-//! `--out DIR`) as `<stem>.isa`.
+//! `serve` binds the HTTP/JSON front and runs until SIGTERM/SIGINT,
+//! then drains: the listener stops accepting first, in-flight requests
+//! finish (bounded by `--drain-ms`, default 10 s), and the process
+//! exits 0 on a clean drain. `batch` drives the same engine
+//! in-process: it compiles each OpenQASM file and writes the verified
+//! binary ISA stream next to it (or into `--out DIR`) as `<stem>.isa`.
+//!
+//! Both commands honor `RAA_FAULT_SPEC` (see `docs/ROBUSTNESS.md`): a
+//! valid spec arms deterministic fault injection before any work runs;
+//! a malformed one is a startup error, not a silent no-op.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use atomique::OptLevel;
 use atomique::RouterStrategy;
@@ -22,12 +31,38 @@ use raa_serve::http;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: raa-serve serve [--addr A] [--workers N] [--queue N] [--cache N]\n\
+        "usage: raa-serve serve [--addr A] [--workers N] [--queue N] [--cache N] \
+         [--deadline-ms N] [--drain-ms N]\n\
          \x20      raa-serve batch [--opt N] [--strategy S] [--threads N] [--workers N] \
          [--out DIR] FILE..."
     );
     ExitCode::from(2)
 }
+
+/// Set by the signal handler; polled by the serve loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that flip [`SHUTDOWN`]. Uses the
+/// libc `signal(2)` std already links — storing to a static atomic is
+/// async-signal-safe, and no new dependency is pulled in.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 /// Parses `--flag value` into `out`; returns whether `arg` consumed
 /// the flag.
@@ -50,23 +85,42 @@ fn flag_value<T: std::str::FromStr>(
 fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut addr = "127.0.0.1:7417".to_string();
     let mut cfg = ServeConfig::default();
+    let mut deadline_ms = 0u64;
+    let mut drain_ms = 10_000u64;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         if flag_value(&mut args, &arg, "--addr", &mut addr)?
             || flag_value(&mut args, &arg, "--workers", &mut cfg.workers)?
             || flag_value(&mut args, &arg, "--queue", &mut cfg.queue_capacity)?
             || flag_value(&mut args, &arg, "--cache", &mut cfg.cache_capacity)?
+            || flag_value(&mut args, &arg, "--deadline-ms", &mut deadline_ms)?
+            || flag_value(&mut args, &arg, "--drain-ms", &mut drain_ms)?
         {
             continue;
         }
         return Err(format!("unknown argument `{arg}`"));
     }
+    if deadline_ms > 0 {
+        cfg.default_deadline_ms = Some(deadline_ms);
+    }
+    install_signal_handlers();
     let engine = Arc::new(Engine::new(cfg));
-    let server = http::serve(engine, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = http::serve(engine.clone(), &addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("raa-serve listening on http://{}", server.addr());
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    // Serve until SIGTERM/SIGINT, then drain: engine first (new
+    // batches get 503), then the listener, then wait out in-flight
+    // connections up to the drain deadline.
+    while !SHUTDOWN.load(Ordering::Acquire) {
+        std::thread::park_timeout(Duration::from_millis(50));
+    }
+    eprintln!("raa-serve: shutdown signal received, draining");
+    engine.begin_drain();
+    let drained = server.drain(Duration::from_millis(drain_ms));
+    if drained {
+        eprintln!("raa-serve: drained cleanly");
+        Ok(())
+    } else {
+        Err("drain deadline elapsed with connections still in flight".into())
     }
 }
 
@@ -170,6 +224,16 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
+    }
+    // Arm deterministic fault injection before any work runs; a
+    // malformed spec must fail loudly, not silently serve unfaulted.
+    match raa_fault::configure_from_env() {
+        Ok(true) => eprintln!("raa-serve: RAA_FAULT_SPEC armed"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("raa-serve: {e}");
+            return ExitCode::from(2);
+        }
     }
     let cmd = args.remove(0);
     let run = match cmd.as_str() {

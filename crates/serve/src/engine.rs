@@ -6,13 +6,28 @@
 //! ([`crate::http`]) and the CLI both drive [`Engine::submit`]
 //! directly, so every invariant (backpressure, single-flight, LRU
 //! eviction, telemetry counters) is testable without a socket.
+//!
+//! # Resilience
+//!
+//! Every leader compile runs through a resilience ladder
+//! (`docs/ROBUSTNESS.md`): a per-attempt wall-clock deadline enforced
+//! at stage boundaries, bounded retry-with-backoff for transient
+//! failures (panics and `raa-fault` injections), then a degradation
+//! ladder that retries on progressively cheaper configs
+//! (Layered→Sequential router, `-O2`→`-O1`→`-O0`, threads→1) and
+//! labels the result degraded. Degraded results are served and shared
+//! with coalesced followers but never cached, so later identical
+//! requests retry the primary config. A circuit breaker sheds whole
+//! batches after repeated terminal failures, and [`Engine::begin_drain`]
+//! rejects new batches while in-flight ones finish.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use atomique::{AtomiqueConfig, CompileStats, StageTimings};
+use atomique::{AtomiqueConfig, CompileError, CompileLimits, CompileStats, StageTimings};
 use raa_circuit::Circuit;
 use raa_isa::codec;
 use raa_par::WorkPool;
@@ -26,6 +41,11 @@ static COALESCED: Counter = Counter::new("serve.cache.coalesced");
 static COMPILE: Counter = Counter::new("serve.compile");
 static REJECT: Counter = Counter::new("serve.queue.reject");
 static EVICT: Counter = Counter::new("serve.cache.evict");
+static RETRY: Counter = Counter::new("serve.retry");
+static DEGRADED: Counter = Counter::new("serve.degraded");
+static DEADLINE: Counter = Counter::new("serve.deadline_exceeded");
+static BREAKER_OPEN: Counter = Counter::new("serve.breaker.open");
+static SHED: Counter = Counter::new("serve.breaker.shed");
 
 /// Sizing knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -47,6 +67,26 @@ pub struct ServeConfig {
     /// are applied on top. `emit_isa` and `verify_isa` are forced on —
     /// the service only ever returns verified ISA streams.
     pub base: AtomiqueConfig,
+    /// Extra attempts after a transient compile failure (a caught
+    /// panic or an injected fault) before the degradation ladder is
+    /// consulted. `0` disables retries.
+    pub max_retries: u32,
+    /// Backoff before the first retry, milliseconds; doubles per
+    /// attempt.
+    pub retry_backoff_ms: u64,
+    /// Whether exhausted/timed-out compiles fall down the degradation
+    /// ladder (cheaper router strategy, lower opt level, one thread)
+    /// instead of failing outright.
+    pub degrade: bool,
+    /// Per-attempt compile deadline applied when a request does not
+    /// carry its own `deadline_ms`. `None` means unlimited.
+    pub default_deadline_ms: Option<u64>,
+    /// Consecutive terminal leader failures that open the circuit
+    /// breaker. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds load before letting one probe
+    /// batch through, milliseconds.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +97,12 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             max_body_bytes: 16 << 20,
             base: AtomiqueConfig::default(),
+            max_retries: 2,
+            retry_backoff_ms: 10,
+            degrade: true,
+            default_deadline_ms: None,
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 1_000,
         }
     }
 }
@@ -100,6 +146,11 @@ pub struct CacheEntry {
     /// Every telemetry counter the compile incremented (detail tracing
     /// is forced on for served compiles), sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `None` for a primary-config result; `Some(label)` when the
+    /// result came from a degradation-ladder rung, naming the
+    /// cumulative config diff (e.g. `"strategy=sequential,opt=1"`).
+    /// Degraded entries are served but never cached.
+    pub degraded: Option<String>,
 }
 
 /// One named compilation job.
@@ -140,7 +191,8 @@ pub struct EngineStats {
     pub misses: u64,
     /// Jobs that waited on an identical in-flight compile.
     pub coalesced: u64,
-    /// Compiles actually executed (= `misses`, counted at execution).
+    /// Compile attempts actually executed (first attempts plus retries
+    /// plus ladder rungs; equals `misses` when nothing fails).
     pub compiles: u64,
     /// Jobs rejected by queue backpressure.
     pub rejected: u64,
@@ -148,10 +200,49 @@ pub struct EngineStats {
     pub evictions: u64,
     /// High-water mark of concurrently admitted jobs.
     pub max_queue_depth: u64,
+    /// Same-config retry attempts after transient failures.
+    pub retries: u64,
+    /// Jobs answered from a degradation-ladder rung.
+    pub degraded: u64,
+    /// Jobs that exhausted every rung within their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Jobs shed while the breaker was open (or mid-probe).
+    pub shed: u64,
+    /// The breaker's current position.
+    pub breaker_state: BreakerState,
+    /// Whether the engine is draining for shutdown.
+    pub draining: bool,
     /// Entries currently cached.
     pub cache_entries: usize,
     /// Jobs currently admitted.
     pub queue_depth: usize,
+}
+
+/// A snapshot of the circuit breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: batches flow normally.
+    #[default]
+    Closed,
+    /// Tripped: batches are shed until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe batch is in flight, everything else
+    /// is still shed.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The wire name used in `/v1/stats` (`"closed"` / `"open"` /
+    /// `"half_open"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
 }
 
 type Key = (u64, u64);
@@ -204,6 +295,159 @@ struct Tallies {
     rejected: AtomicU64,
     evictions: AtomicU64,
     max_depth: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    breaker_opens: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// The circuit breaker: counts consecutive terminal leader failures
+/// and sheds whole batches once they pass the threshold. Classic
+/// three-state machine — Closed (healthy), Open (shedding until the
+/// cooldown elapses), HalfOpen (exactly one probe batch in flight;
+/// its outcome closes or re-opens the breaker).
+enum BreakerInner {
+    Closed {
+        consecutive: u32,
+    },
+    Open {
+        since: Instant,
+    },
+    HalfOpen {
+        /// Whether the single probe slot is taken.
+        probing: bool,
+    },
+}
+
+struct Breaker {
+    inner: Mutex<BreakerInner>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+/// What the breaker decided about an arriving batch.
+enum BreakerAdmit {
+    /// Proceed normally.
+    Allow,
+    /// Shed: the breaker is open (or a probe is already in flight);
+    /// retry after the given delay.
+    Shed { retry_after_ms: u64 },
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            inner: Mutex::new(BreakerInner::Closed { consecutive: 0 }),
+            threshold,
+            cooldown,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BreakerInner> {
+        // The breaker must keep working even if a panic unwound through
+        // a hold: every transition below restores a coherent state
+        // before releasing, so recovering a poisoned lock is safe.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Gate for an arriving batch.
+    fn admit(&self) -> BreakerAdmit {
+        if self.threshold == 0 {
+            return BreakerAdmit::Allow;
+        }
+        let mut inner = self.lock();
+        match *inner {
+            BreakerInner::Closed { .. } => BreakerAdmit::Allow,
+            BreakerInner::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.cooldown {
+                    *inner = BreakerInner::HalfOpen { probing: true };
+                    BreakerAdmit::Allow
+                } else {
+                    BreakerAdmit::Shed {
+                        retry_after_ms: (self.cooldown - elapsed).as_millis().max(1) as u64,
+                    }
+                }
+            }
+            BreakerInner::HalfOpen { probing: false } => {
+                *inner = BreakerInner::HalfOpen { probing: true };
+                BreakerAdmit::Allow
+            }
+            BreakerInner::HalfOpen { probing: true } => BreakerAdmit::Shed {
+                retry_after_ms: self.cooldown.as_millis().max(1) as u64,
+            },
+        }
+    }
+
+    /// Records one terminal leader success; closes a half-open breaker.
+    fn record_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        match *inner {
+            BreakerInner::Closed {
+                ref mut consecutive,
+            } => *consecutive = 0,
+            BreakerInner::HalfOpen { .. } => *inner = BreakerInner::Closed { consecutive: 0 },
+            BreakerInner::Open { .. } => {}
+        }
+    }
+
+    /// Records one terminal leader failure. Returns `true` when this
+    /// transition tripped the breaker open.
+    fn record_failure(&self) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut inner = self.lock();
+        match *inner {
+            BreakerInner::Closed {
+                ref mut consecutive,
+            } => {
+                *consecutive += 1;
+                if *consecutive >= self.threshold {
+                    *inner = BreakerInner::Open {
+                        since: Instant::now(),
+                    };
+                    return true;
+                }
+                false
+            }
+            BreakerInner::HalfOpen { .. } => {
+                *inner = BreakerInner::Open {
+                    since: Instant::now(),
+                };
+                true
+            }
+            BreakerInner::Open { .. } => false,
+        }
+    }
+
+    /// Releases the probe slot when a probe batch ends with no leader
+    /// outcomes at all (pure hits / coalesced followers): no evidence
+    /// either way, so the next batch probes again.
+    fn release_probe(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if let BreakerInner::HalfOpen { ref mut probing } = *inner {
+            *probing = false;
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        if self.threshold == 0 {
+            return BreakerState::Closed;
+        }
+        match *self.lock() {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
 }
 
 /// Decrements the admission count when a batch leaves the engine,
@@ -271,6 +515,12 @@ pub struct Engine {
     depth: AtomicUsize,
     tallies: Tallies,
     max_body_bytes: usize,
+    max_retries: u32,
+    retry_backoff: Duration,
+    degrade: bool,
+    default_deadline_ms: Option<u64>,
+    breaker: Breaker,
+    draining: AtomicBool,
 }
 
 impl Engine {
@@ -291,7 +541,40 @@ impl Engine {
             depth: AtomicUsize::new(0),
             tallies: Tallies::default(),
             max_body_bytes: config.max_body_bytes,
+            max_retries: config.max_retries,
+            retry_backoff: Duration::from_millis(config.retry_backoff_ms),
+            degrade: config.degrade,
+            default_deadline_ms: config.default_deadline_ms,
+            breaker: Breaker::new(
+                config.breaker_threshold,
+                Duration::from_millis(config.breaker_cooldown_ms.max(1)),
+            ),
+            draining: AtomicBool::new(false),
         }
+    }
+
+    /// Stops admitting new batches; in-flight jobs run to completion.
+    /// [`Engine::submit`] fails with [`ServeError::Draining`] from this
+    /// point on. Irreversible for the engine's lifetime (drains exist
+    /// only on the way to shutdown).
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Engine::begin_drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// The engine state, recovering from lock poisoning: every section
+    /// that holds this lock restores the cache/LRU/in-flight invariants
+    /// before any operation that could panic (fault points are placed
+    /// outside it), so a poisoned lock only means a panic unwound
+    /// *past* a release point — continuing is safe, and wedging every
+    /// future request on `PoisonError` would trade a survived fault for
+    /// a total outage.
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The effective base config (with the serving flags forced on);
@@ -317,16 +600,59 @@ impl Engine {
     /// # Errors
     ///
     /// [`ServeError::QueueFull`] if admitting the whole batch would
-    /// exceed the queue bound — no job in the batch runs. Per-job
-    /// compile failures are reported inside the returned outcomes (and
-    /// are never cached).
+    /// exceed the queue bound — no job in the batch runs;
+    /// [`ServeError::Draining`] after [`Engine::begin_drain`];
+    /// [`ServeError::BreakerOpen`] while the circuit breaker sheds
+    /// load. Per-job compile failures are reported inside the returned
+    /// outcomes (and are never cached).
     pub fn submit(
         &self,
         config: &AtomiqueConfig,
         jobs: &[Job],
     ) -> Result<Vec<JobOutcome>, ServeError> {
+        self.submit_with(config, jobs, None)
+    }
+
+    /// [`Engine::submit`] with an explicit per-attempt compile deadline
+    /// (milliseconds); `None` falls back to the engine's configured
+    /// default. Each compile attempt — the primary and every
+    /// retry/ladder rung — gets a fresh budget of `deadline_ms`,
+    /// checked at stage boundaries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`]; jobs that overrun every rung report
+    /// [`ServeError::DeadlineExceeded`] in their outcome.
+    pub fn submit_with(
+        &self,
+        config: &AtomiqueConfig,
+        jobs: &[Job],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<JobOutcome>, ServeError> {
         let n = jobs.len();
-        let _guard = self.admit(n)?;
+        if self.draining() {
+            return Err(ServeError::Draining);
+        }
+        let probe = match self.breaker.admit() {
+            BreakerAdmit::Allow => matches!(self.breaker.state(), BreakerState::HalfOpen),
+            BreakerAdmit::Shed { retry_after_ms } => {
+                SHED.add(n as u64);
+                self.tallies.shed.fetch_add(n as u64, Ordering::Relaxed);
+                return Err(ServeError::BreakerOpen { retry_after_ms });
+            }
+        };
+        let deadline_ms = deadline_ms.or(self.default_deadline_ms);
+        let _guard = match self.admit(n) {
+            Ok(guard) => guard,
+            Err(e) => {
+                // A probe batch bounced by the queue is no evidence
+                // about compile health — free the slot for the next one.
+                if probe {
+                    self.breaker.release_probe();
+                }
+                return Err(e);
+            }
+        };
 
         let cfg = force_serving_flags(config.clone());
         let fp = cfg.fingerprint();
@@ -337,7 +663,7 @@ impl Engine {
         let mut plans: Vec<Plan> = Vec::with_capacity(n);
         let mut leads: Vec<(usize, Key)> = Vec::new();
         {
-            let mut st = self.state.lock().expect("engine state poisoned");
+            let mut st = self.state();
             for (i, job) in jobs.iter().enumerate() {
                 let key = (job.circuit.stable_hash(), fp);
                 if let Some(entry) = st.cache.get(&key).cloned() {
@@ -370,15 +696,46 @@ impl Engine {
             armed: true,
         };
         let results = self.pool.map("par.serve", &leads, |_, &(i, _)| {
-            self.compile_one(&jobs[i].circuit, &cfg)
+            self.compile_resilient(&jobs[i].circuit, &cfg, deadline_ms)
         });
 
+        // Feed the breaker from terminal leader outcomes (followers and
+        // hits carry no new evidence about compile health).
+        for result in &results {
+            match result {
+                Ok(_) => self.breaker.record_success(),
+                Err(_) => {
+                    if self.breaker.record_failure() {
+                        BREAKER_OPEN.incr();
+                        self.tallies.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if probe && leads.is_empty() {
+            self.breaker.release_probe();
+        }
+
+        // The publish seam: a panic here (fault-injected or real) lands
+        // *before* the state lock, so LeadGuard can still recover and
+        // fail the flights fast instead of wedging followers.
+        match raa_fault::evaluate("serve.publish") {
+            raa_fault::Action::None | raa_fault::Action::Deadline => {}
+            raa_fault::Action::Delay(d) => std::thread::sleep(d),
+            raa_fault::Action::Error | raa_fault::Action::Panic => {
+                panic!("injected fault at serve.publish")
+            }
+        }
+
         // Publish: fill caches, resolve flights, wake followers.
+        // Degraded results are shared with this key's followers but
+        // never cached — a later identical request should retry the
+        // primary config.
         {
-            let mut st = self.state.lock().expect("engine state poisoned");
+            let mut st = self.state();
             for (&(_, key), result) in leads.iter().zip(results) {
                 if let Ok(entry) = &result {
-                    if self.cache_capacity > 0 {
+                    if self.cache_capacity > 0 && entry.degraded.is_none() {
                         st.cache.insert(key, entry.clone());
                         st.lru.push(key);
                         while st.cache.len() > self.cache_capacity {
@@ -426,10 +783,7 @@ impl Engine {
 
     /// A point-in-time snapshot of the lifetime counters.
     pub fn stats(&self) -> EngineStats {
-        let (cache_entries, _) = {
-            let st = self.state.lock().expect("engine state poisoned");
-            (st.cache.len(), ())
-        };
+        let cache_entries = self.state().cache.len();
         EngineStats {
             hits: self.tallies.hits.load(Ordering::Relaxed),
             misses: self.tallies.misses.load(Ordering::Relaxed),
@@ -438,6 +792,13 @@ impl Engine {
             rejected: self.tallies.rejected.load(Ordering::Relaxed),
             evictions: self.tallies.evictions.load(Ordering::Relaxed),
             max_queue_depth: self.tallies.max_depth.load(Ordering::Relaxed),
+            retries: self.tallies.retries.load(Ordering::Relaxed),
+            degraded: self.tallies.degraded.load(Ordering::Relaxed),
+            deadline_exceeded: self.tallies.deadline_exceeded.load(Ordering::Relaxed),
+            breaker_opens: self.tallies.breaker_opens.load(Ordering::Relaxed),
+            shed: self.tallies.shed.load(Ordering::Relaxed),
+            breaker_state: self.breaker.state(),
+            draining: self.draining(),
             cache_entries,
             queue_depth: self.depth.load(Ordering::Acquire),
         }
@@ -474,26 +835,123 @@ impl Engine {
         })
     }
 
-    fn compile_one(
+    /// One leader job, end to end: the primary config with bounded
+    /// retries for transient failures, then (when enabled) the
+    /// degradation ladder. Every attempt gets a fresh `deadline_ms`
+    /// budget — the ladder exists precisely so a config that cannot
+    /// finish in budget can be answered by a cheaper one that can.
+    fn compile_resilient(
         &self,
         circuit: &Circuit,
         cfg: &AtomiqueConfig,
+        deadline_ms: Option<u64>,
     ) -> Result<Arc<CacheEntry>, ServeError> {
+        let mut last = match self.compile_retrying(circuit, cfg, deadline_ms) {
+            Ok(entry) => return Ok(entry),
+            Err(Failure::Permanent(e)) => return Err(e),
+            Err(f) => f,
+        };
+        if self.degrade {
+            for (label, rung) in degradation_ladder(cfg) {
+                match self.compile_once(circuit, &rung, deadline_ms) {
+                    Ok(entry) => {
+                        DEGRADED.incr();
+                        self.tallies.degraded.fetch_add(1, Ordering::Relaxed);
+                        let mut entry = Arc::try_unwrap(entry).unwrap_or_else(|arc| (*arc).clone());
+                        entry.degraded = Some(label);
+                        return Ok(Arc::new(entry));
+                    }
+                    // A permanent error on a rung (e.g. capacity) will
+                    // not improve further down: fail now.
+                    Err(Failure::Permanent(e)) => return Err(e),
+                    Err(f) => last = f,
+                }
+            }
+        }
+        match last {
+            Failure::Deadline { stage } => {
+                DEADLINE.incr();
+                self.tallies
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded { stage })
+            }
+            Failure::Transient(e) | Failure::Permanent(e) => Err(e),
+        }
+    }
+
+    /// The primary config with up to `max_retries` extra attempts after
+    /// transient failures, doubling the backoff each time. Deadline
+    /// overruns are not retried on the same config — the same budget
+    /// would blow the same way — and fall through to the ladder.
+    fn compile_retrying(
+        &self,
+        circuit: &Circuit,
+        cfg: &AtomiqueConfig,
+        deadline_ms: Option<u64>,
+    ) -> Result<Arc<CacheEntry>, Failure> {
+        let mut backoff = self.retry_backoff;
+        for attempt in 0..=self.max_retries {
+            match self.compile_once(circuit, cfg, deadline_ms) {
+                Ok(entry) => return Ok(entry),
+                Err(Failure::Transient(_)) if attempt < self.max_retries => {
+                    RETRY.incr();
+                    self.tallies.retries.fetch_add(1, Ordering::Relaxed);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+                Err(f) => return Err(f),
+            }
+        }
+        unreachable!("retry loop returns on its final attempt")
+    }
+
+    /// One compile attempt under one deadline budget, classified.
+    fn compile_once(
+        &self,
+        circuit: &Circuit,
+        cfg: &AtomiqueConfig,
+        deadline_ms: Option<u64>,
+    ) -> Result<Arc<CacheEntry>, Failure> {
         COMPILE.incr();
         self.tallies.compiles.fetch_add(1, Ordering::Relaxed);
-        // A panic on an adversarial circuit must become a per-job error,
-        // not unwind through `WorkPool::map` and `submit` — an escaped
-        // panic would skip the publish step and leave this key's flight
-        // wedged in `in_flight` forever.
-        let out = catch_unwind(AssertUnwindSafe(|| atomique::compile(circuit, cfg)))
-            .map_err(|payload| ServeError::Compile {
+        let limits = CompileLimits {
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        };
+        // A panic — adversarial circuit or injected fault — must become
+        // a per-job error, not unwind through `WorkPool::map` and
+        // `submit`: an escaped panic would skip the publish step and
+        // leave this key's flight wedged in `in_flight` forever.
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            // The leader seam: `RAA_FAULT_SPEC` kills, delays or fails
+            // leader compiles here, inside the unwind barrier.
+            match raa_fault::evaluate("serve.compile") {
+                raa_fault::Action::None => {}
+                raa_fault::Action::Delay(d) => std::thread::sleep(d),
+                raa_fault::Action::Error => {
+                    return Err(CompileError::Injected {
+                        point: "serve.compile",
+                    })
+                }
+                raa_fault::Action::Panic => panic!("injected fault at serve.compile"),
+                raa_fault::Action::Deadline => {
+                    return Err(CompileError::Deadline { stage: "serve" })
+                }
+            }
+            atomique::compile_with_limits(circuit, cfg, limits)
+        }))
+        .map_err(|payload| {
+            Failure::Transient(ServeError::Compile {
                 message: format!("compiler panicked: {}", panic_message(payload.as_ref())),
-            })?
-            .map_err(|e| ServeError::Compile {
-                message: e.to_string(),
-            })?;
-        let isa = out.isa.as_ref().ok_or_else(|| ServeError::Compile {
-            message: "compiler did not attach an ISA stream".into(),
+            })
+        })?
+        .map_err(classify)?;
+        let isa = out.isa.as_ref().ok_or_else(|| {
+            Failure::Permanent(ServeError::Compile {
+                message: "compiler did not attach an ISA stream".into(),
+            })
         })?;
         Ok(Arc::new(CacheEntry {
             isa_bytes: codec::to_bytes(isa),
@@ -501,8 +959,86 @@ impl Engine {
             fidelity: out.total_fidelity(),
             stats: out.stats,
             counters: out.report.counters().to_vec(),
+            degraded: None,
         }))
     }
+}
+
+/// How one compile attempt failed, for the retry/ladder policy.
+enum Failure {
+    /// Worth retrying on the same config (caught panic, injected
+    /// fault).
+    Transient(ServeError),
+    /// The attempt overran its deadline budget; retrying the same
+    /// config is pointless but a cheaper rung may fit.
+    Deadline {
+        /// Stage boundary where the overrun was observed.
+        stage: String,
+    },
+    /// Deterministic rejection (capacity, routing, verification):
+    /// retries and cheaper configs cannot help.
+    Permanent(ServeError),
+}
+
+fn classify(e: CompileError) -> Failure {
+    match e {
+        CompileError::Injected { .. } => Failure::Transient(ServeError::Compile {
+            message: e.to_string(),
+        }),
+        CompileError::Deadline { stage } => Failure::Deadline {
+            stage: stage.to_string(),
+        },
+        _ => Failure::Permanent(ServeError::Compile {
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// The degradation ladder for `cfg`: cumulative downgrades, cheapest
+/// last. Each rung's label names the *full* diff from the primary
+/// config, so a `degraded` response is self-describing.
+fn degradation_ladder(cfg: &AtomiqueConfig) -> Vec<(String, AtomiqueConfig)> {
+    use atomique::RouterStrategy;
+    let mut rungs = Vec::new();
+    let mut cur = cfg.clone();
+    if cur.router_strategy == RouterStrategy::Layered {
+        cur.router_strategy = RouterStrategy::Sequential;
+        rungs.push((diff_label(cfg, &cur), cur.clone()));
+    }
+    while cur.opt_level != raa_isa::OptLevel::None {
+        cur.opt_level = match cur.opt_level {
+            raa_isa::OptLevel::Aggressive => raa_isa::OptLevel::Basic,
+            _ => raa_isa::OptLevel::None,
+        };
+        rungs.push((diff_label(cfg, &cur), cur.clone()));
+    }
+    if cur.threads > 1 {
+        cur.threads = 1;
+        rungs.push((diff_label(cfg, &cur), cur.clone()));
+    }
+    rungs
+}
+
+/// The config fields a ladder rung changed, as `key=value` pairs.
+fn diff_label(base: &AtomiqueConfig, cur: &AtomiqueConfig) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if cur.router_strategy != base.router_strategy {
+        parts.push("strategy=sequential".into());
+    }
+    if cur.opt_level != base.opt_level {
+        parts.push(format!(
+            "opt={}",
+            match cur.opt_level {
+                raa_isa::OptLevel::None => 0,
+                raa_isa::OptLevel::Basic => 1,
+                raa_isa::OptLevel::Aggressive => 2,
+            }
+        ));
+    }
+    if cur.threads != base.threads {
+        parts.push(format!("threads={}", cur.threads));
+    }
+    parts.join(",")
 }
 
 /// Extracts the human-readable message from a caught panic payload
@@ -662,6 +1198,101 @@ mod tests {
         assert_eq!(panic_message(owned.as_ref()), "kaboom");
         let other: Box<dyn std::any::Any + Send> = Box::new(42u32);
         assert_eq!(panic_message(other.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn breaker_opens_sheds_and_recovers_via_probe() {
+        let engine = Engine::new(ServeConfig {
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 50,
+            max_retries: 0,
+            degrade: false,
+            ..ServeConfig::default()
+        });
+        let cfg = engine.base().clone();
+        // Two consecutive terminal failures (capacity errors are
+        // permanent) trip the breaker.
+        for _ in 0..2 {
+            let out = engine
+                .submit(&cfg, &[job("too-big", Circuit::new(100_000))])
+                .unwrap();
+            assert!(out[0].result.is_err());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.breaker_opens, 1);
+        assert_eq!(stats.breaker_state, BreakerState::Open);
+        // While open, whole batches are shed with a retry hint.
+        match engine.submit(&cfg, &[job("ghz", ghz(3))]) {
+            Err(ServeError::BreakerOpen { retry_after_ms }) => assert!(retry_after_ms >= 1),
+            other => panic!("expected BreakerOpen, got {other:?}"),
+        }
+        assert_eq!(engine.stats().shed, 1);
+        // After the cooldown one probe goes through; success closes.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let out = engine.submit(&cfg, &[job("ghz", ghz(3))]).unwrap();
+        assert!(out[0].result.is_ok());
+        assert_eq!(engine.stats().breaker_state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn draining_rejects_new_batches() {
+        let engine = Engine::new(ServeConfig::default());
+        let cfg = engine.base().clone();
+        engine.begin_drain();
+        assert!(matches!(
+            engine.submit(&cfg, &[job("late", ghz(3))]),
+            Err(ServeError::Draining)
+        ));
+        assert!(engine.stats().draining);
+    }
+
+    #[test]
+    fn exhausted_deadline_is_reported_after_the_ladder() {
+        // A deadline of 0 ms expires at every stage boundary of every
+        // rung, deterministically: the default config has no cheaper
+        // rungs (sequential, -O0, one thread), so exactly one attempt
+        // runs and the job reports `deadline`.
+        let engine = Engine::new(ServeConfig::default());
+        let cfg = engine.base().clone();
+        let out = engine
+            .submit_with(&cfg, &[job("slow", ghz(4))], Some(0))
+            .unwrap();
+        match out[0].result.as_ref() {
+            Err(ServeError::DeadlineExceeded { stage }) => assert!(!stage.is_empty()),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.cache_entries, 0);
+    }
+
+    #[test]
+    fn ladder_rungs_are_cumulative_with_self_describing_labels() {
+        use atomique::RouterStrategy;
+        let cfg = AtomiqueConfig {
+            router_strategy: RouterStrategy::Layered,
+            opt_level: raa_isa::OptLevel::Aggressive,
+            threads: 4,
+            ..AtomiqueConfig::default()
+        };
+        let rungs = degradation_ladder(&cfg);
+        let labels: Vec<&str> = rungs.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "strategy=sequential",
+                "strategy=sequential,opt=1",
+                "strategy=sequential,opt=0",
+                "strategy=sequential,opt=0,threads=1",
+            ]
+        );
+        let last = &rungs.last().unwrap().1;
+        assert_eq!(last.router_strategy, RouterStrategy::Sequential);
+        assert_eq!(last.opt_level, raa_isa::OptLevel::None);
+        assert_eq!(last.threads, 1);
+        // Nothing to shed for an already-minimal config.
+        assert!(degradation_ladder(&AtomiqueConfig::default()).is_empty());
     }
 
     #[test]

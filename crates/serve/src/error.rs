@@ -37,6 +37,22 @@ pub enum ServeError {
         /// The rendered [`atomique::CompileError`].
         message: String,
     },
+    /// The job blew its per-attempt compile deadline on the primary
+    /// config and on every degradation-ladder rung (HTTP 504).
+    DeadlineExceeded {
+        /// The stage boundary where the final attempt overran.
+        stage: String,
+    },
+    /// The circuit breaker is open after repeated compile failures; the
+    /// engine is shedding load (HTTP 503 with `Retry-After`).
+    BreakerOpen {
+        /// How long the client should wait before retrying,
+        /// milliseconds (the breaker's remaining cooldown).
+        retry_after_ms: u64,
+    },
+    /// The engine is draining for shutdown and no longer admits new
+    /// batches (HTTP 503); in-flight jobs still complete.
+    Draining,
 }
 
 impl ServeError {
@@ -50,6 +66,9 @@ impl ServeError {
             ServeError::Circuit(_) => "circuit",
             ServeError::Decode(_) => "decode",
             ServeError::Compile { .. } => "compile",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::BreakerOpen { .. } => "breaker_open",
+            ServeError::Draining => "draining",
         }
     }
 }
@@ -66,6 +85,19 @@ impl std::fmt::Display for ServeError {
             ServeError::Circuit(e) => write!(f, "circuit error: {e}"),
             ServeError::Decode(e) => write!(f, "decode error: {e}"),
             ServeError::Compile { message } => write!(f, "compile error: {message}"),
+            ServeError::DeadlineExceeded { stage } => {
+                write!(
+                    f,
+                    "compile deadline exceeded (last overrun at stage `{stage}`)"
+                )
+            }
+            ServeError::BreakerOpen { retry_after_ms } => write!(
+                f,
+                "circuit breaker open after repeated failures; retry in {retry_after_ms} ms"
+            ),
+            ServeError::Draining => {
+                write!(f, "service draining for shutdown; not accepting new work")
+            }
         }
     }
 }

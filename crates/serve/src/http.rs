@@ -12,14 +12,23 @@
 //! | POST   | `/v1/compile` | batch request → per-job results        |
 //!
 //! Error statuses: 400 (malformed body), 404, 405, 413 (body over
-//! [`Engine::max_body_bytes`]), 429 (queue full), 500.
+//! [`Engine::max_body_bytes`]), 429 (queue full), 500, 503 (breaker
+//! open — with `Retry-After` — or draining), 504 (deadline exceeded).
+//!
+//! Each connection thread is an unwind barrier: a panic while handling
+//! a request (fault-injected via the `serve.http` point, or real) is
+//! answered with a 500 instead of silently dropping the socket, and
+//! never takes the server down. [`ServerHandle::drain`] supports
+//! graceful shutdown: stop accepting first, then wait out in-flight
+//! connections up to a deadline.
 
 use std::io::{BufRead, BufReader, Read, Take, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
 use crate::{api, ServeError};
@@ -39,6 +48,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
 }
 
 impl ServerHandle {
@@ -47,10 +57,33 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Connections currently being handled.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
     /// Stops the accept loop and joins it. In-flight connection
     /// threads finish on their own.
     pub fn stop(mut self) {
         self.shutdown();
+    }
+
+    /// Graceful shutdown: stops accepting new connections *first*,
+    /// then waits until every in-flight connection finishes or
+    /// `deadline` elapses. Returns `true` when the server drained
+    /// fully (no connections were abandoned).
+    pub fn drain(mut self, deadline: Duration) -> bool {
+        self.shutdown();
+        let until = Instant::now() + deadline;
+        loop {
+            if self.active.load(Ordering::Acquire) == 0 {
+                return true;
+            }
+            if Instant::now() >= until {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     fn shutdown(&mut self) {
@@ -80,7 +113,9 @@ pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     let accept_stop = stop.clone();
+    let accept_active = active.clone();
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if accept_stop.load(Ordering::Acquire) {
@@ -88,8 +123,12 @@ pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
             }
             let Ok(stream) = conn else { continue };
             let engine = engine.clone();
+            // Counted before the spawn so a drain that starts right
+            // after accept still sees this connection as in flight.
+            let guard = ConnGuard::enter(accept_active.clone());
             std::thread::spawn(move || {
-                let _ = handle_connection(&engine, stream);
+                let _guard = guard;
+                dispatch(&engine, stream);
             });
         }
     });
@@ -97,7 +136,46 @@ pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
         addr,
         stop,
         accept_thread: Some(accept_thread),
+        active,
     })
+}
+
+/// Holds one slot in the active-connection count; releases on drop —
+/// including when the connection thread unwinds.
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnGuard {
+    fn enter(active: Arc<AtomicUsize>) -> ConnGuard {
+        active.fetch_add(1, Ordering::AcqRel);
+        ConnGuard { active }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The per-connection unwind barrier: a panic inside
+/// [`handle_connection`] becomes a best-effort 500 on a clone of the
+/// stream instead of a silently dropped socket.
+fn dispatch(engine: &Engine, stream: TcpStream) {
+    let fallback = stream.try_clone().ok();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = handle_connection(engine, stream);
+    }));
+    if outcome.is_err() {
+        if let Some(stream) = fallback {
+            let _ = respond(
+                stream,
+                500,
+                "{\"error\":{\"kind\":\"internal\",\"message\":\"request handler panicked\"}}",
+            );
+        }
+    }
 }
 
 /// One parsed request head.
@@ -152,6 +230,15 @@ fn read_head_line(reader: &mut Take<BufReader<TcpStream>>) -> Option<String> {
 }
 
 fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> {
+    // The HTTP seam: `RAA_FAULT_SPEC` can stall a connection (delay)
+    // or kill its handler (panic/error → caught by `dispatch` → 500).
+    match raa_fault::evaluate("serve.http") {
+        raa_fault::Action::None | raa_fault::Action::Deadline => {}
+        raa_fault::Action::Delay(d) => std::thread::sleep(d),
+        raa_fault::Action::Error | raa_fault::Action::Panic => {
+            panic!("injected fault at serve.http")
+        }
+    }
     stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
     stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
     let mut head_reader = BufReader::new(stream).take(MAX_HEADER_BYTES as u64);
@@ -203,7 +290,12 @@ fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> 
             };
             match api::run(engine, &body) {
                 Ok(rendered) => respond(reader.into_inner(), 200, &rendered),
-                Err(e) => respond(reader.into_inner(), status_of(&e), &api::render_error(&e)),
+                Err(e) => respond_with(
+                    reader.into_inner(),
+                    status_of(&e),
+                    &extra_headers(&e),
+                    &api::render_error(&e),
+                ),
             }
         }
         // Known path, wrong method → 405; unknown path → 404.
@@ -227,6 +319,19 @@ fn status_of(e: &ServeError) -> u16 {
         ServeError::BadRequest { .. } | ServeError::Qasm(_) | ServeError::Circuit(_) => 400,
         ServeError::Decode(_) => 400,
         ServeError::Compile { .. } => 500,
+        ServeError::DeadlineExceeded { .. } => 504,
+        ServeError::BreakerOpen { .. } | ServeError::Draining => 503,
+    }
+}
+
+/// Extra response headers a failure carries (each line `\r\n`-
+/// terminated): an open breaker tells the client when to come back.
+fn extra_headers(e: &ServeError) -> String {
+    match e {
+        ServeError::BreakerOpen { retry_after_ms } => {
+            format!("Retry-After: {}\r\n", retry_after_ms.div_ceil(1000).max(1))
+        }
+        _ => String::new(),
     }
 }
 
@@ -239,13 +344,24 @@ fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
 
-fn respond(mut stream: TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn respond(stream: TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    respond_with(stream, status, "", body)
+}
+
+fn respond_with(
+    mut stream: TcpStream,
+    status: u16,
+    extra_headers: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         reason(status),
         body.len()
     );

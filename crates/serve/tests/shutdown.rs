@@ -1,0 +1,86 @@
+//! Graceful-shutdown regression: SIGTERM against the real `raa-serve`
+//! binary while a slow compile is in flight. The server must stop
+//! accepting, let the in-flight request finish (bounded by
+//! `--drain-ms`), answer it with a full 200, and exit 0.
+//!
+//! The slow compile is arranged deterministically: the child is
+//! started with `RAA_FAULT_SPEC` delaying the first leader compile,
+//! so no timing luck is involved in "a request is mid-compile when
+//! the signal lands".
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use raa_circuit::qasm;
+use raa_circuit::{Circuit, Gate, Qubit};
+use raa_serve::request;
+
+/// Sends `sig` to `pid` via the libc `kill(2)` std already links —
+/// hermetic (no dependency on a `kill` binary being on PATH).
+fn send_signal(pid: u32, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    let rc = unsafe { kill(pid as i32, sig) };
+    assert_eq!(rc, 0, "kill({pid}, {sig}) failed");
+}
+
+#[test]
+fn sigterm_drains_the_in_flight_request_before_exiting() {
+    const SIGTERM: i32 = 15;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_raa-serve"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--drain-ms", "8000"])
+        .env("RAA_FAULT_SPEC", "serve.compile:delay=700ms@1;seed=1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn raa-serve");
+
+    // First stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr: SocketAddr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable listen line: {line:?}"));
+
+    // Fire the slow request (first leader compile sleeps 700 ms).
+    let in_flight = std::thread::spawn(move || {
+        let mut ghz = Circuit::new(3);
+        ghz.push(Gate::h(Qubit(0)));
+        ghz.push(Gate::cx(Qubit(0), Qubit(1)));
+        ghz.push(Gate::cx(Qubit(1), Qubit(2)));
+        let text = qasm::to_qasm(&ghz);
+        let body = format!("{{\"jobs\":[{{\"name\":\"slow\",\"qasm\":{text:?}}}]}}");
+        request(addr, "POST", "/v1/compile", Some(&body)).expect("in-flight request answered")
+    });
+
+    // Let it connect and enter the compile, then signal mid-flight.
+    std::thread::sleep(Duration::from_millis(200));
+    send_signal(child.id(), SIGTERM);
+
+    // Drain contract: the in-flight request still completes fully…
+    let (status, text) = in_flight.join().expect("request thread");
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"ok\":true"), "{text}");
+
+    // …and the process exits cleanly once drained.
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "raa-serve exited {status}");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert!(stderr.contains("drained cleanly"), "stderr: {stderr}");
+}

@@ -94,6 +94,33 @@ fn counters_match_committed_baselines_exactly() {
     );
 }
 
+/// The zero-fault case of the chaos work: with no `RAA_FAULT_SPEC`
+/// armed (the only state this binary ever runs in), the fault seams
+/// compiled into the pipeline are completely inert — no fault counter
+/// ticks, no registry state accumulates, and the exact baselines above
+/// hold with the gates compiled in. This pins the "free when off"
+/// claim the tier-1 suites rest on.
+#[test]
+fn fault_instrumentation_is_inert_when_disarmed() {
+    assert!(!raa_fault::active(), "no test in this binary arms faults");
+    for b in small_suite().into_iter().take(3) {
+        let out =
+            compile(&b.circuit, &traced_config()).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            out.report.counter("compile.fault.injected"),
+            0,
+            "{}: fault injected with no schedule armed",
+            b.name
+        );
+    }
+    assert!(
+        raa_fault::stats().is_empty(),
+        "disarmed evaluation recorded registry state: {:?}",
+        raa_fault::stats()
+    );
+    assert_eq!(raa_fault::fired_total(), 0);
+}
+
 /// With tracing off (the default), a compile still derives its stage
 /// timings from the span tree but must record *no* counters and only
 /// the coarse stage spans — a fixed handful of nodes regardless of
