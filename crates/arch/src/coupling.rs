@@ -230,6 +230,70 @@ impl CouplingGraph {
         Self::from_edges(n, &edges)
     }
 
+    /// The complete multipartite graph, built analytically instead of via
+    /// [`Self::from_edges`] + all-pairs BFS.
+    ///
+    /// Produces a graph *identical field-for-field* to
+    /// [`Self::complete_multipartite`] — same edge order, same sorted
+    /// adjacency lists, same distance matrix — but in O(n²) writes instead
+    /// of O(n·E) BFS work plus the O(E·deg) duplicate scan of `from_edges`.
+    /// The structure admits closed forms because partitions are contiguous
+    /// index ranges: every cross-part pair is an edge (distance 1), every
+    /// intra-part pair at distance 2 via any vertex of another part (or
+    /// [`UNREACHABLE`] when only one part is populated), and a vertex's
+    /// sorted neighbour list is simply "everything outside my part".
+    /// Equality against the naive builder is pinned by tests below; the
+    /// `TranspileIndex::Indexed` compile path depends on it.
+    pub fn complete_multipartite_indexed(part_sizes: &[usize]) -> Self {
+        let n: usize = part_sizes.iter().sum();
+        // Per-vertex part range [start, end): parts occupy contiguous
+        // ascending index ranges, which is what makes every order below
+        // reproducible without sorting.
+        let mut range_of: Vec<(usize, usize)> = Vec::with_capacity(n);
+        let mut off = 0usize;
+        for &s in part_sizes {
+            for _ in 0..s {
+                range_of.push((off, off + s));
+            }
+            off += s;
+        }
+        let populated = part_sizes.iter().filter(|&&s| s > 0).count();
+
+        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for &(s, e) in &range_of {
+            let mut a = Vec::with_capacity(n - (e - s));
+            a.extend(0..s as u32);
+            a.extend(e as u32..n as u32);
+            adj.push(a);
+        }
+
+        // from_edges emits (a, b) with a < b in a-major order; with
+        // contiguous parts the cross-part b > a are exactly b ∈ [end_a, n).
+        let sum_sq: usize = part_sizes.iter().map(|&s| s * s).sum();
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n * n - sum_sq) / 2);
+        for (a, &(_, e)) in range_of.iter().enumerate() {
+            edges.extend((e as u32..n as u32).map(|b| (a as u32, b)));
+        }
+
+        let mut dist = vec![UNREACHABLE; n * n];
+        for x in 0..n {
+            let row = x * n;
+            if populated >= 2 {
+                let (s, e) = range_of[x];
+                dist[row..row + n].fill(1);
+                dist[row + s..row + e].fill(2);
+            }
+            dist[row + x] = 0;
+        }
+
+        CouplingGraph {
+            n,
+            adj,
+            edges,
+            dist,
+        }
+    }
+
     /// Number of physical qubits.
     #[inline]
     pub fn num_qubits(&self) -> usize {
@@ -379,6 +443,45 @@ mod tests {
         assert!(g.are_coupled(1, 3));
         assert_eq!(g.distance(0, 1), 2);
         assert_eq!(g.distance(0, 2), 1);
+    }
+
+    /// The analytic multipartite builder must be indistinguishable from
+    /// the naive one down to private field contents: the indexed transpile
+    /// path swaps it in and claims bit-identical compiles on top of it.
+    #[test]
+    fn indexed_multipartite_equals_naive_field_for_field() {
+        let shapes: &[&[usize]] = &[
+            &[],
+            &[0],
+            &[1],
+            &[3],
+            &[0, 3],
+            &[5, 0],
+            &[1, 1],
+            &[2, 2],
+            &[1, 2, 3],
+            &[0, 2, 0, 3],
+            &[4, 4, 4],
+            &[1, 7],
+            &[2, 3, 2, 3],
+        ];
+        for &parts in shapes {
+            let naive = CouplingGraph::complete_multipartite(parts);
+            let fast = CouplingGraph::complete_multipartite_indexed(parts);
+            assert_eq!(naive.n, fast.n, "{parts:?}: n");
+            assert_eq!(naive.adj, fast.adj, "{parts:?}: adjacency");
+            assert_eq!(naive.edges, fast.edges, "{parts:?}: edge order");
+            assert_eq!(naive.dist, fast.dist, "{parts:?}: distance matrix");
+        }
+    }
+
+    #[test]
+    fn indexed_multipartite_single_part_is_disconnected() {
+        let g = CouplingGraph::complete_multipartite_indexed(&[4]);
+        assert_eq!(g.distance(0, 3), UNREACHABLE);
+        assert_eq!(g.distance(2, 2), 0);
+        assert!(g.edges().is_empty());
+        assert!(!g.is_connected());
     }
 
     #[test]

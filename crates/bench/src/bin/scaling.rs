@@ -21,15 +21,24 @@
 //! * the baseline and layered rows pushed through the `raa-serve`
 //!   batch-compilation engine cold and warm (schema 5 `serve`
 //!   columns): served bytes asserted bit-identical to the direct
-//!   compile, cache hit/miss and queue-depth counters recorded.
+//!   compile, cache hit/miss and queue-depth counters recorded, and
+//! * every baseline row re-compiled with `TranspileIndex::Naive`
+//!   (schema 6): ISA bytes asserted bit-identical across index modes,
+//!   the naive transpile-stage wall clock recorded next to the indexed
+//!   one (`compile.transpile_naive_s`), and the score-cache counters
+//!   (`transpile.score_cache_hit` / `score_recompute` / `score_dedup` /
+//!   `extset_incremental`) added to the counter columns.
 //!
 //! Run with `cargo run --release -p raa-bench --bin scaling
-//! [-- --oracle-max=N] [--serve-max=N] [--sizes=N,N,…] [--threads=N,N,…]
-//! [--trace <path>] [--counters]`.
+//! [-- --oracle-max=N] [--serve-max=N] [--naive-max=N] [--sizes=N,N,…]
+//! [--threads=N,N,…] [--trace <path>] [--counters]`.
 //! The exhaustive paths are O(atoms²) per stage/pulse, so they only run
 //! up to `--oracle-max` qubits (default 1024 — pass a smaller value for
-//! a quick look). `--sizes` restricts the size sweep (default
-//! 64,128,256,512,1024). `--threads` lists the work-pool widths to
+//! a quick look). `--naive-max` likewise bounds the naive-transpile
+//! twin compile (default unbounded — the naive path is quadratic in
+//! atoms at graph construction, so cap it for quick sweeps). `--sizes`
+//! restricts the size sweep (default 64,128,256,512,1024,4096; entries
+//! must be 2..=65536). `--threads` lists the work-pool widths to
 //! sweep (default `1`; the first entry is the baseline every other
 //! entry is asserted bit-identical against, and the oracle/layered
 //! comparisons run only at that baseline). `--trace` writes every
@@ -47,10 +56,14 @@
 //! pool width the row ran at) and the per-thread-count rows. Schema 5
 //! adds a `serve` object (cold/warm service round trips, cache
 //! hit/miss counts, queue high-water mark; `null` on thread-sweep rows
-//! and above `--serve-max`). Measured numbers are recorded in
-//! EXPERIMENTS.md ("Router scaling", "Verifier scaling", "Counter
-//! telemetry", "Parallel compilation" and "Batch-compilation
-//! service").
+//! and above `--serve-max`). Schema 6 adds the `transpile_index`
+//! column, `compile.transpile_naive_s` (the naive-twin transpile wall
+//! clock; `null` on thread-sweep/layered rows and above `--naive-max`)
+//! and the four score-cache counter columns, plus the 4096-qubit
+//! default rows. Measured numbers are recorded in EXPERIMENTS.md
+//! ("Router scaling", "Verifier scaling", "Counter telemetry",
+//! "Parallel compilation", "Batch-compilation service" and "Transpile
+//! indexing").
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -58,6 +71,7 @@ use std::time::Instant;
 use atomique::trace::{export, TraceReport};
 use atomique::{
     compile, AtomiqueConfig, CompiledProgram, OptLevel, ProximityIndex, RouterStrategy, StageKind,
+    TranspileIndex, MAX_THREADS,
 };
 use raa_bench::harness::{row, scaling_row, section, serve_probe, SCALING_COLUMNS};
 use raa_benchmarks::scaling_pair;
@@ -70,17 +84,23 @@ use raa_par::WorkPool;
 struct Args {
     oracle_max: usize,
     serve_max: usize,
+    naive_max: usize,
     sizes: Vec<usize>,
     threads: Vec<usize>,
     trace_path: Option<String>,
     counters: bool,
 }
 
+/// Largest `--sizes` entry accepted: past 65536 qubits a single naive
+/// row would run for hours, which is always a typo, not a study.
+const MAX_SIZE: usize = 65536;
+
 fn parse_args() -> Args {
     let mut parsed = Args {
         oracle_max: 1024,
         serve_max: 1024,
-        sizes: vec![64, 128, 256, 512, 1024],
+        naive_max: usize::MAX,
+        sizes: vec![64, 128, 256, 512, 1024, 4096],
         threads: vec![1],
         trace_path: None,
         counters: false,
@@ -99,22 +119,41 @@ fn parse_args() -> Args {
             parsed.serve_max = v
                 .parse()
                 .unwrap_or_else(|_| die(format!("invalid --serve-max value `{v}`")));
+        } else if let Some(v) = arg.strip_prefix("--naive-max=") {
+            parsed.naive_max = v
+                .parse()
+                .unwrap_or_else(|_| die(format!("invalid --naive-max value `{v}`")));
         } else if let Some(v) = arg.strip_prefix("--sizes=") {
             parsed.sizes = v
                 .split(',')
                 .map(|s| {
-                    s.trim()
+                    let n: usize = s
+                        .trim()
                         .parse()
-                        .unwrap_or_else(|_| die(format!("invalid --sizes entry `{s}`")))
+                        .unwrap_or_else(|_| die(format!("invalid --sizes entry `{s}`")));
+                    if !(2..=MAX_SIZE).contains(&n) {
+                        die(format!("--sizes entry `{s}` out of range (2..={MAX_SIZE})"));
+                    }
+                    n
                 })
                 .collect();
+            if parsed.sizes.is_empty() {
+                die("--sizes needs at least one qubit count".into());
+            }
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             parsed.threads = v
                 .split(',')
                 .map(|s| {
-                    s.trim()
+                    let t: usize = s
+                        .trim()
                         .parse()
-                        .unwrap_or_else(|_| die(format!("invalid --threads entry `{s}`")))
+                        .unwrap_or_else(|_| die(format!("invalid --threads entry `{s}`")));
+                    if !(1..=MAX_THREADS).contains(&t) {
+                        die(format!(
+                            "--threads entry `{s}` out of range (1..={MAX_THREADS})"
+                        ));
+                    }
+                    t
                 })
                 .collect();
             if parsed.threads.is_empty() {
@@ -167,6 +206,16 @@ struct Measurement {
     /// workload and skip the exhaustive-oracle comparisons.
     threads: usize,
     timings: atomique::StageTimings,
+    /// The `AtomiqueConfig::transpile_index` mode the row compiled
+    /// under (schema 6). Every row runs the `Indexed` default; the
+    /// naive path appears as the `transpile_naive_s` twin column, not
+    /// as rows of its own.
+    transpile_index: &'static str,
+    /// Transpile-stage wall clock of the same workload re-compiled
+    /// with `TranspileIndex::Naive`, ISA bytes asserted bit-identical
+    /// first (schema 6). `None` on thread-sweep/layered rows and above
+    /// `--naive-max`.
+    transpile_naive_s: Option<f64>,
     /// End-to-end compile wall clock with the grid proximity index
     /// (`compile.total_s` = `router.grid_compile_s` in the JSON; the
     /// pure router stage is `timings.route_s`).
@@ -245,6 +294,18 @@ struct CounterRow {
     pass_rejected: u64,
     /// `opt.verify.full` — incremental-verifier full-oracle fallbacks.
     verify_fallback: u64,
+    /// `transpile.score_cache_hit` — SABRE candidate deltas served from
+    /// the score cache (schema 6; 0 on the naive path).
+    score_cache_hit: u64,
+    /// `transpile.score_recompute` — SABRE candidate deltas derived
+    /// from the incidence lists (schema 6).
+    score_recompute: u64,
+    /// `transpile.score_dedup` — duplicate swap candidates skipped per
+    /// round (schema 6).
+    score_dedup: u64,
+    /// `transpile.extset_incremental` — stall rounds reusing the
+    /// extended set instead of re-running the lookahead BFS (schema 6).
+    extset_incremental: u64,
 }
 
 impl CounterRow {
@@ -254,6 +315,10 @@ impl CounterRow {
             route_try_add: report.counter("route.try_add"),
             pass_rejected: report.counter("opt.rejected"),
             verify_fallback: report.counter("opt.verify.full"),
+            score_cache_hit: report.counter("transpile.score_cache_hit"),
+            score_recompute: report.counter("transpile.score_recompute"),
+            score_dedup: report.counter("transpile.score_dedup"),
+            extset_incremental: report.counter("transpile.extset_incremental"),
         }
     }
 }
@@ -282,14 +347,16 @@ fn json_serve(serve: &Option<ServeRow>) -> String {
 }
 
 fn write_json(measurements: &[Measurement]) {
-    let mut out = String::from("{\n  \"schema\": 5,\n  \"workloads\": [\n");
+    let mut out = String::from("{\n  \"schema\": 6,\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let t = &m.timings;
         let _ = write!(
             out,
             concat!(
-                "    {{\"name\": \"{}\", \"qubits\": {}, \"strategy\": \"{}\", \"threads\": {},\n",
-                "     \"compile\": {{\"total_s\": {}, \"transpile_s\": {}, \"map_s\": {}, ",
+                "    {{\"name\": \"{}\", \"qubits\": {}, \"strategy\": \"{}\", \"threads\": {}, ",
+                "\"transpile_index\": \"{}\",\n",
+                "     \"compile\": {{\"total_s\": {}, \"transpile_s\": {}, ",
+                "\"transpile_naive_s\": {}, \"map_s\": {}, ",
                 "\"route_s\": {}, \"lower_s\": {}, \"opt_s\": {}, \"verify_s\": {}}},\n",
                 "     \"router\": {{\"grid_compile_s\": {}, \"scan_compile_s\": {}}},\n",
                 "     \"isa\": {{\"instrs\": {}, \"pulses\": {}}},\n",
@@ -297,15 +364,19 @@ fn write_json(measurements: &[Measurement]) {
                 "     \"opt_harness\": {{\"incremental_s\": {}, \"full_s\": {}, ",
                 "\"incremental_reverifies\": {}, \"full_fallbacks\": {}}},\n",
                 "     \"counters\": {{\"grid_query\": {}, \"route_try_add\": {}, ",
-                "\"pass_rejected\": {}, \"verify_fallback\": {}}},\n",
+                "\"pass_rejected\": {}, \"verify_fallback\": {}, ",
+                "\"score_cache_hit\": {}, \"score_recompute\": {}, ",
+                "\"score_dedup\": {}, \"extset_incremental\": {}}},\n",
                 "     \"serve\": {}}}"
             ),
             m.name,
             m.qubits,
             m.strategy,
             m.threads,
+            m.transpile_index,
             json_f(m.compile_total_s),
             json_f(t.transpile_s),
+            json_opt_f(m.transpile_naive_s),
             json_f(t.map_s),
             json_f(t.route_s),
             json_f(t.lower_s),
@@ -325,6 +396,10 @@ fn write_json(measurements: &[Measurement]) {
             m.counters.route_try_add,
             m.counters.pass_rejected,
             m.counters.verify_fallback,
+            m.counters.score_cache_hit,
+            m.counters.score_recompute,
+            m.counters.score_dedup,
+            m.counters.extset_incremental,
             json_serve(&m.serve),
         );
         out.push_str(if i + 1 < measurements.len() {
@@ -423,6 +498,37 @@ fn main() {
                 ));
             }
 
+            // --- The naive-transpile twin (schema 6): the same
+            // workload with `TranspileIndex::Naive` — BFS-built
+            // coupling graph, from-scratch SABRE rescoring — must
+            // produce byte-identical ISA; only the transpile wall
+            // clock may differ. Verification and tracing are off for
+            // the twin (they burn identical time on both paths and the
+            // bytes are what the assertion needs).
+            let transpile_naive_s = (n <= args.naive_max).then(|| {
+                let naive_cfg = AtomiqueConfig {
+                    transpile_index: TranspileIndex::Naive,
+                    verify_isa: false,
+                    trace: false,
+                    ..cfg.clone()
+                };
+                let naive = compile(&b.circuit, &naive_cfg)
+                    .unwrap_or_else(|e| panic!("{}-{n} (naive transpile): {e}", b.name));
+                assert_eq!(
+                    codec::to_bytes(naive.isa.as_ref().expect("emit_isa attached")),
+                    codec::to_bytes(grid.isa.as_ref().expect("emit_isa attached")),
+                    "{}-{n}: ISA bytes differ across transpile-index modes",
+                    b.name
+                );
+                let s = naive.timings.transpile_s;
+                println!(
+                    "  transpile: indexed {:.2}s, naive {s:.2}s ({:.1}x; ISA bit-identical)",
+                    t.transpile_s,
+                    s / t.transpile_s.max(1e-9),
+                );
+                s
+            });
+
             // --- Verifier scaling: the raw (unoptimized) stream checked
             // under both modes, and -O2 re-run under both harnesses.
             let raw = atomique::emit_isa(&grid, &cfg.hardware, b.name);
@@ -487,6 +593,8 @@ fn main() {
                 strategy: "sequential",
                 threads: args.threads[0],
                 timings: t,
+                transpile_index: "indexed",
+                transpile_naive_s,
                 compile_total_s: grid_s,
                 router_scan_s: scan_s,
                 isa_instrs: stats.instructions,
@@ -532,6 +640,12 @@ fn main() {
                     "{}-{n}: route.try_add differs at {tc} threads",
                     b.name
                 );
+                assert_eq!(
+                    (par_counters.score_cache_hit, par_counters.score_recompute),
+                    (base_counters.score_cache_hit, base_counters.score_recompute),
+                    "{}-{n}: score-cache telemetry differs at {tc} threads",
+                    b.name
+                );
 
                 let pool = WorkPool::new(tc);
                 let t0 = Instant::now();
@@ -563,6 +677,8 @@ fn main() {
                     strategy: "sequential",
                     threads: tc,
                     timings: par.timings,
+                    transpile_index: "indexed",
+                    transpile_naive_s: None,
                     compile_total_s: par_s,
                     router_scan_s: None,
                     isa_instrs: stats.instructions,
@@ -636,6 +752,8 @@ fn main() {
                 strategy: "layered",
                 threads: args.threads[0],
                 timings: lt,
+                transpile_index: "indexed",
+                transpile_naive_s: None,
                 compile_total_s: lay_s,
                 router_scan_s: None,
                 isa_instrs: lay_stats.instructions,

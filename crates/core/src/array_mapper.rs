@@ -12,7 +12,7 @@ use raa_arch::RaaConfig;
 use raa_circuit::{Circuit, InteractionGraph, Qubit};
 use raa_par::WorkPool;
 
-use crate::config::ArrayMapperKind;
+use crate::config::{ArrayMapperKind, TranspileIndex};
 use crate::error::CompileError;
 
 /// Minimum register size before the pooled mapper fans the per-vertex
@@ -111,6 +111,48 @@ pub fn map_to_arrays_pooled(
     }
 }
 
+/// `map_to_arrays_pooled` with the transpile-index mode selected
+/// explicitly: [`TranspileIndex::Naive`] is the untouched path above;
+/// [`TranspileIndex::Indexed`] replaces the MAX k-Cut's per-vertex
+/// rescans with adjacency-list degree sums and incrementally-maintained
+/// per-array weights — O(E) total instead of O(n·E) — while producing
+/// the bit-identical mapping (see `max_k_cut_indexed` for why the
+/// floats agree; proven by the unit tests here and
+/// `tests/transpile_differential.rs`).
+///
+/// # Errors
+///
+/// Exactly those of [`map_to_arrays`].
+pub fn map_to_arrays_with(
+    circuit: &Circuit,
+    hardware: &RaaConfig,
+    kind: ArrayMapperKind,
+    gamma: f64,
+    index: TranspileIndex,
+    pool: &WorkPool,
+) -> Result<ArrayMapping, CompileError> {
+    match index {
+        TranspileIndex::Naive => map_to_arrays_pooled(circuit, hardware, kind, gamma, pool),
+        TranspileIndex::Indexed => {
+            let n = circuit.num_qubits();
+            let capacity = hardware.total_capacity();
+            if n > capacity {
+                return Err(CompileError::Capacity {
+                    required: n,
+                    available: capacity,
+                });
+            }
+            let caps: Vec<usize> = (0..hardware.num_arrays())
+                .map(|a| hardware.dims(raa_arch::ArrayIndex(a as u8)).capacity())
+                .collect();
+            match kind {
+                ArrayMapperKind::MaxKCut => Ok(max_k_cut_indexed(circuit, &caps, gamma)),
+                ArrayMapperKind::Dense => Ok(dense(n, &caps)),
+            }
+        }
+    }
+}
+
 /// Paper Alg. 1: assign each vertex, one by one, to the array maximizing
 /// its cut against already-assigned vertices, respecting array capacities.
 ///
@@ -186,6 +228,85 @@ fn max_k_cut(circuit: &Circuit, caps: &[usize], gamma: f64, pool: &WorkPool) -> 
         members[a].push(qb);
     }
     degree.clear(); // explicit: degrees only needed for ordering
+    ArrayMapping {
+        array_of,
+        num_arrays: k,
+    }
+}
+
+/// [`max_k_cut`] with indexed degree/weight maintenance — the
+/// `TranspileIndex::Indexed` twin.
+///
+/// Two rescans disappear: (1) weighted degrees are summed over
+/// per-vertex adjacency lists built in one pass over the graph's
+/// `BTreeMap` edge order, and (2) the greedy loop maintains
+/// `w_to[q][a]` — qubit `q`'s interaction weight into array `a` —
+/// updated along `q`'s adjacency when a neighbor is assigned, instead
+/// of rescanning every member per placement.
+///
+/// # Why the floats are bit-identical to the naive pass
+///
+/// *Degrees*: an edge `(u, v)` with `u < v` lands in `adj[q]` in
+/// `BTreeMap` key order, which for fixed `q` is "partners `< q`
+/// ascending, then partners `> q` ascending" — exactly the order
+/// `weighted_degree`'s filter visits, so the left-to-right sums agree
+/// bitwise. *Greedy weights*: `weight_to_set` sums over an array's
+/// members in membership (= assignment) order, adding `0.0` for
+/// non-neighbors; `w_to` receives the same neighbor contributions in
+/// assignment order and skips the zeros — and `x + 0.0 == x` bitwise
+/// for every partial sum here (weights are positive, sums start at
+/// `+0.0` and never produce `-0.0`). The per-array totals, the
+/// `total - w_to - 1e-9·len` cut expression and the strict `>`
+/// comparison are then the identical float operations.
+fn max_k_cut_indexed(circuit: &Circuit, caps: &[usize], gamma: f64) -> ArrayMapping {
+    let n = circuit.num_qubits();
+    let k = caps.len();
+    let graph = InteractionGraph::with_layer_decay(circuit, gamma);
+
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for ((u, v), w) in graph.edges() {
+        adj[u.index()].push((v.0, w));
+        adj[v.index()].push((u.0, w));
+    }
+    let degree: Vec<f64> = adj
+        .iter()
+        .map(|nbrs| nbrs.iter().map(|&(_, w)| w).sum())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        degree[b]
+            .partial_cmp(&degree[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+
+    let mut array_of = vec![u8::MAX; n];
+    let mut members_len = vec![0usize; k];
+    // Row-major n×k: qubit q's already-assigned interaction weight into
+    // each array.
+    let mut w_to = vec![0.0f64; n * k];
+    for &q in &order {
+        let total: f64 = w_to[q * k..q * k + k].iter().sum();
+        let mut best_array = None;
+        let mut best_cut = f64::NEG_INFINITY;
+        for a in 0..k {
+            if members_len[a] >= caps[a] {
+                continue;
+            }
+            let cut = total - w_to[q * k + a];
+            let cut = cut - 1e-9 * members_len[a] as f64;
+            if cut > best_cut {
+                best_cut = cut;
+                best_array = Some(a);
+            }
+        }
+        let a = best_array.expect("capacity was validated");
+        array_of[q] = a as u8;
+        members_len[a] += 1;
+        for &(u, w) in &adj[q] {
+            w_to[u as usize * k + a] += w;
+        }
+    }
     ArrayMapping {
         array_of,
         num_arrays: k,
@@ -337,6 +458,47 @@ mod tests {
             let pool = raa_par::WorkPool::new(threads);
             let m = map_to_arrays_pooled(&c, &hw(), ArrayMapperKind::MaxKCut, 0.9, &pool).unwrap();
             assert_eq!(m, base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn indexed_mapping_is_bit_identical_to_naive() {
+        use rand::{RngExt, SeedableRng};
+        for (seed, n, gates, gamma) in [(17u64, 280usize, 800usize, 0.9f64), (5, 40, 120, 0.5)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut c = Circuit::new(n);
+            for _ in 0..gates {
+                let a = rng.random_range(0..n as u32);
+                let mut b = rng.random_range(0..n as u32);
+                while b == a {
+                    b = rng.random_range(0..n as u32);
+                }
+                c.push(Gate::cz(Qubit(a), Qubit(b)));
+            }
+            let base = map_to_arrays(&c, &hw(), ArrayMapperKind::MaxKCut, gamma).unwrap();
+            for threads in [1, 4] {
+                let pool = raa_par::WorkPool::new(threads);
+                let idx = map_to_arrays_with(
+                    &c,
+                    &hw(),
+                    ArrayMapperKind::MaxKCut,
+                    gamma,
+                    TranspileIndex::Indexed,
+                    &pool,
+                )
+                .unwrap();
+                assert_eq!(idx, base, "seed {seed}, {threads} threads");
+            }
+            let naive = map_to_arrays_with(
+                &c,
+                &hw(),
+                ArrayMapperKind::MaxKCut,
+                gamma,
+                TranspileIndex::Naive,
+                &raa_par::WorkPool::sequential(),
+            )
+            .unwrap();
+            assert_eq!(naive, base, "seed {seed}: Naive mode must be the old path");
         }
     }
 

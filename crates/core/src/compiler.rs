@@ -15,13 +15,13 @@ use raa_circuit::Circuit;
 use raa_physics::{gate_phase_fidelity, transfer_fidelity, FidelityBreakdown, GatePhaseStats};
 use raa_trace::{Counter, Level};
 
-use crate::array_mapper::map_to_arrays_pooled;
+use crate::array_mapper::map_to_arrays_with;
 use crate::atom_mapper::map_to_atoms;
 use crate::config::AtomiqueConfig;
 use crate::error::CompileError;
 use crate::program::{CompileReport, CompileStats, CompiledProgram};
 use crate::router::route_movements;
-use crate::transpile::transpile_pooled;
+use crate::transpile::transpile_with;
 
 /// Detail-level telemetry: faults injected into compile stage gates by
 /// an armed `raa-fault` schedule (always 0 in production).
@@ -189,11 +189,12 @@ fn compile_under_trace(
     // 1. Qubit-array mapper (Alg. 1).
     let array_mapping = {
         let _s = raa_trace::span_at("map", Level::Stages);
-        map_to_arrays_pooled(
+        map_to_arrays_with(
             circuit,
             &config.hardware,
             config.array_mapper,
             config.gamma,
+            config.transpile_index,
             &pool,
         )?
     };
@@ -201,7 +202,13 @@ fn compile_under_trace(
     // 2. SWAP insertion on the complete multipartite graph (Fig. 5).
     let transpiled = {
         let _s = raa_trace::span_at("transpile", Level::Stages);
-        transpile_pooled(circuit, &array_mapping, &config.sabre, &pool)?
+        transpile_with(
+            circuit,
+            &array_mapping,
+            &config.sabre,
+            config.transpile_index,
+            &pool,
+        )?
     };
     stage_gate("transpile", limits)?;
 

@@ -84,6 +84,33 @@ pub enum ProximityIndex {
     Exhaustive,
 }
 
+/// How the transpile stage (MAX k-Cut array mapping + SABRE routing)
+/// evaluates its heuristics.
+///
+/// Like [`ProximityIndex`], both modes produce bit-identical outputs —
+/// mappings, schedules, ISA bytes, stage spans — proven by
+/// `tests/transpile_differential.rs`. The indexed mode only changes *how*
+/// scores are obtained (cached integer deltas, analytic multipartite
+/// distances, adjacency-list degrees), never the arithmetic that turns
+/// them into the floats the tie-breaks compare (see
+/// `docs/PARALLELISM.md`, "Transpile indexing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TranspileIndex {
+    /// Incremental score maintenance: SABRE keeps a per-candidate
+    /// `ScoreCache` across rounds and invalidates exactly the candidates
+    /// whose inputs changed, the coupling graph's distance table is built
+    /// analytically for the complete-multipartite geometry, and MAX k-Cut
+    /// maintains weighted degrees from adjacency lists instead of
+    /// rescanning. The default — O(affected candidates) per round.
+    #[default]
+    Indexed,
+    /// The original from-scratch evaluation every round: O(all
+    /// candidates) per SABRE round, BFS-built distance tables, full
+    /// interaction-graph rescans in MAX k-Cut. Kept untouched as the
+    /// differential baseline.
+    Naive,
+}
+
 /// Constraint-relaxation toggles (paper Fig. 22). All `false` = the real
 /// hardware; each flag disables one router check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,6 +168,12 @@ pub struct AtomiqueConfig {
     /// checks; [`ProximityIndex::Grid`] unless you are running the
     /// differential oracle.
     pub proximity_index: ProximityIndex,
+    /// Transpile-stage heuristic evaluation: [`TranspileIndex::Indexed`]
+    /// (default — incremental SABRE score cache, analytic multipartite
+    /// distances, O(Δ) k-Cut degrees) or [`TranspileIndex::Naive`] (the
+    /// original from-scratch path, kept as the differential baseline).
+    /// Bit-identical outputs either way.
+    pub transpile_index: TranspileIndex,
     /// SABRE tunables for intra-array SWAP insertion.
     pub sabre: SabreConfig,
     /// Seed for the random atom mapper (ablation only).
@@ -200,6 +233,7 @@ impl Default for AtomiqueConfig {
             router_mode: RouterMode::default(),
             router_strategy: RouterStrategy::default(),
             proximity_index: ProximityIndex::default(),
+            transpile_index: TranspileIndex::default(),
             sabre: SabreConfig::default(),
             seed: 0,
             emit_isa: false,
@@ -386,6 +420,7 @@ impl AtomiqueConfig {
             router_mode,
             router_strategy,
             proximity_index,
+            transpile_index,
             sabre,
             seed,
             emit_isa,
@@ -476,6 +511,10 @@ impl AtomiqueConfig {
             ProximityIndex::Grid => 0,
             ProximityIndex::Exhaustive => 1,
         });
+        h.put(match transpile_index {
+            TranspileIndex::Indexed => 0,
+            TranspileIndex::Naive => 1,
+        });
         h.put(*extended_set_size as u64);
         h.put_f64(*extended_set_weight);
         h.put_f64(*decay_increment);
@@ -538,6 +577,7 @@ mod tests {
         assert_eq!(c.router_mode, RouterMode::Parallel);
         assert_eq!(c.router_strategy, RouterStrategy::Sequential);
         assert_eq!(c.proximity_index, ProximityIndex::Grid);
+        assert_eq!(c.transpile_index, TranspileIndex::Indexed);
         assert_eq!(c.relaxation, Relaxation::NONE);
         assert_eq!(c.opt_level, OptLevel::None);
         assert_eq!(c.hardware.total_capacity(), 300);
@@ -609,6 +649,8 @@ mod tests {
         threads.threads = 4;
         let mut prox = base.clone();
         prox.proximity_index = ProximityIndex::Exhaustive;
+        let mut tidx = base.clone();
+        tidx.transpile_index = TranspileIndex::Naive;
         let mut gamma = base.clone();
         gamma.gamma = 0.8;
         let mut hw = base.clone();
@@ -620,6 +662,7 @@ mod tests {
             layered.fingerprint(),
             threads.fingerprint(),
             prox.fingerprint(),
+            tidx.fingerprint(),
             gamma.fingerprint(),
             hw.fingerprint(),
         ];

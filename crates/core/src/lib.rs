@@ -50,12 +50,12 @@ mod router;
 mod transpile;
 mod validate;
 
-pub use array_mapper::{map_to_arrays, ArrayMapping};
+pub use array_mapper::{map_to_arrays, map_to_arrays_with, ArrayMapping};
 pub use atom_mapper::{diagonal_spiral_order, map_to_atoms, AtomMapping};
 pub use compiler::{compile, compile_with_limits, CompileLimits};
 pub use config::{
     parse_threads, ArrayMapperKind, AtomMapperKind, AtomiqueConfig, ProximityIndex, Relaxation,
-    RouterMode, RouterStrategy, ThreadsParseError, MAX_THREADS,
+    RouterMode, RouterStrategy, ThreadsParseError, TranspileIndex, MAX_THREADS,
 };
 pub use error::CompileError;
 pub use lower::emit_isa;
@@ -72,5 +72,5 @@ pub use router::{route_movements, RoutedProgram};
 // Re-exported so downstream users of `atomique::SpatialGrid` (the home
 // of the index before it was extracted into its own crate) keep working.
 pub use raa_spatial::SpatialGrid;
-pub use transpile::{transpile, TranspiledCircuit};
+pub use transpile::{transpile, transpile_with, TranspiledCircuit};
 pub use validate::{validate_program, ValidationError};

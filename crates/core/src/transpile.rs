@@ -13,9 +13,10 @@
 use raa_arch::CouplingGraph;
 use raa_circuit::{Circuit, NativeGateSet};
 use raa_par::WorkPool;
-use raa_sabre::{route_pooled, SabreConfig};
+use raa_sabre::{route_indexed_pooled, route_pooled, SabreConfig};
 
 use crate::array_mapper::ArrayMapping;
+use crate::config::TranspileIndex;
 use crate::error::CompileError;
 
 /// Output of the transpilation pass.
@@ -71,6 +72,29 @@ pub fn transpile_pooled(
     sabre: &SabreConfig,
     pool: &WorkPool,
 ) -> Result<TranspiledCircuit, CompileError> {
+    transpile_with(circuit, mapping, sabre, TranspileIndex::Naive, pool)
+}
+
+/// `transpile_pooled` with the transpile-index mode selected
+/// explicitly. [`TranspileIndex::Naive`] is the path above —
+/// BFS-built coupling graph, from-scratch SABRE rescoring every round.
+/// [`TranspileIndex::Indexed`] builds the complete-multipartite graph
+/// analytically ([`CouplingGraph::complete_multipartite_indexed`] — the
+/// graph is field-for-field identical, skipping the all-pairs BFS that
+/// dominates large-register transpiles) and routes through
+/// [`route_indexed_pooled`]'s incremental score cache. Outputs are
+/// bit-identical across modes (`tests/transpile_differential.rs`).
+///
+/// # Errors
+///
+/// Exactly those of [`transpile`].
+pub fn transpile_with(
+    circuit: &Circuit,
+    mapping: &ArrayMapping,
+    sabre: &SabreConfig,
+    index: TranspileIndex,
+    pool: &WorkPool,
+) -> Result<TranspiledCircuit, CompileError> {
     let n = circuit.num_qubits();
     debug_assert_eq!(mapping.array_of.len(), n);
 
@@ -93,8 +117,16 @@ pub fn transpile_pooled(
     }
 
     let native = circuit.decompose_to(NativeGateSet::Cz);
-    let graph = CouplingGraph::complete_multipartite(&part_sizes);
-    let routed = route_pooled(&native, &graph, &slot_of_qubit, sabre, pool)?;
+    let routed = match index {
+        TranspileIndex::Naive => {
+            let graph = CouplingGraph::complete_multipartite(&part_sizes);
+            route_pooled(&native, &graph, &slot_of_qubit, sabre, pool)?
+        }
+        TranspileIndex::Indexed => {
+            let graph = CouplingGraph::complete_multipartite_indexed(&part_sizes);
+            route_indexed_pooled(&native, &graph, &slot_of_qubit, sabre, pool)?
+        }
+    };
     let out = routed.circuit.decompose_to(NativeGateSet::Cz);
 
     Ok(TranspiledCircuit {
@@ -199,6 +231,35 @@ mod tests {
         for &s in &t.slot_of_qubit {
             assert!(!seen[s as usize]);
             seen[s as usize] = true;
+        }
+    }
+
+    #[test]
+    fn indexed_transpile_is_bit_identical_to_naive() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 24;
+        let mut c = Circuit::new(n);
+        for _ in 0..120 {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+        let hw = RaaConfig::default();
+        let mapping = map_to_arrays(&c, &hw, ArrayMapperKind::MaxKCut, 0.9).unwrap();
+        let sabre = SabreConfig::default();
+        let naive = transpile(&c, &mapping, &sabre).unwrap();
+        for threads in [1, 4] {
+            let pool = WorkPool::new(threads);
+            let indexed =
+                transpile_with(&c, &mapping, &sabre, TranspileIndex::Indexed, &pool).unwrap();
+            assert_eq!(indexed.circuit.gates(), naive.circuit.gates());
+            assert_eq!(indexed.slot_array, naive.slot_array);
+            assert_eq!(indexed.slot_of_qubit, naive.slot_of_qubit);
+            assert_eq!(indexed.swaps_inserted, naive.swaps_inserted);
         }
     }
 

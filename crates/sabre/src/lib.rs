@@ -31,4 +31,7 @@ mod route;
 
 pub use error::SabreError;
 pub use layout::{layout_and_route, LayoutConfig};
-pub use route::{route, route_pooled, verify_routing, RoutedCircuit, SabreConfig};
+pub use route::{
+    reference_swap_score, route, route_indexed, route_indexed_pooled, route_indexed_probed,
+    route_pooled, verify_routing, CandidateEval, RoundProbe, RoutedCircuit, SabreConfig,
+};

@@ -10,9 +10,12 @@
 //! The paper uses "Qiskit Optimization Level 3 with SABRE" for every
 //! baseline; this module is the workspace's from-scratch equivalent.
 
+use std::collections::{HashMap, HashSet};
+
 use raa_arch::CouplingGraph;
 use raa_circuit::{Circuit, DagSchedule, Gate, GateIdx, Qubit};
 use raa_par::{fold_min_by, WorkPool};
+use raa_trace::Counter;
 
 use crate::error::SabreError;
 
@@ -20,6 +23,19 @@ use crate::error::SabreError;
 /// router fans scoring out over the pool's workers. Below this the
 /// per-wave thread spawn costs more than the scoring itself.
 const PAR_MIN_CANDIDATES: usize = 64;
+
+/// Candidate scores served from the [`route_indexed`] score cache
+/// without recomputation.
+static SCORE_CACHE_HIT: Counter = Counter::new("transpile.score_cache_hit");
+/// Candidate scores the indexed router had to (re)derive because the
+/// cached entry was missing or invalidated.
+static SCORE_RECOMPUTE: Counter = Counter::new("transpile.score_recompute");
+/// Duplicate candidate enumerations skipped by the indexed router's
+/// dedupe (the naive path scores these twice).
+static SCORE_DEDUP: Counter = Counter::new("transpile.score_dedup");
+/// Swap rounds that reused the previous round's extended set and front
+/// pairs instead of rebuilding them (no gate retired in between).
+static EXTSET_INCREMENTAL: Counter = Counter::new("transpile.extset_incremental");
 
 /// Tunables for the SABRE heuristic. Defaults follow the published
 /// implementation (extended-set size 20, weight 0.5, decay 0.001 reset
@@ -387,10 +403,695 @@ fn swap_score(
     decay[a as usize].max(decay[b as usize]) * (front_cost + ext_cost)
 }
 
+/// Recomputes a candidate's swap score (private `swap_score`) from
+/// scratch without a layout: the oracle the indexed router's property tests
+/// (`crates/sabre/tests/score_cache.rs`) compare every cached and
+/// incrementally-derived score against, bit for bit.
+///
+/// `front_pairs` hold pre-swap physical endpoints, `ext_pairs` logical
+/// endpoints, `log_to_phys` the pre-swap layout (length = physical
+/// qubits, padding entries included). The arithmetic — accumulation
+/// order, division sequence, decay factor — replicates `swap_score`
+/// exactly; the only difference is that the tentative swap is applied
+/// algebraically (endpoint remapping) instead of by mutating a layout.
+pub fn reference_swap_score(
+    (a, b): (u32, u32),
+    graph: &CouplingGraph,
+    front_pairs: &[(u32, u32)],
+    ext_pairs: &[(Qubit, Qubit)],
+    log_to_phys: &[u32],
+    decay: &[f64],
+    config: &SabreConfig,
+) -> f64 {
+    let remap = |p: u32| -> u32 {
+        if p == a {
+            b
+        } else if p == b {
+            a
+        } else {
+            p
+        }
+    };
+    let mut front_cost = 0.0;
+    for &(pa, pb) in front_pairs {
+        front_cost += graph.distance(remap(pa), remap(pb)) as f64;
+    }
+    front_cost /= front_pairs.len().max(1) as f64;
+
+    let mut ext_cost = 0.0;
+    if !ext_pairs.is_empty() {
+        for &(la, lb) in ext_pairs {
+            let (pa, pb) = (log_to_phys[la.index()], log_to_phys[lb.index()]);
+            ext_cost += graph.distance(remap(pa), remap(pb)) as f64;
+        }
+        ext_cost = config.extended_set_weight * ext_cost / ext_pairs.len() as f64;
+    }
+    decay[a as usize].max(decay[b as usize]) * (front_cost + ext_cost)
+}
+
+/// One scored candidate as observed through [`route_indexed_probed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// The normalized candidate swap (smaller physical qubit first).
+    pub cand: (u32, u32),
+    /// The score the selection compared (identical bits to
+    /// [`reference_swap_score`] on the same round inputs).
+    pub score: f64,
+    /// Whether the score's distance deltas came from the cache (`true`)
+    /// or were recomputed this round (`false`).
+    pub cache_hit: bool,
+}
+
+/// A snapshot of one indexed swap round, handed to the
+/// [`route_indexed_probed`] callback *before* the chosen swap is
+/// applied. All slices borrow the router's live state.
+#[derive(Debug)]
+pub struct RoundProbe<'a> {
+    /// Physical endpoint pairs of the front layer's two-qubit gates.
+    pub front_pairs: &'a [(u32, u32)],
+    /// Logical endpoint pairs of the extended (lookahead) set.
+    pub ext_pairs: &'a [(Qubit, Qubit)],
+    /// Logical → physical map before the chosen swap (padding entries
+    /// for unoccupied physical qubits included).
+    pub log_to_phys: &'a [u32],
+    /// Per-physical-qubit decay factors the scores were weighted by.
+    pub decay: &'a [f64],
+    /// Every candidate evaluated this round, in enumeration order
+    /// (deduplicated).
+    pub evals: &'a [CandidateEval],
+    /// The swap the round selected.
+    pub chosen: (u32, u32),
+}
+
+/// A cached candidate entry: the *integer* distance deltas the swap
+/// would apply to the front and extended sums, plus the slot revisions
+/// it was computed under. Valid iff both endpoints' revisions still
+/// match — the revision of a physical slot is bumped exactly when the
+/// set of front/extended pairs incident to it changes (see
+/// [`IndexedState::advance_after_swap`]), which is precisely the set of
+/// inputs a delta depends on. Decay is *not* an input: scores read the
+/// live decay vector at evaluation time, so decay increments and
+/// reset-epoch boundaries never invalidate entries.
+struct CacheEntry {
+    df: i64,
+    de: i64,
+    rx: u64,
+    ry: u64,
+}
+
+/// Incrementally-maintained scoring state for [`route_indexed`].
+///
+/// # Why cached scores are the naive floats
+///
+/// Distances are `u16`; every front/extended sum is an exact integer
+/// far below 2⁵³, so the naive path's left-to-right `f64` accumulation
+/// is exact — equal to the integer sum regardless of order. The indexed
+/// path therefore maintains the sums as integers (`s_front`, `s_ext`),
+/// applies integer deltas per candidate, and converts once before
+/// replaying the identical division/multiply sequence as [`swap_score`]
+/// — producing bit-identical floats (pinned by
+/// `crates/sabre/tests/score_cache.rs` and
+/// `tests/transpile_differential.rs`).
+struct IndexedState<'g> {
+    graph: &'g CouplingGraph,
+    /// Physical endpoints of the front layer's 2Q gates (front gates
+    /// are qubit-disjoint, so each slot hosts at most one front pair).
+    front_pairs: Vec<(u32, u32)>,
+    /// Logical endpoints of the extended set (stable across swaps).
+    ext_pairs: Vec<(Qubit, Qubit)>,
+    /// The same extended pairs through the current layout.
+    ext_phys: Vec<(u32, u32)>,
+    /// Per-slot indices into `front_pairs` / `ext_phys` of the pairs
+    /// incident to that slot — the Δ a swap's rescoring touches.
+    touch_front: Vec<Vec<u32>>,
+    touch_ext: Vec<Vec<u32>>,
+    /// Slots with potentially nonempty touch lists (for O(touched)
+    /// clearing on rebuild).
+    touched: Vec<u32>,
+    /// Exact integer Σ distance over `front_pairs` / `ext_phys`.
+    s_front: i64,
+    s_ext: i64,
+    /// Per-slot revision stamps; see [`CacheEntry`].
+    slot_rev: Vec<u64>,
+    cache: HashMap<(u32, u32), CacheEntry>,
+    /// Scratch: deduplicated candidate buffer + dedupe set, reused
+    /// across rounds.
+    cands: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
+    /// Scratch for the extended-set rebuild.
+    ext_gates: Vec<GateIdx>,
+    /// Per-round evaluations, recorded only under a probe.
+    evals: Vec<CandidateEval>,
+}
+
+impl<'g> IndexedState<'g> {
+    fn new(graph: &'g CouplingGraph) -> IndexedState<'g> {
+        let n = graph.num_qubits();
+        IndexedState {
+            graph,
+            front_pairs: Vec::new(),
+            ext_pairs: Vec::new(),
+            ext_phys: Vec::new(),
+            touch_front: vec![Vec::new(); n],
+            touch_ext: vec![Vec::new(); n],
+            touched: Vec::new(),
+            s_front: 0,
+            s_ext: 0,
+            slot_rev: vec![0; n],
+            cache: HashMap::new(),
+            cands: Vec::new(),
+            seen: HashSet::new(),
+            ext_gates: Vec::new(),
+            evals: Vec::new(),
+        }
+    }
+
+    /// Full rebuild after the front layer changed (gates retired):
+    /// recompute pairs, sums and touch lists from the schedule and drop
+    /// every cache entry — with a different front gate set all deltas
+    /// are stale anyway, and clearing keeps the map bounded by the
+    /// candidate count of one front era.
+    fn rebuild(
+        &mut self,
+        circuit: &Circuit,
+        sched: &DagSchedule,
+        layout: &Layout,
+        config: &SabreConfig,
+    ) {
+        for &s in &self.touched {
+            self.touch_front[s as usize].clear();
+            self.touch_ext[s as usize].clear();
+        }
+        self.touched.clear();
+        self.cache.clear();
+
+        self.front_pairs.clear();
+        self.front_pairs.extend(
+            sched
+                .front()
+                .iter()
+                .filter_map(|&g| circuit.gates()[g].pair())
+                .map(|(a, b)| (layout.phys(a), layout.phys(b))),
+        );
+        extended_set_into(
+            circuit,
+            sched,
+            config.extended_set_size,
+            &mut self.ext_gates,
+        );
+        self.ext_pairs.clear();
+        self.ext_pairs.extend(
+            self.ext_gates
+                .iter()
+                .filter_map(|&g| circuit.gates()[g].pair()),
+        );
+        self.ext_phys.clear();
+        self.ext_phys.extend(
+            self.ext_pairs
+                .iter()
+                .map(|&(la, lb)| (layout.phys(la), layout.phys(lb))),
+        );
+
+        self.s_front = 0;
+        for (i, &(x, y)) in self.front_pairs.iter().enumerate() {
+            self.s_front += self.graph.distance(x, y) as i64;
+            self.touch_front[x as usize].push(i as u32);
+            self.touch_front[y as usize].push(i as u32);
+            self.touched.push(x);
+            self.touched.push(y);
+        }
+        self.s_ext = 0;
+        for (i, &(x, y)) in self.ext_phys.iter().enumerate() {
+            self.s_ext += self.graph.distance(x, y) as i64;
+            self.touch_ext[x as usize].push(i as u32);
+            self.touch_ext[y as usize].push(i as u32);
+            self.touched.push(x);
+            self.touched.push(y);
+        }
+    }
+
+    /// The integer distance deltas swap `(a, b)` applies to the front
+    /// and extended sums: only pairs incident to `a` or `b` can change,
+    /// so this is O(Δ) — the incidence degree of the two slots — not
+    /// O(front + extended).
+    fn deltas(&self, a: u32, b: u32) -> (i64, i64) {
+        let g = self.graph;
+        let pair_delta = |(pa, pb): (u32, u32)| -> i64 {
+            let remap = |p: u32| -> u32 {
+                if p == a {
+                    b
+                } else if p == b {
+                    a
+                } else {
+                    p
+                }
+            };
+            g.distance(remap(pa), remap(pb)) as i64 - g.distance(pa, pb) as i64
+        };
+        let mut df = 0i64;
+        for &i in &self.touch_front[a as usize] {
+            df += pair_delta(self.front_pairs[i as usize]);
+        }
+        for &i in &self.touch_front[b as usize] {
+            let p = self.front_pairs[i as usize];
+            if p.0 == a || p.1 == a {
+                continue; // incident to both endpoints: already counted
+            }
+            df += pair_delta(p);
+        }
+        let mut de = 0i64;
+        for &i in &self.touch_ext[a as usize] {
+            de += pair_delta(self.ext_phys[i as usize]);
+        }
+        for &i in &self.touch_ext[b as usize] {
+            let p = self.ext_phys[i as usize];
+            if p.0 == a || p.1 == a {
+                continue;
+            }
+            de += pair_delta(p);
+        }
+        (df, de)
+    }
+
+    /// Turns cached/derived integer deltas into the comparison float
+    /// with the exact arithmetic of [`swap_score`].
+    fn score_of(&self, (a, b): (u32, u32), df: i64, de: i64, decay: &[f64], w: f64) -> f64 {
+        let front_cost = (self.s_front + df) as f64 / self.front_pairs.len().max(1) as f64;
+        let ext_cost = if self.ext_phys.is_empty() {
+            0.0
+        } else {
+            w * (self.s_ext + de) as f64 / self.ext_phys.len() as f64
+        };
+        decay[a as usize].max(decay[b as usize]) * (front_cost + ext_cost)
+    }
+
+    fn cached(&self, (x, y): (u32, u32)) -> Option<(i64, i64)> {
+        self.cache
+            .get(&(x, y))
+            .filter(|e| e.rx == self.slot_rev[x as usize] && e.ry == self.slot_rev[y as usize])
+            .map(|e| (e.df, e.de))
+    }
+
+    fn insert(&mut self, (x, y): (u32, u32), df: i64, de: i64) {
+        let rx = self.slot_rev[x as usize];
+        let ry = self.slot_rev[y as usize];
+        self.cache.insert((x, y), CacheEntry { df, de, rx, ry });
+    }
+
+    /// Selects the round's swap: enumerate candidates in the sequential
+    /// visit order (deduplicated — duplicates score identically and the
+    /// strict `(score, candidate)` comparator picks the minimum of the
+    /// candidate *set*, so skipping repeats cannot change the winner),
+    /// score each from cached or freshly derived deltas, and fold with
+    /// the naive selection rule.
+    fn pick_swap(
+        &mut self,
+        pool: &WorkPool,
+        decay: &[f64],
+        config: &SabreConfig,
+        collect_evals: bool,
+    ) -> Option<(f64, (u32, u32))> {
+        self.cands.clear();
+        self.seen.clear();
+        if collect_evals {
+            self.evals.clear();
+        }
+        let mut dupes = 0u64;
+        for i in 0..self.front_pairs.len() {
+            let (fa, fb) = self.front_pairs[i];
+            for p in [fa, fb] {
+                for &q in self.graph.neighbors(p) {
+                    let cand = if p < q { (p, q) } else { (q, p) };
+                    if self.seen.insert(cand) {
+                        self.cands.push(cand);
+                    } else {
+                        dupes += 1;
+                    }
+                }
+            }
+        }
+        SCORE_DEDUP.add(dupes);
+
+        let less =
+            |a: &(f64, (u32, u32)), b: &(f64, (u32, u32))| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+        let w = config.extended_set_weight;
+
+        if pool.is_parallel() && self.cands.len() >= PAR_MIN_CANDIDATES {
+            // Workers read the cache and index structures immutably;
+            // fresh deltas are carried back and merged in submission
+            // order, so the cache contents after the round — and the
+            // hit/recompute tallies, which depend only on the previous
+            // rounds' state because each candidate appears once — are
+            // identical at every worker count.
+            let chunk = self.cands.len().div_ceil(pool.threads());
+            let shared = &*self;
+            let chunks: Vec<&[(u32, u32)]> = shared.cands.chunks(chunk).collect();
+            let outs = pool.map("par.sabre.score", &chunks, |_, part| {
+                let mut hits = 0u64;
+                let mut fresh: Vec<((u32, u32), i64, i64)> = Vec::new();
+                let mut evals: Vec<CandidateEval> = Vec::new();
+                let min = fold_min_by(
+                    part.iter().map(|&cand| {
+                        let (df, de, hit) = match shared.cached(cand) {
+                            Some((df, de)) => {
+                                hits += 1;
+                                (df, de, true)
+                            }
+                            None => {
+                                let (df, de) = shared.deltas(cand.0, cand.1);
+                                fresh.push((cand, df, de));
+                                (df, de, false)
+                            }
+                        };
+                        let score = shared.score_of(cand, df, de, decay, w);
+                        if collect_evals {
+                            evals.push(CandidateEval {
+                                cand,
+                                score,
+                                cache_hit: hit,
+                            });
+                        }
+                        ((score, cand), ())
+                    }),
+                    less,
+                );
+                (min, hits, fresh, evals)
+            });
+            let mut best: Option<(f64, (u32, u32))> = None;
+            let mut hits = 0u64;
+            let mut recomputes = 0u64;
+            for (min, h, fresh, evals) in outs {
+                // Chunk minima folded in chunk (= submission) order
+                // under the same strict comparator: the earliest
+                // chunk's candidate wins ties, exactly the sequential
+                // first-wins pick.
+                if let Some((k, ())) = min {
+                    if best.is_none_or(|b| less(&k, &b)) {
+                        best = Some(k);
+                    }
+                }
+                hits += h;
+                recomputes += fresh.len() as u64;
+                for (cand, df, de) in fresh {
+                    self.insert(cand, df, de);
+                }
+                if collect_evals {
+                    self.evals.extend(evals);
+                }
+            }
+            SCORE_CACHE_HIT.add(hits);
+            SCORE_RECOMPUTE.add(recomputes);
+            return best;
+        }
+
+        let mut best: Option<(f64, (u32, u32))> = None;
+        let mut hits = 0u64;
+        let mut recomputes = 0u64;
+        for i in 0..self.cands.len() {
+            let cand = self.cands[i];
+            let (df, de, hit) = match self.cached(cand) {
+                Some((df, de)) => {
+                    hits += 1;
+                    (df, de, true)
+                }
+                None => {
+                    let (df, de) = self.deltas(cand.0, cand.1);
+                    self.insert(cand, df, de);
+                    recomputes += 1;
+                    (df, de, false)
+                }
+            };
+            let score = self.score_of(cand, df, de, decay, w);
+            if collect_evals {
+                self.evals.push(CandidateEval {
+                    cand,
+                    score,
+                    cache_hit: hit,
+                });
+            }
+            if best.is_none_or(|b| less(&(score, cand), &b)) {
+                best = Some((score, cand));
+            }
+        }
+        SCORE_CACHE_HIT.add(hits);
+        SCORE_RECOMPUTE.add(recomputes);
+        best
+    }
+
+    /// O(Δ) state update after the chosen swap `(a, b)` is applied on a
+    /// round that retired no gate: the front gate set is unchanged, so
+    /// the pairs survive with the two endpoints exchanged. Applies the
+    /// swap's own (cached) deltas to the sums, remaps the incident
+    /// pairs, bumps the revision of every slot whose incident pair-set
+    /// changed (invalidating exactly the cache entries whose inputs
+    /// changed), and exchanges the two slots' touch lists.
+    fn advance_after_swap(&mut self, a: u32, b: u32) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let (df, de) = self
+            .cached(key)
+            .expect("the chosen candidate was scored (and therefore cached) this round");
+        self.s_front += df;
+        self.s_ext += de;
+
+        let remap = |p: &mut u32| {
+            if *p == a {
+                *p = b;
+            } else if *p == b {
+                *p = a;
+            }
+        };
+        // Indices incident to a or b, deduplicated (a pair incident to
+        // both appears in both touch lists but must remap only once).
+        let mut idxs: Vec<u32> = Vec::new();
+        idxs.extend(&self.touch_front[a as usize]);
+        idxs.extend(&self.touch_front[b as usize]);
+        idxs.sort_unstable();
+        idxs.dedup();
+        for &i in &idxs {
+            let pair = &mut self.front_pairs[i as usize];
+            remap(&mut pair.0);
+            remap(&mut pair.1);
+            let (x, y) = *pair;
+            self.slot_rev[x as usize] += 1;
+            self.slot_rev[y as usize] += 1;
+        }
+        idxs.clear();
+        idxs.extend(&self.touch_ext[a as usize]);
+        idxs.extend(&self.touch_ext[b as usize]);
+        idxs.sort_unstable();
+        idxs.dedup();
+        for &i in &idxs {
+            let pair = &mut self.ext_phys[i as usize];
+            remap(&mut pair.0);
+            remap(&mut pair.1);
+            let (x, y) = *pair;
+            self.slot_rev[x as usize] += 1;
+            self.slot_rev[y as usize] += 1;
+        }
+        self.slot_rev[a as usize] += 1;
+        self.slot_rev[b as usize] += 1;
+
+        // Pairs incident to a are now incident to b and vice versa.
+        self.touch_front.swap(a as usize, b as usize);
+        self.touch_ext.swap(a as usize, b as usize);
+        self.touched.push(a);
+        self.touched.push(b);
+    }
+}
+
+/// [`route`] with incremental (indexed) score maintenance — the
+/// `TranspileIndex::Indexed` path. Output is bit-identical to
+/// [`route`]; only the work per round changes: candidate scores are
+/// served from a `CacheEntry` store invalidated by slot revisions,
+/// rounds that retire no gate reuse the extended set and update sums in
+/// O(Δ), and duplicate candidate enumerations are skipped.
+///
+/// # Errors
+///
+/// Exactly those of [`route`].
+pub fn route_indexed(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+) -> Result<RoutedCircuit, SabreError> {
+    route_indexed_inner(
+        circuit,
+        graph,
+        initial_layout,
+        config,
+        &WorkPool::sequential(),
+        None,
+    )
+}
+
+/// [`route_indexed`] with candidate scoring fanned out over `pool`.
+/// Workers share the score cache read-only; freshly derived deltas
+/// merge back in submission order, so results and telemetry are
+/// identical at every worker count.
+///
+/// # Errors
+///
+/// Exactly those of [`route`].
+pub fn route_indexed_pooled(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+    pool: &WorkPool,
+) -> Result<RoutedCircuit, SabreError> {
+    route_indexed_inner(circuit, graph, initial_layout, config, pool, None)
+}
+
+/// [`route_indexed_pooled`] invoking `probe` once per swap round with
+/// the round's inputs and every candidate evaluation, before the chosen
+/// swap is applied — the hook the score-cache property tests audit the
+/// cache through.
+///
+/// # Errors
+///
+/// Exactly those of [`route`].
+pub fn route_indexed_probed(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+    pool: &WorkPool,
+    probe: &mut dyn FnMut(RoundProbe<'_>),
+) -> Result<RoutedCircuit, SabreError> {
+    route_indexed_inner(circuit, graph, initial_layout, config, pool, Some(probe))
+}
+
+fn route_indexed_inner(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &[u32],
+    config: &SabreConfig,
+    pool: &WorkPool,
+    mut probe: Option<&mut dyn FnMut(RoundProbe<'_>)>,
+) -> Result<RoutedCircuit, SabreError> {
+    let n_log = circuit.num_qubits();
+    let n_phys = graph.num_qubits();
+    if n_log > n_phys {
+        return Err(SabreError::TooManyQubits {
+            logical: n_log,
+            physical: n_phys,
+        });
+    }
+    validate_layout(initial_layout, n_log, n_phys)?;
+
+    let mut layout = Layout::new(initial_layout, n_phys);
+    let mut sched = DagSchedule::new(circuit);
+    let mut out = Circuit::new(n_phys);
+    let mut swaps = 0usize;
+    let mut decay = vec![1.0f64; n_phys];
+    let mut swaps_since_reset = 0usize;
+    let stall_limit = 4 * n_phys + 64;
+    let mut stall = 0usize;
+    let mut state = IndexedState::new(graph);
+    let mut state_fresh = false;
+
+    while !sched.is_done() {
+        // 1. Execute everything currently executable (identical to the
+        // naive loop).
+        let mut progressed = true;
+        let mut executed_any = false;
+        while progressed {
+            progressed = false;
+            let front: Vec<GateIdx> = sched.front().to_vec();
+            for g in front {
+                let gate = circuit.gates()[g];
+                match gate.pair() {
+                    None => {
+                        out.push(gate.map_qubits(|q| Qubit(layout.phys(q))));
+                        sched.execute(g);
+                        progressed = true;
+                    }
+                    Some((a, b)) => {
+                        let (pa, pb) = (layout.phys(a), layout.phys(b));
+                        if graph.are_coupled(pa, pb) {
+                            out.push(gate.map_qubits(|q| Qubit(layout.phys(q))));
+                            sched.execute(g);
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            if progressed {
+                stall = 0;
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+                executed_any = true;
+            }
+        }
+        if sched.is_done() {
+            break;
+        }
+
+        // 2. Refresh or reuse the round's index state. When no gate
+        // retired since the last round, the front layer — and therefore
+        // the extended set — is unchanged: the previous round's pairs
+        // were already remapped through the applied swap in O(Δ).
+        if !state_fresh || executed_any {
+            state.rebuild(circuit, &sched, &layout, config);
+            state_fresh = true;
+        } else {
+            EXTSET_INCREMENTAL.incr();
+        }
+
+        let best = state.pick_swap(pool, &decay, config, probe.is_some());
+        let Some((_, (a, b))) = best else {
+            return Err(SabreError::Disconnected);
+        };
+        if let Some(cb) = probe.as_deref_mut() {
+            cb(RoundProbe {
+                front_pairs: &state.front_pairs,
+                ext_pairs: &state.ext_pairs,
+                log_to_phys: &layout.log_to_phys,
+                decay: &decay,
+                evals: &state.evals,
+                chosen: (a, b),
+            });
+        }
+        state.advance_after_swap(a, b);
+
+        layout.apply_swap(a, b);
+        out.push(Gate::swap(Qubit(a), Qubit(b)));
+        swaps += 1;
+        stall += 1;
+        if stall > stall_limit {
+            return Err(SabreError::Disconnected);
+        }
+        decay[a as usize] += config.decay_increment;
+        decay[b as usize] += config.decay_increment;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset_interval {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+
+    let final_layout = (0..n_log).map(|l| layout.phys(Qubit(l as u32))).collect();
+    Ok(RoutedCircuit {
+        circuit: out,
+        initial_layout: initial_layout.to_vec(),
+        final_layout,
+        swaps_inserted: swaps,
+    })
+}
+
 /// Collects up to `cap` two-qubit gates reachable from the front layer
 /// (successor closure in BFS order): SABRE's extended set.
 fn extended_set(circuit: &Circuit, sched: &DagSchedule, cap: usize) -> Vec<GateIdx> {
     let mut out = Vec::new();
+    extended_set_into(circuit, sched, cap, &mut out);
+    out
+}
+
+/// [`extended_set`] writing into a caller-owned scratch buffer (cleared
+/// first) — the indexed router reuses one allocation across rebuilds.
+fn extended_set_into(circuit: &Circuit, sched: &DagSchedule, cap: usize, out: &mut Vec<GateIdx>) {
+    out.clear();
     let mut queue: std::collections::VecDeque<GateIdx> = sched.front().iter().copied().collect();
     let mut seen: std::collections::HashSet<GateIdx> = queue.iter().copied().collect();
     while let Some(g) = queue.pop_front() {
@@ -399,14 +1100,13 @@ fn extended_set(circuit: &Circuit, sched: &DagSchedule, cap: usize) -> Vec<GateI
                 if circuit.gates()[s].is_two_qubit() {
                     out.push(s);
                     if out.len() >= cap {
-                        return out;
+                        return;
                     }
                 }
                 queue.push_back(s);
             }
         }
     }
-    out
 }
 
 fn validate_layout(layout: &[u32], n_log: usize, n_phys: usize) -> Result<(), SabreError> {
@@ -631,6 +1331,143 @@ mod tests {
             assert_eq!(r.circuit.gates(), base.circuit.gates(), "{threads} threads");
             assert_eq!(r.final_layout, base.final_layout);
             assert_eq!(r.swaps_inserted, base.swaps_inserted);
+        }
+    }
+
+    #[test]
+    fn indexed_routing_is_bit_identical_to_naive() {
+        use rand::{RngExt, SeedableRng};
+        let g = CouplingGraph::complete_multipartite(&[8, 8, 8]);
+        let n = 24usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut c = Circuit::new(n);
+        for _ in 0..60 {
+            let a = rng.random_range(0..n as u32);
+            let mut b = rng.random_range(0..n as u32);
+            while b == a {
+                b = rng.random_range(0..n as u32);
+            }
+            c.push(Gate::cz(Qubit(a), Qubit(b)));
+        }
+        let cfg = SabreConfig::default();
+        let base = route(&c, &g, &trivial_layout(n), &cfg).unwrap();
+        let idx = route_indexed(&c, &g, &trivial_layout(n), &cfg).unwrap();
+        assert_eq!(idx.circuit.gates(), base.circuit.gates());
+        assert_eq!(idx.final_layout, base.final_layout);
+        assert_eq!(idx.swaps_inserted, base.swaps_inserted);
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::new(threads);
+            let r = route_indexed_pooled(&c, &g, &trivial_layout(n), &cfg, &pool).unwrap();
+            assert_eq!(r.circuit.gates(), base.circuit.gates(), "{threads} threads");
+            assert_eq!(r.final_layout, base.final_layout);
+        }
+    }
+
+    #[test]
+    fn indexed_routing_matches_on_sparse_graphs_too() {
+        // The indexed path assumes nothing multipartite-specific: lines
+        // and grids exercise long stall chains (many rounds without a
+        // retirement, the O(Δ) reuse path).
+        let mut c = Circuit::new(8);
+        c.push(Gate::cz(Qubit(0), Qubit(7)));
+        c.push(Gate::cz(Qubit(3), Qubit(4)));
+        c.push(Gate::cz(Qubit(1), Qubit(6)));
+        let g = CouplingGraph::line(8);
+        let cfg = SabreConfig::default();
+        let base = route(&c, &g, &trivial_layout(8), &cfg).unwrap();
+        let idx = route_indexed(&c, &g, &trivial_layout(8), &cfg).unwrap();
+        assert_eq!(idx.circuit.gates(), base.circuit.gates());
+        assert_eq!(idx.final_layout, base.final_layout);
+        verify_routing(&c, &idx, &g).unwrap();
+    }
+
+    #[test]
+    fn indexed_routing_propagates_errors() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cz(Qubit(0), Qubit(3)));
+        let g = CouplingGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(
+            route_indexed(&c, &g, &trivial_layout(4), &SabreConfig::default()),
+            Err(SabreError::Disconnected)
+        ));
+        let g2 = CouplingGraph::line(3);
+        assert!(matches!(
+            route_indexed(
+                &Circuit::new(5),
+                &g2,
+                &trivial_layout(5),
+                &SabreConfig::default()
+            ),
+            Err(SabreError::TooManyQubits { .. })
+        ));
+        assert!(matches!(
+            route_indexed(&c, &g, &[0, 0, 1, 2], &SabreConfig::default()),
+            Err(SabreError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn reference_swap_score_matches_internal_swap_score() {
+        use rand::{RngExt, SeedableRng};
+        let g = CouplingGraph::complete_multipartite(&[3, 3, 2]);
+        let n = 8usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let mut layout = Layout::new(&trivial_layout(n), n);
+            // Shuffle via random swaps.
+            for _ in 0..6 {
+                let a = rng.random_range(0..n as u32);
+                let b = rng.random_range(0..n as u32);
+                if a != b {
+                    layout.apply_swap(a, b);
+                }
+            }
+            let mk_pair = |rng: &mut rand::rngs::StdRng| {
+                let a = rng.random_range(0..n as u32);
+                let mut b = rng.random_range(0..n as u32);
+                while b == a {
+                    b = rng.random_range(0..n as u32);
+                }
+                (a, b)
+            };
+            let front_pairs: Vec<(u32, u32)> = (0..rng.random_range(1..4))
+                .map(|_| mk_pair(&mut rng))
+                .collect();
+            let ext_pairs: Vec<(Qubit, Qubit)> = (0..rng.random_range(0..5))
+                .map(|_| {
+                    let (a, b) = mk_pair(&mut rng);
+                    (Qubit(a), Qubit(b))
+                })
+                .collect();
+            let decay: Vec<f64> = (0..n)
+                .map(|_| 1.0 + rng.random_range(0..5) as f64 * 0.001)
+                .collect();
+            let cfg = SabreConfig::default();
+            let cand = mk_pair(&mut rng);
+            let cand = if cand.0 < cand.1 {
+                cand
+            } else {
+                (cand.1, cand.0)
+            };
+            let naive = swap_score(
+                cand,
+                &mut layout,
+                &g,
+                &front_pairs,
+                &ext_pairs,
+                &decay,
+                &cfg,
+            );
+            let reference = reference_swap_score(
+                cand,
+                &g,
+                &front_pairs,
+                &ext_pairs,
+                &layout.log_to_phys,
+                &decay,
+                &cfg,
+            );
+            assert_eq!(naive.to_bits(), reference.to_bits());
         }
     }
 

@@ -1,0 +1,231 @@
+//! Score-cache audit: every score the indexed router compares must be
+//! bit-identical to a from-scratch recomputation on the same round
+//! inputs ([`raa_sabre::reference_swap_score`]), at every worker count.
+//! The probe hook ([`raa_sabre::route_indexed_probed`]) exposes each
+//! round's front layer, extended set, layout, decay vector and every
+//! candidate evaluation *before* the chosen swap is applied, so these
+//! tests audit the cache exactly where staleness would change a
+//! decision — including across decay-reset epochs (default interval 5,
+//! and the stall-heavy workloads below insert well over 5 swaps) and
+//! across the parallel scorer's chunk seams (the `[8, 8, 8]`
+//! multipartite rounds enumerate > 64 candidates, crossing
+//! `PAR_MIN_CANDIDATES` at 4 workers).
+
+use proptest::prelude::*;
+use raa_arch::CouplingGraph;
+use raa_circuit::{Circuit, Gate, Qubit};
+use raa_par::WorkPool;
+use raa_sabre::{reference_swap_score, route, route_indexed_probed, SabreConfig};
+use raa_trace::Level;
+use rand::{RngExt, SeedableRng};
+
+/// A random two-qubit circuit over `n` qubits.
+fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let a = rng.random_range(0..n as u32);
+        let mut b = rng.random_range(0..n as u32);
+        while b == a {
+            b = rng.random_range(0..n as u32);
+        }
+        c.push(Gate::cz(Qubit(a), Qubit(b)));
+    }
+    c
+}
+
+/// A seeded Fisher–Yates permutation of `0..n` — the initial layout.
+fn random_layout(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut layout: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..(i + 1) as u32) as usize;
+        layout.swap(i, j);
+    }
+    layout
+}
+
+/// Routes `circuit` through the probed indexed router at `threads`
+/// workers and asserts, for every candidate of every round, that the
+/// score the selection compared is bit-identical to the layout-free
+/// reference recomputation. Returns the number of audited evaluations
+/// and the routed output.
+fn audit_route(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    layout: &[u32],
+    config: &SabreConfig,
+    threads: usize,
+) -> (usize, raa_sabre::RoutedCircuit) {
+    let pool = WorkPool::new(threads);
+    let mut audited = 0usize;
+    let routed = route_indexed_probed(circuit, graph, layout, config, &pool, &mut |probe| {
+        for eval in probe.evals {
+            let fresh = reference_swap_score(
+                eval.cand,
+                graph,
+                probe.front_pairs,
+                probe.ext_pairs,
+                probe.log_to_phys,
+                probe.decay,
+                config,
+            );
+            assert_eq!(
+                eval.score.to_bits(),
+                fresh.to_bits(),
+                "candidate {:?} (cache_hit={}) scored {} but recomputes to {}",
+                eval.cand,
+                eval.cache_hit,
+                eval.score,
+                fresh,
+            );
+            audited += 1;
+        }
+        assert!(
+            probe.evals.iter().any(|e| e.cand == probe.chosen),
+            "chosen swap {:?} was never evaluated",
+            probe.chosen
+        );
+    })
+    .expect("routes");
+    (audited, routed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random circuits and layouts on the multipartite family Atomique
+    /// routes on, audited at 1 and 4 workers (the 4-worker runs cross
+    /// the parallel scorer's chunk seams round after round). Both runs
+    /// must also agree gate-for-gate with the naive router.
+    #[test]
+    fn cached_scores_equal_fresh_recomputation_on_multipartite(
+        seed in 0u64..1_000,
+        gates in 20usize..60,
+    ) {
+        let graph = CouplingGraph::complete_multipartite(&[8, 8, 8]);
+        let c = random_circuit(24, gates, seed);
+        let layout = random_layout(24, seed.wrapping_mul(0x9e37));
+        let config = SabreConfig::default();
+        let naive = route(&c, &graph, &layout, &config).expect("routes");
+        for threads in [1usize, 4] {
+            let (audited, routed) = audit_route(&c, &graph, &layout, &config, threads);
+            prop_assert_eq!(routed.circuit.gates(), naive.circuit.gates());
+            prop_assert_eq!(&routed.final_layout, &naive.final_layout);
+            prop_assert_eq!(routed.swaps_inserted, naive.swaps_inserted);
+            if routed.swaps_inserted > 0 {
+                prop_assert!(audited > 0);
+            }
+        }
+    }
+
+    /// Sparse graphs stall for many consecutive rounds (every swap only
+    /// shortens a distance-k front pair by one), driving long cache-hit
+    /// chains through several decay-reset epochs.
+    #[test]
+    fn cached_scores_survive_stall_chains_on_line_graphs(
+        seed in 0u64..1_000,
+        gates in 3usize..12,
+    ) {
+        let graph = CouplingGraph::line(10);
+        let c = random_circuit(10, gates, seed);
+        let layout = random_layout(10, seed.wrapping_mul(0x85eb));
+        let config = SabreConfig::default();
+        let naive = route(&c, &graph, &layout, &config).expect("routes");
+        let (_, routed) = audit_route(&c, &graph, &layout, &config, 1);
+        prop_assert_eq!(routed.circuit.gates(), naive.circuit.gates());
+        prop_assert_eq!(routed.swaps_inserted, naive.swaps_inserted);
+    }
+}
+
+/// Decay-reset boundary, deterministically: routing CZ(0, 9) on a
+/// 10-line inserts 8 swaps — past the default reset interval of 5 —
+/// and every round's scores (audited inside `audit_route`) must stay
+/// reference-identical through the epoch where all decay factors snap
+/// back to 1.0.
+#[test]
+fn cache_stays_exact_across_decay_reset_epochs() {
+    let graph = CouplingGraph::line(10);
+    let mut c = Circuit::new(10);
+    c.push(Gate::cz(Qubit(0), Qubit(9)));
+    let layout: Vec<u32> = (0..10).collect();
+    let config = SabreConfig::default();
+    let naive = route(&c, &graph, &layout, &config).expect("routes");
+    assert!(
+        naive.swaps_inserted > config.decay_reset_interval,
+        "workload too small to cross a reset epoch"
+    );
+    let (audited, routed) = audit_route(&c, &graph, &layout, &config, 1);
+    assert!(audited > 0);
+    assert_eq!(routed.circuit.gates(), naive.circuit.gates());
+    assert_eq!(routed.swaps_inserted, naive.swaps_inserted);
+}
+
+/// The dedup satellite: on multipartite graphs, a candidate swapping
+/// two front-gate endpoints in different parts is enumerated from both
+/// endpoints' neighbor lists. Deduplication must leave every pick
+/// identical (duplicates score identically, and the strict `<`
+/// comparator already picks the minimum of the candidate *set*) while
+/// strictly lowering `transpile.score_recompute`: total evaluations
+/// (recomputes + cache hits) must come out strictly below the raw
+/// enumeration count (evaluations + skipped duplicates).
+#[test]
+fn dedup_preserves_picks_and_strictly_lowers_recomputes() {
+    let graph = CouplingGraph::complete_multipartite(&[4, 4, 4]);
+    // Two same-part gates so the front layer holds ≥ 2 stalled pairs.
+    let mut c = Circuit::new(12);
+    c.push(Gate::cz(Qubit(0), Qubit(1)));
+    c.push(Gate::cz(Qubit(4), Qubit(5)));
+    let layout: Vec<u32> = (0..12).collect();
+    let config = SabreConfig::default();
+    let naive = route(&c, &graph, &layout, &config).expect("routes");
+
+    raa_trace::begin(Level::Detail);
+    let (_, routed) = audit_route(&c, &graph, &layout, &config, 1);
+    let report = raa_trace::end();
+    assert_eq!(
+        routed.circuit.gates(),
+        naive.circuit.gates(),
+        "dedup changed a pick"
+    );
+
+    let recomputes = report.counter("transpile.score_recompute");
+    let hits = report.counter("transpile.score_cache_hit");
+    let dupes = report.counter("transpile.score_dedup");
+    let evaluations = recomputes + hits;
+    let enumerated = evaluations + dupes;
+    assert!(recomputes > 0, "no round ever scored a candidate");
+    assert!(dupes > 0, "workload enumerated no duplicate candidates");
+    assert!(
+        evaluations < enumerated,
+        "dedup did not lower the evaluation count below the {enumerated} raw enumerations"
+    );
+}
+
+/// Telemetry smoke: stall-heavy routing must record cache hits (rounds
+/// re-scoring untouched candidates) and incremental extended-set reuse
+/// (stall rounds keep the front, so the lookahead BFS is skipped).
+#[test]
+fn stall_rounds_tick_cache_hit_and_extset_counters() {
+    let graph = CouplingGraph::line(8);
+    let mut c = Circuit::new(8);
+    c.push(Gate::cz(Qubit(0), Qubit(3)));
+    c.push(Gate::cz(Qubit(4), Qubit(7)));
+    let layout: Vec<u32> = (0..8).collect();
+    let config = SabreConfig::default();
+
+    raa_trace::begin(Level::Detail);
+    let (_, routed) = audit_route(&c, &graph, &layout, &config, 1);
+    let report = raa_trace::end();
+    assert!(routed.swaps_inserted >= 2);
+    assert!(
+        report.counter("transpile.score_cache_hit") > 0,
+        "stall chain produced no cache hits: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counter("transpile.extset_incremental") > 0,
+        "stall rounds rebuilt the extended set: {:?}",
+        report.counters
+    );
+}
